@@ -1,0 +1,225 @@
+// Command snorlax diagnoses a corpus concurrency bug end-to-end: it
+// reproduces the failure under the simulated hardware tracer, gathers
+// traces from successful executions at the failure location, runs
+// Lazy Diagnosis, and prints the root cause next to the ground truth.
+//
+// Usage:
+//
+//	snorlax -list
+//	snorlax -bug pbzip2-1
+//	snorlax -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"snorlax/internal/core"
+	"snorlax/internal/corpus"
+	"snorlax/internal/ir"
+	"snorlax/internal/proto"
+)
+
+var (
+	bugID   = flag.String("bug", "", "corpus bug id to diagnose (see -list)")
+	listAll = flag.Bool("list", false, "list the corpus bugs")
+	all     = flag.Bool("all", false, "diagnose every corpus bug")
+	serve   = flag.String("serve", "", "run an analysis server for -bug on this address (e.g. :7007)")
+	remote  = flag.String("remote", "", "diagnose -bug against a remote analysis server at this address")
+)
+
+func main() {
+	flag.Parse()
+	switch {
+	case *serve != "":
+		runServer(*serve, lookup(*bugID))
+	case *remote != "":
+		if !remoteDiagnose(*remote, lookup(*bugID)) {
+			os.Exit(1)
+		}
+	case *listAll:
+		list()
+	case *all:
+		exitCode := 0
+		for _, b := range corpus.All() {
+			if !diagnose(b) {
+				exitCode = 1
+			}
+		}
+		for _, b := range corpus.Extensions() {
+			if !diagnose(b) {
+				exitCode = 1
+			}
+		}
+		os.Exit(exitCode)
+	case *bugID != "":
+		if !diagnose(lookup(*bugID)) {
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func lookup(id string) *corpus.Bug {
+	if id == "" {
+		fmt.Fprintln(os.Stderr, "a -bug id is required; try -list")
+		os.Exit(2)
+	}
+	b := corpus.ByID(id)
+	if b == nil {
+		b = corpus.ExtensionByID(id)
+	}
+	if b == nil {
+		fmt.Fprintf(os.Stderr, "unknown bug %q; try -list\n", id)
+		os.Exit(2)
+	}
+	return b
+}
+
+// runServer hosts the analysis side of Figure 2 for one bug's module;
+// clients connect with -remote.
+func runServer(addr string, b *corpus.Bug) {
+	inst := b.Build(corpus.Variant{Failing: true})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("analysis server for %s listening on %s\n", b.ID, ln.Addr())
+	if err := proto.NewServer(core.NewServer(inst.Mod)).Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// remoteDiagnose plays the production-client side: reproduce the
+// failure locally, ship the trace to the server, stream successful
+// traces, and print the server's verdict.
+func remoteDiagnose(addr string, b *corpus.Bug) bool {
+	failInst := b.Build(corpus.Variant{Failing: true})
+	okInst := b.Build(corpus.Variant{Failing: false})
+
+	conn, err := proto.Dial("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return false
+	}
+	defer conn.Close()
+
+	failClient := core.NewClient(failInst.Mod)
+	var rep *core.RunReport
+	for seed := int64(1); seed <= 20; seed++ {
+		if r := failClient.Run(seed, ir.NoPC); r.Failed() {
+			rep = r
+			break
+		}
+	}
+	if rep == nil {
+		fmt.Fprintln(os.Stderr, "could not reproduce the failure")
+		return false
+	}
+	trigger, err := conn.ReportFailure(rep.Failure, rep.Snapshot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return false
+	}
+	fmt.Printf("uploaded failure %q; server armed trigger at pc=%d\n", rep.Failure.Msg, trigger)
+
+	okClient := core.NewClient(okInst.Mod)
+	sent := 0
+	for seed := int64(1); sent < 10 && seed < 60; seed++ {
+		okRep := okClient.Run(seed+500, trigger)
+		if okRep.Failed() || !okRep.Triggered {
+			continue
+		}
+		if err := conn.SendSuccess(okRep.Snapshot); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return false
+		}
+		sent++
+	}
+	fmt.Printf("uploaded %d successful traces\n", sent)
+
+	d, err := conn.RequestDiagnosis()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return false
+	}
+	fmt.Print(indent(core.Format(failInst.Mod, d)))
+	truth := core.Truth{Kind: failInst.TruthKind, Sub: failInst.TruthSub,
+		PCs: failInst.TruthPCs, Absence: failInst.TruthAbsence}
+	ok := core.MatchesTruth(d.Best.Pattern, truth)
+	if ok {
+		fmt.Println("    ground truth: MATCHES developer fix")
+	} else {
+		fmt.Println("    ground truth: DOES NOT MATCH")
+	}
+	return ok
+}
+
+func list() {
+	fmt.Printf("%-16s %-20s %-6s %-5s %s\n", "ID", "KIND", "LANG", "EVAL", "DESCRIPTION")
+	for _, b := range corpus.All() {
+		eval := ""
+		if b.Eval {
+			eval = "yes"
+		}
+		fmt.Printf("%-16s %-20s %-6s %-5s %s\n", b.ID, b.Kind, b.Lang, eval, b.Description)
+	}
+	fmt.Println()
+	fmt.Println("extensions (beyond the paper's evaluation):")
+	for _, b := range corpus.Extensions() {
+		fmt.Printf("%-16s %-20s %-6s %-5s %s\n", b.ID, b.Kind, b.Lang, "ext", b.Description)
+	}
+}
+
+func diagnose(b *corpus.Bug) bool {
+	fmt.Printf("=== %s (%s): %s\n", b.ID, b.Kind, b.Description)
+	failInst := b.Build(corpus.Variant{Failing: true})
+	okInst := b.Build(corpus.Variant{Failing: false})
+	sess := core.NewSession(failInst.Mod, okInst.Mod)
+	out, err := sess.Run()
+	if err != nil {
+		fmt.Printf("    session error: %v\n", err)
+		return false
+	}
+	fmt.Printf("    failure: %s (pc=%d thread=%d)\n", out.Failure.Msg, out.Failure.PC, out.Failure.Tid)
+	fmt.Print(indent(core.Format(failInst.Mod, out.Diagnosis)))
+	truth := core.Truth{Kind: failInst.TruthKind, Sub: failInst.TruthSub,
+		PCs: failInst.TruthPCs, Absence: failInst.TruthAbsence}
+	correct := core.MatchesTruth(out.Diagnosis.Best.Pattern, truth)
+	ao := core.OrderingAccuracy(out.Diagnosis.Best.Pattern, truth)
+	verdict := "MATCHES developer fix"
+	if !correct {
+		verdict = "DOES NOT MATCH ground truth"
+	}
+	fmt.Printf("    ground truth: %s  (ordering accuracy %.0f%%)\n\n", verdict, ao)
+	return correct
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "    " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}

@@ -1,0 +1,143 @@
+package snorlax
+
+import (
+	"fmt"
+
+	"snorlax/internal/core"
+	"snorlax/internal/pattern"
+)
+
+// Diagnoser runs Lazy Diagnosis for one program.
+type Diagnoser struct {
+	prog *Program
+	srv  *core.Server
+}
+
+// NewDiagnoser returns a Diagnoser with the paper's defaults (64 KB
+// trace rings, up to 10 successful traces per failure).
+func NewDiagnoser(p *Program) *Diagnoser {
+	return &Diagnoser{prog: p, srv: core.NewServer(p.mod)}
+}
+
+// BugKind classifies a diagnosed root cause.
+type BugKind int
+
+// The diagnosable bug kinds (Figure 1 of the paper).
+const (
+	Deadlock BugKind = iota
+	OrderViolation
+	AtomicityViolation
+)
+
+func (k BugKind) String() string {
+	switch k {
+	case Deadlock:
+		return "deadlock"
+	case OrderViolation:
+		return "order violation"
+	case AtomicityViolation:
+		return "atomicity violation"
+	}
+	return "unknown"
+}
+
+// Event is one program point participating in the diagnosed pattern.
+type Event struct {
+	// PC is the instruction's program counter.
+	PC PC
+	// Instr renders the instruction and its location.
+	Instr string
+}
+
+// Report is a diagnosis result.
+type Report struct {
+	// Kind is the diagnosed bug class.
+	Kind BugKind
+	// Pattern names the access signature ("WR", "RWR", "DL2", …).
+	Pattern string
+	// Events lists the root cause's program points in pattern order.
+	Events []Event
+	// F1, Precision and Recall are the statistical confidence of the
+	// diagnosis over the observed executions.
+	F1, Precision, Recall float64
+	// Unique reports whether the top pattern strictly beat all
+	// others; when false, developers should review Alternatives.
+	Unique bool
+	// Alternatives lists runner-up pattern keys with their F1.
+	Alternatives []string
+	// ScopeReduction is how much trace-based scope restriction shrank
+	// the analyzed instruction set.
+	ScopeReduction float64
+	// AnalysisTime describes the server-side cost.
+	AnalysisTime string
+
+	prog *Program
+	diag *core.Diagnosis
+}
+
+// Diagnose runs the full pipeline on one failing execution plus
+// traces from successful executions of the same (or an identically
+// laid out) program.
+func (d *Diagnoser) Diagnose(failing *Execution, successes []*Execution) (*Report, error) {
+	if failing == nil || !failing.Failed() {
+		return nil, fmt.Errorf("snorlax: Diagnose needs a failing execution")
+	}
+	var okReports []*core.RunReport
+	for _, s := range successes {
+		if s != nil && !s.Failed() && s.Snapshot() != nil {
+			okReports = append(okReports, s.report)
+		}
+	}
+	diag, err := d.srv.Diagnose(failing.report, okReports)
+	if err != nil {
+		return nil, err
+	}
+	return newReport(d.prog, diag), nil
+}
+
+func newReport(prog *Program, diag *core.Diagnosis) *Report {
+	r := &Report{Unique: diag.Unique, prog: prog, diag: diag}
+	if best := diag.Best.Pattern; best != nil {
+		switch best.Kind {
+		case pattern.KindDeadlock:
+			r.Kind = Deadlock
+		case pattern.KindOrderViolation:
+			r.Kind = OrderViolation
+		case pattern.KindAtomicityViolation:
+			r.Kind = AtomicityViolation
+		}
+		r.Pattern = best.Sub
+		for _, pc := range best.PCs {
+			if pc == NoPC {
+				continue
+			}
+			r.Events = append(r.Events, Event{PC: pc, Instr: prog.InstrString(pc)})
+		}
+		r.F1 = diag.Best.F1
+		r.Precision = diag.Best.Precision
+		r.Recall = diag.Best.Recall
+	}
+	for _, s := range diag.Scores[min(1, len(diag.Scores)):] {
+		if len(r.Alternatives) >= 5 {
+			break
+		}
+		r.Alternatives = append(r.Alternatives, fmt.Sprintf("%s (F1=%.2f)", s.Pattern.Key(), s.F1))
+	}
+	if diag.Stats.ExecutedInstrs > 0 {
+		r.ScopeReduction = float64(diag.Stats.TotalInstrs) / float64(diag.Stats.ExecutedInstrs)
+	}
+	r.AnalysisTime = diag.Stats.TotalTime.String()
+	return r
+}
+
+// Format renders the report for humans.
+func (r *Report) Format() string {
+	return core.Format(r.prog.mod, r.diag)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,124 @@
+// Deadlock diagnosis: the classic bank-transfer lock-order inversion.
+//
+// transfer(a, b) and transfer(b, a) run concurrently, each locking
+// its source account first. When both grab their first lock before
+// either grabs its second, the program hangs; the simulated OS
+// detects the waits-for cycle and Snorlax reconstructs the full
+// acquisition pattern — which lock each thread held and where it
+// blocked — from the hardware trace.
+//
+// Run with: go run ./examples/deadlock
+package main
+
+import (
+	"fmt"
+	"log"
+
+	snorlax "snorlax"
+)
+
+func bank(holdNS int, staggered bool) *snorlax.Program {
+	stagger := 30_000
+	if staggered {
+		// The successful configuration: the second teller starts
+		// after the first has finished.
+		stagger = 600_000
+	}
+	return snorlax.MustParseProgram(fmt.Sprintf(`
+module bank
+struct Account {
+  guard: mutex
+  balance: int
+}
+global checking: *Account
+global savings: *Account
+
+func transfer(from: *Account, to: *Account, amount: int, hold: int) {
+entry:
+  %%fm = fieldaddr %%from, guard
+  lock %%fm
+  sleep %%hold
+  %%tm = fieldaddr %%to, guard
+  lock %%tm
+  %%fb = fieldaddr %%from, balance
+  %%tb = fieldaddr %%to, balance
+  %%fv = load %%fb
+  %%tv = load %%tb
+  %%fv2 = sub %%fv, %%amount
+  %%tv2 = add %%tv, %%amount
+  store %%fv2, %%fb
+  store %%tv2, %%tb
+  unlock %%tm
+  unlock %%fm
+  ret
+}
+
+func teller1() {
+entry:
+  %%a = load @checking
+  %%b = load @savings
+  call transfer(%%a, %%b, 100, %d)
+  ret
+}
+
+func teller2() {
+entry:
+  sleep %d
+  %%a = load @savings
+  %%b = load @checking
+  call transfer(%%a, %%b, 50, %d)
+  ret
+}
+
+func main() {
+entry:
+  %%c = new Account
+  %%s = new Account
+  %%cb = fieldaddr %%c, balance
+  %%sb = fieldaddr %%s, balance
+  store 1000, %%cb
+  store 2000, %%sb
+  store %%c, @checking
+  store %%s, @savings
+  %%t1 = spawn teller1()
+  %%t2 = spawn teller2()
+  join %%t1
+  join %%t2
+  ret
+}
+`, holdNS, stagger, holdNS))
+}
+
+func main() {
+	failProg := bank(400_000, false)
+	okProg := bank(1, true)
+
+	failing := failProg.Run(snorlax.RunOptions{Seed: 3})
+	if !failing.Deadlocked() {
+		log.Fatalf("expected a deadlock, got: failed=%v %s", failing.Failed(), failing.FailureMessage())
+	}
+	fmt.Printf("hang detected: %s\n\n", failing.FailureMessage())
+
+	var successes []*snorlax.Execution
+	for seed := int64(1); len(successes) < 10 && seed < 60; seed++ {
+		e := okProg.Run(snorlax.RunOptions{Seed: seed, TriggerPC: failing.FailurePC()})
+		if !e.Failed() && e.Triggered() {
+			successes = append(successes, e)
+		}
+	}
+
+	report, err := snorlax.NewDiagnoser(failProg).Diagnose(failing, successes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if report.Kind != snorlax.Deadlock {
+		log.Fatalf("diagnosed %v, expected a deadlock", report.Kind)
+	}
+	fmt.Println(report.Format())
+	fmt.Println("cycle (held lock → blocked acquisition, per thread):")
+	for i := 0; i+1 < len(report.Events); i += 2 {
+		fmt.Printf("  thread holds %s\n       blocks on %s\n",
+			report.Events[i].Instr, report.Events[i+1].Instr)
+	}
+	fmt.Println("\nfix: impose a global lock order (e.g. lock the lower-addressed account first)")
+}

@@ -1,0 +1,114 @@
+// Production deployment: the client/server split of Figure 2 over a
+// real TCP connection.
+//
+// The analysis server runs centrally (here: a goroutine on loopback).
+// Production clients run the program under the always-on hardware
+// tracer; when one fails, it uploads the failure report and its trace
+// rings, the server arms a trigger, other clients upload traces from
+// successful executions captured at that trigger, and the server
+// returns the diagnosis.
+//
+// Run with: go run ./examples/production
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	snorlax "snorlax"
+)
+
+func cacheProgram(failing bool) *snorlax.Program {
+	evictDelay, getDelay := 150_000, 350_000
+	if !failing {
+		evictDelay, getDelay = 500_000, 60_000
+	}
+	return snorlax.MustParseProgram(fmt.Sprintf(`
+module cache
+struct Item {
+  hits: int
+}
+global lru_head: *Item
+
+func get_worker() {
+entry:
+  sleep %d
+  %%it = load @lru_head
+  %%h = fieldaddr %%it, hits
+  %%v = load %%h
+  %%v2 = add %%v, 1
+  store %%v2, %%h
+  ret
+}
+
+func main() {
+entry:
+  %%it = new Item
+  store %%it, @lru_head
+  %%g = spawn get_worker()
+  sleep %d
+  store null:*Item, @lru_head
+  join %%g
+  ret
+}
+`, getDelay, evictDelay))
+}
+
+func main() {
+	failProg := cacheProgram(true)
+	okProg := cacheProgram(false)
+
+	// Central analysis server.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		if err := snorlax.Serve(ln, failProg); err != nil {
+			log.Print(err)
+		}
+	}()
+	fmt.Printf("analysis server listening on %s\n", ln.Addr())
+
+	// Production client: always-on tracing; the failure arrives.
+	client, err := snorlax.Dial("tcp", ln.Addr().String(), failProg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	failing := failProg.Run(snorlax.RunOptions{Seed: 1})
+	if !failing.Failed() {
+		log.Fatal("expected the eviction race to crash")
+	}
+	trigger, err := client.ReportFailure(failing)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uploaded failure %q; server armed trigger at pc=%d\n",
+		failing.FailureMessage(), trigger)
+
+	// Other production clients keep succeeding; their traces stream in.
+	uploaded := 0
+	for seed := int64(1); uploaded < 10 && seed < 60; seed++ {
+		e := okProg.Run(snorlax.RunOptions{Seed: seed, TriggerPC: trigger})
+		if e.Failed() || !e.Triggered() {
+			continue
+		}
+		if err := client.SendSuccess(e); err != nil {
+			log.Fatal(err)
+		}
+		uploaded++
+	}
+	fmt.Printf("uploaded %d successful traces\n\n", uploaded)
+
+	report, err := client.Diagnose()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.Format())
+	fmt.Printf("server-side verdict: %v (%s), confidence F1=%.2f\n",
+		report.Kind, report.Pattern, report.F1)
+}

@@ -1,0 +1,87 @@
+// Quickstart: diagnose a use-after-free order violation.
+//
+// A worker thread dequeues from a shared queue while the main thread
+// tears it down — the classic pbzip2 crash. We reproduce the failure
+// once under the hardware tracer, gather traces from ten successful
+// executions at the failure location, and let Lazy Diagnosis name the
+// racing instructions.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	snorlax "snorlax"
+)
+
+// program builds the demo in two delay variants with identical
+// instruction layout: in production the same binary usually succeeds
+// and rarely fails; here the delays select the interleaving.
+func program(failing bool) *snorlax.Program {
+	consumerDelay, teardownDelay := 300_000, 100_000
+	if !failing {
+		consumerDelay, teardownDelay = 50_000, 400_000
+	}
+	return snorlax.MustParseProgram(fmt.Sprintf(`
+module quickstart
+struct Block {
+  size: int
+}
+global fifo: *Block
+
+func consumer() {
+entry:
+  sleep %d
+  %%b = load @fifo
+  %%sz = fieldaddr %%b, size
+  %%v = load %%sz
+  ret
+}
+
+func main() {
+entry:
+  %%b = new Block
+  store %%b, @fifo
+  %%t = spawn consumer()
+  sleep %d
+  store null:*Block, @fifo
+  join %%t
+  ret
+}
+`, consumerDelay, teardownDelay))
+}
+
+func main() {
+	failProg := program(true)
+	okProg := program(false)
+
+	// Step 1: a production failure occurs; the trace rings are saved.
+	failing := failProg.Run(snorlax.RunOptions{Seed: 1})
+	if !failing.Failed() {
+		log.Fatal("expected the failing variant to crash")
+	}
+	fmt.Printf("observed failure: %s\n", failing.FailureMessage())
+	fmt.Printf("failing instruction: %s\n\n", failProg.InstrString(failing.FailurePC()))
+
+	// Step 8: successful executions are traced at the failure PC.
+	var successes []*snorlax.Execution
+	for seed := int64(1); len(successes) < 10; seed++ {
+		e := okProg.Run(snorlax.RunOptions{Seed: seed, TriggerPC: failing.FailurePC()})
+		if !e.Failed() && e.Triggered() {
+			successes = append(successes, e)
+		}
+	}
+
+	// Steps 2-7: Lazy Diagnosis.
+	report, err := snorlax.NewDiagnoser(failProg).Diagnose(failing, successes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.Format())
+	fmt.Printf("diagnosed after %d failure with %d successful traces\n", 1, len(successes))
+	for i, ev := range report.Events {
+		fmt.Printf("  racing access %d: %s\n", i+1, ev.Instr)
+	}
+}

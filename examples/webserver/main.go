@@ -1,0 +1,96 @@
+// Web-server order violation: a worker consumes the virtual-host
+// configuration before the listener thread has published it — the
+// read-before-init direction of Figure 1(b), where the root cause is
+// that the failing read executed before the write that should precede
+// it. Snorlax diagnoses it from the *absence* of the initializing
+// write in the failing trace.
+//
+// Run with: go run ./examples/webserver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	snorlax "snorlax"
+)
+
+func server(workerDelay, configDelay int) *snorlax.Program {
+	return snorlax.MustParseProgram(fmt.Sprintf(`
+module webserver
+struct VHostConfig {
+  maxconns: int
+}
+global config: *VHostConfig
+global served: int
+
+func request_worker() {
+entry:
+  sleep %d
+  %%cfg = load @config
+  sleep 400000
+  %%mc = fieldaddr %%cfg, maxconns
+  %%limit = load %%mc
+  %%count = load @served
+  %%c = lt %%count, %%limit
+  condbr %%c, serve, reject
+serve:
+  %%count2 = add %%count, 1
+  store %%count2, @served
+  ret
+reject:
+  ret
+}
+
+func listener() {
+entry:
+  sleep %d
+  %%cfg = new VHostConfig
+  %%mc = fieldaddr %%cfg, maxconns
+  store 128, %%mc
+  store %%cfg, @config
+  ret
+}
+
+func main() {
+entry:
+  %%l = spawn listener()
+  %%w = spawn request_worker()
+  join %%l
+  join %%w
+  ret
+}
+`, workerDelay, configDelay))
+}
+
+func main() {
+	// Failing: the worker reads @config 150µs before the listener
+	// publishes it. Successful: the listener wins comfortably.
+	failProg := server(100_000, 250_000)
+	okProg := server(400_000, 100_000)
+
+	failing := failProg.Run(snorlax.RunOptions{Seed: 2})
+	if !failing.Failed() {
+		log.Fatal("expected the worker to crash on the unpublished config")
+	}
+	fmt.Printf("crash: %s\n\n", failing.FailureMessage())
+
+	var successes []*snorlax.Execution
+	for seed := int64(1); len(successes) < 10 && seed < 60; seed++ {
+		e := okProg.Run(snorlax.RunOptions{Seed: seed, TriggerPC: failing.FailurePC()})
+		if !e.Failed() && e.Triggered() {
+			successes = append(successes, e)
+		}
+	}
+
+	report, err := snorlax.NewDiagnoser(failProg).Diagnose(failing, successes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.Format())
+	if report.Kind != snorlax.OrderViolation {
+		log.Fatalf("diagnosed %v, expected an order violation", report.Kind)
+	}
+	fmt.Println("diagnosis: the config read executed before the publishing store —")
+	fmt.Println("the worker must wait for (or be spawned after) initialization.")
+}

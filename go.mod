@@ -1,0 +1,3 @@
+module snorlax
+
+go 1.22

@@ -1,0 +1,394 @@
+// Package core orchestrates Lazy Diagnosis — the paper's primary
+// contribution (§4, Figure 2).
+//
+// A Client runs a program under the simulated hardware tracer and
+// produces failure reports with trace snapshots (steps 1 and 8). A
+// Server consumes them and runs the analysis pipeline: trace
+// processing (2–3), hybrid points-to analysis (4), type-based ranking
+// (5), bug-pattern computation (6) and statistical diagnosis (7). A
+// Session wires the two together the way the deployed system would:
+// one failing execution seeds the analysis, then traces from
+// successful executions — captured at the failure PC — sharpen it.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"snorlax/internal/ir"
+	"snorlax/internal/pattern"
+	"snorlax/internal/pointsto"
+	"snorlax/internal/pt"
+	"snorlax/internal/ranking"
+	"snorlax/internal/statdiag"
+	"snorlax/internal/traceproc"
+	"snorlax/internal/vm"
+)
+
+// FailureReport is the client-side failure description shipped to the
+// server — the crash-report analogue (OS error tracker + trace dump).
+// It is self-contained and serializable.
+type FailureReport struct {
+	Deadlock     bool
+	PC           ir.PC
+	Tid          int
+	Time         int64
+	Msg          string
+	DeadlockPCs  []ir.PC
+	DeadlockTids []int
+}
+
+// RunReport is the outcome of one traced client execution.
+type RunReport struct {
+	// Failure is nil for successful executions.
+	Failure *FailureReport
+	// Snapshot holds the per-thread trace rings captured at the
+	// failure (failing runs) or at the trigger PC (successful runs).
+	Snapshot *pt.Snapshot
+	// Result is the raw VM result (virtual time, steps, …).
+	Result *vm.Result
+	// Triggered reports whether an armed trigger fired.
+	Triggered bool
+}
+
+// Failed reports whether the execution failed.
+func (r *RunReport) Failed() bool { return r.Failure != nil }
+
+// Client runs executions of one module under the trace driver.
+type Client struct {
+	Mod *ir.Module
+	// PT configures the simulated tracer (64 KB rings by default).
+	PT pt.Config
+	// VM configures execution; Seed is overridden per run.
+	VM vm.Config
+}
+
+// NewClient returns a Client with default configurations.
+func NewClient(mod *ir.Module) *Client { return &Client{Mod: mod} }
+
+// Run executes once with the given seed. trigger, when not NoPC, arms
+// a one-shot trace snapshot at that PC (step 8: collecting traces
+// from successful executions at a previous failure's location).
+func (c *Client) Run(seed int64, trigger ir.PC) *RunReport {
+	drv := pt.NewDriver(c.PT)
+	drv.TriggerPC = trigger
+	cfg := c.VM
+	cfg.Seed = seed
+	cfg.Sink = drv
+	cfg.Hook = drv
+	res := vm.Run(c.Mod, cfg)
+
+	rep := &RunReport{Result: res, Triggered: drv.Triggered()}
+	if res.Failed() {
+		f := res.Failure
+		rep.Failure = &FailureReport{
+			Deadlock:     f.Kind == vm.FailDeadlock,
+			PC:           f.PC,
+			Tid:          f.Thread,
+			Time:         f.Time,
+			Msg:          f.Msg,
+			DeadlockPCs:  f.DeadlockPCs,
+			DeadlockTids: f.DeadlockTids,
+		}
+		rep.Snapshot = drv.FailureSnapshot(res.Time)
+		return rep
+	}
+	if drv.Triggered() {
+		rep.Snapshot = drv.TriggerSnapshot()
+	}
+	return rep
+}
+
+// ReportFromResult wraps a raw VM result as a RunReport (no trace
+// snapshot); used by untraced execution modes such as record/replay.
+func ReportFromResult(res *vm.Result) *RunReport {
+	rep := &RunReport{Result: res}
+	if res.Failed() {
+		f := res.Failure
+		rep.Failure = &FailureReport{
+			Deadlock:     f.Kind == vm.FailDeadlock,
+			PC:           f.PC,
+			Tid:          f.Thread,
+			Time:         f.Time,
+			Msg:          f.Msg,
+			DeadlockPCs:  f.DeadlockPCs,
+			DeadlockTids: f.DeadlockTids,
+		}
+	}
+	return rep
+}
+
+// StageStats quantifies each pipeline stage's effect — the raw data
+// behind Figure 7 (per-stage accuracy contribution) and Table 4
+// (hybrid analysis times and speedups).
+type StageStats struct {
+	// TotalInstrs is the module's static instruction count.
+	TotalInstrs int
+	// ExecutedInstrs is the scope after trace processing (step 2).
+	ExecutedInstrs int
+	// Candidates is the alias-filtered instruction count after the
+	// hybrid points-to analysis (step 4).
+	Candidates int
+	// Rank1Candidates is the exact-type-match subset (step 5).
+	Rank1Candidates int
+	// Patterns is the number of candidate patterns (step 6).
+	Patterns int
+	// DynEvents is the length of the partially-ordered dynamic
+	// instruction trace (step 3).
+	DynEvents int
+	// PointsToTime is the wall-clock cost of constraint generation
+	// and solving on this host.
+	PointsToTime time.Duration
+	// TotalTime is the wall-clock cost of the whole server-side
+	// analysis for the failing trace.
+	TotalTime time.Duration
+}
+
+// Diagnosis is the server's verdict for one failure.
+type Diagnosis struct {
+	// Best is the top-scored pattern.
+	Best statdiag.Score
+	// Unique reports whether Best strictly beats the runner-up.
+	Unique bool
+	// Scores lists every pattern's statistics, best first.
+	Scores []statdiag.Score
+	// AnchorPC is the instruction the analysis anchored on (the load
+	// of the corrupt pointer for crashes; the blocked lock attempt
+	// for deadlocks).
+	AnchorPC ir.PC
+	// Stats carries the per-stage measurements.
+	Stats StageStats
+}
+
+// Server runs the Lazy Diagnosis analysis for one module.
+type Server struct {
+	Mod *ir.Module
+	// PT must match the client's trace configuration.
+	PT pt.Config
+	// Pattern bounds pattern computation.
+	Pattern pattern.Config
+	// MaxSuccessTraces caps how many successful traces are used per
+	// failing trace (the paper's empirically-determined 10×).
+	MaxSuccessTraces int
+	// UseUnification switches the points-to stage to the
+	// Steensgaard baseline (ablation only).
+	UseUnification bool
+	// DisableRanking turns off type-based ranking (ablation only):
+	// every candidate gets rank 1.
+	DisableRanking bool
+}
+
+// NewServer returns a Server with the paper's defaults.
+func NewServer(mod *ir.Module) *Server {
+	return &Server{Mod: mod, MaxSuccessTraces: 10}
+}
+
+// analysisFor builds the points-to analysis for a scope.
+func (s *Server) analysisFor(scope pointsto.Scope) ranking.Analysis {
+	if s.UseUnification {
+		return pointsto.NewSteensgaard(s.Mod, scope)
+	}
+	return pointsto.NewAndersen(s.Mod, scope)
+}
+
+// Diagnose runs steps 2–7 on one failing run plus traces from
+// successful executions and returns the diagnosis.
+func (s *Server) Diagnose(failing *RunReport, successes []*RunReport) (*Diagnosis, error) {
+	if failing.Failure == nil || failing.Snapshot == nil {
+		return nil, fmt.Errorf("core: failing report has no failure or snapshot")
+	}
+	start := time.Now()
+	f := failing.Failure
+
+	// Steps 2–3: trace processing.
+	stop := map[int]ir.PC{f.Tid: f.PC}
+	traces, err := pt.DecodeSnapshot(s.Mod, failing.Snapshot, s.PT, stop)
+	if err != nil {
+		return nil, fmt.Errorf("core: decoding failing trace: %w", err)
+	}
+	scope, failTrace := traceproc.Process(traces)
+
+	// Step 4: hybrid points-to analysis, scope restricted.
+	ptStart := time.Now()
+	analysis := s.analysisFor(scope)
+	ptTime := time.Since(ptStart)
+
+	// Step 5: type-based ranking around the anchored failure.
+	failInstr := s.Mod.InstrAt(f.PC)
+	class := ranking.MemAccesses
+	fi := pattern.FailureInfo{PC: f.PC, Tid: f.Tid, Time: f.Time}
+	switch {
+	case f.Deadlock && failInstr.Op() == ir.OpWait:
+		// A hang at a condition wait is a lost wakeup: an order
+		// violation on the condition variable (the notify ran before
+		// the wait), not a lock cycle. Candidates are the sync
+		// operations aliasing the condition.
+		class = ranking.SyncOps
+	case f.Deadlock:
+		class = ranking.SyncOps
+		fi.Deadlock = true
+		fi.DeadlockPCs = f.DeadlockPCs
+		fi.DeadlockTids = f.DeadlockTids
+	default:
+		anchor, _ := ranking.Anchor(failInstr)
+		fi.PC = anchor.PC()
+	}
+	cands := ranking.Rank(s.Mod, failInstr, class, analysis, scope)
+	if s.DisableRanking {
+		for i := range cands {
+			cands[i].Rank = 1
+		}
+	}
+
+	// Step 6: bug-pattern computation with partial flow sensitivity.
+	pats := pattern.Compute(s.Mod, fi, cands, failTrace, s.Pattern)
+
+	// Extension (§7 future work): when the failing instruction is not
+	// itself part of the bug pattern, the corrupt value may have
+	// propagated through memory (a store into a cache slot, reloaded
+	// later). Chase the anchor's value provenance through in-scope
+	// may-aliased stores to deeper anchor loads and add their
+	// patterns; statistical diagnosis keeps whichever anchor's
+	// pattern actually predicts the failure.
+	if !fi.Deadlock {
+		for _, deep := range s.deepAnchors(fi.PC, analysis, scope, 2) {
+			dfi := fi
+			dfi.PC = deep.PC()
+			dCands := ranking.Rank(s.Mod, deep, ranking.MemAccesses, analysis, scope)
+			pats = append(pats, pattern.Compute(s.Mod, dfi, dCands, failTrace, s.Pattern)...)
+		}
+		pats = dedupePatterns(pats)
+	}
+
+	// Extension (§7 future work): a violated invariant over several
+	// memory locations anchors at several loads; add multi-variable
+	// atomicity patterns for every anchored-read pair.
+	if a, isAssert := failInstr.(*ir.AssertInstr); isAssert && !f.Deadlock {
+		if loads := ranking.AssertedLoads(a); len(loads) >= 2 {
+			var anchors []pattern.MVAnchor
+			for _, ld := range loads {
+				anchors = append(anchors, pattern.MVAnchor{
+					PC:    ld.PC(),
+					Cands: ranking.Rank(s.Mod, ld, ranking.MemAccesses, analysis, scope),
+				})
+			}
+			pats = append(pats, pattern.ComputeMultiVar(s.Mod, fi, anchors, failTrace, s.Pattern)...)
+		}
+	}
+
+	// Step 7: statistical diagnosis over failing + successful traces.
+	obs := []statdiag.Observation{s.observe(pats, failTrace, true)}
+	limit := s.MaxSuccessTraces
+	if limit <= 0 {
+		limit = 10
+	}
+	used := 0
+	for _, ok := range successes {
+		if used >= limit {
+			break
+		}
+		if ok.Snapshot == nil {
+			continue
+		}
+		okTraces, err := pt.DecodeSnapshot(s.Mod, ok.Snapshot, s.PT, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: decoding success trace: %w", err)
+		}
+		_, tr := traceproc.Process(okTraces)
+		obs = append(obs, s.observe(pats, tr, false))
+		used++
+	}
+	scores := statdiag.Rank(pats, obs)
+	best, unique := statdiag.Best(scores)
+
+	rankCount := ranking.CountByRank(cands)
+	d := &Diagnosis{
+		Best:     best,
+		Unique:   unique,
+		Scores:   scores,
+		AnchorPC: fi.PC,
+		Stats: StageStats{
+			TotalInstrs:     s.Mod.NumInstrs(),
+			ExecutedInstrs:  len(scope),
+			Candidates:      len(cands),
+			Rank1Candidates: rankCount[1],
+			Patterns:        len(pats),
+			DynEvents:       len(failTrace.Events),
+			PointsToTime:    ptTime,
+			TotalTime:       time.Since(start),
+		},
+	}
+	return d, nil
+}
+
+// deepAnchors walks corrupt-value provenance through memory: starting
+// at the load anchoring the failure, any in-scope store that may
+// alias the anchored slot carries the corruption; the loads feeding
+// that store's value are the next anchors. Depth bounds the walk.
+func (s *Server) deepAnchors(anchorPC ir.PC, analysis ranking.Analysis, scope pointsto.Scope, depth int) []*ir.LoadInstr {
+	var out []*ir.LoadInstr
+	seen := map[ir.PC]bool{anchorPC: true}
+	frontier := []ir.PC{anchorPC}
+	for d := 0; d < depth && len(frontier) > 0; d++ {
+		var next []ir.PC
+		for _, pc := range frontier {
+			ld, ok := s.Mod.InstrAt(pc).(*ir.LoadInstr)
+			if !ok {
+				continue
+			}
+			s.Mod.Instrs(func(in ir.Instr) {
+				st, isStore := in.(*ir.StoreInstr)
+				if !isStore || !scope.In(in) || !analysis.MayAlias(st.Addr, ld.Addr) {
+					return
+				}
+				for _, src := range ranking.ValueLoads(in.Block().Parent, st.Val) {
+					if !seen[src.PC()] && scope.In(src) {
+						seen[src.PC()] = true
+						out = append(out, src)
+						next = append(next, src.PC())
+					}
+				}
+			})
+		}
+		frontier = next
+	}
+	return out
+}
+
+// dedupePatterns merges patterns with identical keys, keeping the
+// best rank.
+func dedupePatterns(pats []*pattern.Pattern) []*pattern.Pattern {
+	seen := map[string]*pattern.Pattern{}
+	var out []*pattern.Pattern
+	for _, p := range pats {
+		if prev, ok := seen[p.Key()]; ok {
+			if p.Rank < prev.Rank {
+				prev.Rank = p.Rank
+			}
+			continue
+		}
+		seen[p.Key()] = p
+		out = append(out, p)
+	}
+	return out
+}
+
+func (s *Server) observe(pats []*pattern.Pattern, tr *traceproc.Trace, failed bool) statdiag.Observation {
+	o := statdiag.Observation{Failed: failed, Present: make(map[string]bool, len(pats))}
+	for _, p := range pats {
+		o.Present[p.Key()] = pattern.Present(s.Mod, p, tr)
+	}
+	return o
+}
+
+// WholeProgramAnalysisTime runs the points-to analysis without scope
+// restriction and reports its wall-clock cost — the Table 4 baseline.
+func (s *Server) WholeProgramAnalysisTime() time.Duration {
+	start := time.Now()
+	if s.UseUnification {
+		pointsto.NewSteensgaard(s.Mod, nil)
+	} else {
+		pointsto.NewAndersen(s.Mod, nil)
+	}
+	return time.Since(start)
+}

@@ -1,0 +1,194 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"snorlax/internal/core"
+	"snorlax/internal/corpus"
+	"snorlax/internal/ir"
+	"snorlax/internal/pattern"
+)
+
+// diagnoseBug runs the full Session loop on one corpus bug.
+func diagnoseBug(t *testing.T, b *corpus.Bug) (*core.Outcome, *corpus.Instance) {
+	t.Helper()
+	failInst := b.Build(corpus.Variant{Failing: true})
+	okInst := b.Build(corpus.Variant{Failing: false})
+	sess := core.NewSession(failInst.Mod, okInst.Mod)
+	out, err := sess.Run()
+	if err != nil {
+		t.Fatalf("%s: session: %v", b.ID, err)
+	}
+	return out, failInst
+}
+
+func truthOf(inst *corpus.Instance) core.Truth {
+	return core.Truth{
+		Kind:    inst.TruthKind,
+		Sub:     inst.TruthSub,
+		PCs:     inst.TruthPCs,
+		Absence: inst.TruthAbsence,
+	}
+}
+
+// TestEvalSetFullAccuracy reproduces the paper's headline result
+// (§6.1): Snorlax diagnoses every evaluated bug with 100% accuracy
+// and 100% ordering accuracy, after a single failure.
+func TestEvalSetFullAccuracy(t *testing.T) {
+	for _, b := range corpus.EvalSet() {
+		b := b
+		t.Run(b.ID, func(t *testing.T) {
+			out, inst := diagnoseBug(t, b)
+			d := out.Diagnosis
+			if d.Best.Pattern == nil {
+				t.Fatal("no pattern diagnosed")
+			}
+			if !d.Unique {
+				t.Errorf("diagnosis not unique: %v vs %v", d.Scores[0], d.Scores[1])
+			}
+			truth := truthOf(inst)
+			if !core.MatchesTruth(d.Best.Pattern, truth) {
+				t.Fatalf("diagnosed %s, truth %v/%s PCs %v (absence=%v)\nall scores: %v",
+					d.Best.Pattern.Key(), truth.Kind, truth.Sub, truth.PCs, truth.Absence, d.Scores)
+			}
+			if acc := core.OrderingAccuracy(d.Best.Pattern, truth); acc != 100 {
+				t.Errorf("ordering accuracy = %.1f, want 100", acc)
+			}
+			if d.Best.F1 != 1.0 {
+				t.Errorf("best F1 = %f, want 1.0", d.Best.F1)
+			}
+			if out.FailuresNeeded != 1 {
+				t.Errorf("failures needed = %d, want 1", out.FailuresNeeded)
+			}
+		})
+	}
+}
+
+// TestAllBugsDiagnose extends the accuracy check to the entire
+// 54-bug corpus (the paper evaluates 11; our synthetic corpus lets us
+// check them all).
+func TestAllBugsDiagnose(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus diagnosis is slow; run without -short")
+	}
+	failures := 0
+	for _, b := range corpus.All() {
+		b := b
+		t.Run(b.ID, func(t *testing.T) {
+			out, inst := diagnoseBug(t, b)
+			d := out.Diagnosis
+			truth := truthOf(inst)
+			if !core.MatchesTruth(d.Best.Pattern, truth) {
+				failures++
+				var got string
+				if d.Best.Pattern != nil {
+					got = d.Best.Pattern.Key()
+				}
+				t.Errorf("diagnosed %q, truth %v/%s PCs %v", got, truth.Kind, truth.Sub, truth.PCs)
+			}
+			if acc := core.OrderingAccuracy(d.Best.Pattern, truth); acc != 100 {
+				t.Errorf("ordering accuracy = %.1f", acc)
+			}
+		})
+	}
+}
+
+func TestScopeRestrictionReduction(t *testing.T) {
+	// The mysql module carries heavy cold code: trace processing must
+	// shrink the analyzed set substantially (the paper reports 9x
+	// geometric mean across its benchmarks).
+	out, _ := diagnoseBug(t, corpus.ByID("mysql-3"))
+	st := out.Diagnosis.Stats
+	if st.ExecutedInstrs == 0 || st.TotalInstrs == 0 {
+		t.Fatal("missing stats")
+	}
+	reduction := float64(st.TotalInstrs) / float64(st.ExecutedInstrs)
+	if reduction < 5 {
+		t.Errorf("scope reduction = %.1fx, want >= 5x on mysql", reduction)
+	}
+	if st.Candidates == 0 || st.Patterns == 0 {
+		t.Errorf("stats incomplete: %+v", st)
+	}
+}
+
+func TestDiagnoseRequiresFailure(t *testing.T) {
+	inst := corpus.ByID("pbzip2-1").Build(corpus.Variant{Failing: false})
+	srv := core.NewServer(inst.Mod)
+	if _, err := srv.Diagnose(&core.RunReport{}, nil); err == nil {
+		t.Error("Diagnose accepted a report without failure")
+	}
+}
+
+func TestClientSuccessfulRunWithTrigger(t *testing.T) {
+	inst := corpus.ByID("aget-1").Build(corpus.Variant{Failing: false})
+	client := core.NewClient(inst.Mod)
+	// Trigger on the worker's load (truth PC 1).
+	rep := client.Run(3, inst.TruthPCs[1])
+	if rep.Failed() {
+		t.Fatalf("unexpected failure: %+v", rep.Failure)
+	}
+	if !rep.Triggered || rep.Snapshot == nil {
+		t.Error("trigger did not produce a snapshot")
+	}
+}
+
+func TestFormatReadable(t *testing.T) {
+	out, inst := diagnoseBug(t, corpus.ByID("pbzip2-1"))
+	text := core.Format(inst.Mod, out.Diagnosis)
+	for _, want := range []string{"root cause: order-violation", "WR", "F1=1.00", "event 1", "scope restriction"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted diagnosis missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestMatchesTruthDeadlockCanonicalization(t *testing.T) {
+	p := &pattern.Pattern{Kind: pattern.KindDeadlock, Sub: "DL2",
+		PCs: []ir.PC{30, 40, 10, 20}}
+	truth := core.Truth{Kind: pattern.KindDeadlock, Sub: "DL2",
+		PCs: []ir.PC{10, 20, 30, 40}}
+	if !core.MatchesTruth(p, truth) {
+		t.Error("pair rotation should not affect deadlock truth matching")
+	}
+	wrong := core.Truth{Kind: pattern.KindDeadlock, Sub: "DL2",
+		PCs: []ir.PC{10, 20, 30, 41}}
+	if core.MatchesTruth(p, wrong) {
+		t.Error("different attempt PC must not match")
+	}
+}
+
+func TestMatchesTruthRejectsKindMismatch(t *testing.T) {
+	p := &pattern.Pattern{Kind: pattern.KindOrderViolation, Sub: "WR", PCs: []ir.PC{1, 2}}
+	if core.MatchesTruth(p, core.Truth{Kind: pattern.KindAtomicityViolation, Sub: "RWR", PCs: []ir.PC{1, 2, 3}}) {
+		t.Error("kind mismatch matched")
+	}
+	if core.MatchesTruth(nil, core.Truth{}) {
+		t.Error("nil pattern matched")
+	}
+	// Absence flag must be honored.
+	abs := &pattern.Pattern{Kind: pattern.KindOrderViolation, Sub: "RW", PCs: []ir.PC{1, 2}, Absence: true}
+	if core.MatchesTruth(abs, core.Truth{Kind: pattern.KindOrderViolation, Sub: "RW", PCs: []ir.PC{1, 2}}) {
+		t.Error("absence mismatch matched")
+	}
+}
+
+func TestSessionUsesTenSuccessTraces(t *testing.T) {
+	b := corpus.ByID("httpd-4")
+	failInst := b.Build(corpus.Variant{Failing: true})
+	okInst := b.Build(corpus.Variant{Failing: false})
+	sess := core.NewSession(failInst.Mod, okInst.Mod)
+	out, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 failing + up to 10 successful observations feed the F1; with
+	// full accuracy the best score must count 10 clean runs.
+	best := out.Diagnosis.Best
+	if best.PresentOK != 0 {
+		t.Errorf("root-cause pattern present in %d successful runs", best.PresentOK)
+	}
+	if best.PresentFailed != 1 {
+		t.Errorf("root-cause pattern present in %d failing runs, want 1", best.PresentFailed)
+	}
+}

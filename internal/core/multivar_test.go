@@ -1,0 +1,189 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"snorlax/internal/core"
+	"snorlax/internal/corpus"
+	"snorlax/internal/pattern"
+	"snorlax/internal/vm"
+)
+
+func TestExtensionCorpusCensus(t *testing.T) {
+	exts := corpus.Extensions()
+	if len(exts) != 4 {
+		t.Fatalf("extensions = %d, want 4", len(exts))
+	}
+	kinds := map[pattern.Kind]int{}
+	for _, b := range exts {
+		kinds[b.Kind]++
+		if corpus.ByID(b.ID) != nil {
+			t.Errorf("%s: extension leaked into the 54-bug registry", b.ID)
+		}
+	}
+	if kinds[pattern.KindMultiVarAtomicity] != 2 || kinds[pattern.KindOrderViolation] != 2 {
+		t.Errorf("extension kinds = %v", kinds)
+	}
+	if corpus.ExtensionByID("mysql-mv1") == nil {
+		t.Error("ExtensionByID miss")
+	}
+	if corpus.ExtensionByID("nope") != nil {
+		t.Error("ExtensionByID false hit")
+	}
+}
+
+func TestExtensionBugsReproduce(t *testing.T) {
+	for _, b := range corpus.Extensions() {
+		b := b
+		t.Run(b.ID, func(t *testing.T) {
+			inst := b.Build(corpus.Variant{Failing: true})
+			res := vm.Run(inst.Mod, vm.Config{Seed: 1})
+			wantKind := vm.FailCrash
+			if b.ID == "log4j-notify1" {
+				wantKind = vm.FailDeadlock // lost wakeup manifests as a hang
+			}
+			if !res.Failed() || res.Failure.Kind != wantKind {
+				t.Fatalf("want %v, got %v", wantKind, res.Failure)
+			}
+			if b.Kind == pattern.KindMultiVarAtomicity &&
+				!strings.Contains(res.Failure.Msg, "invariant") {
+				t.Errorf("failure msg = %q", res.Failure.Msg)
+			}
+			ok := b.Build(corpus.Variant{Failing: false})
+			if okRes := vm.Run(ok.Mod, vm.Config{Seed: 1}); okRes.Failed() {
+				t.Fatalf("success variant failed: %v", okRes.Failure)
+			}
+		})
+	}
+}
+
+// TestMultiVarDiagnosis is the §7 future-work headline: Lazy
+// Diagnosis extended with multi-anchor pattern computation diagnoses
+// invariants torn across two memory locations.
+func TestMultiVarDiagnosis(t *testing.T) {
+	for _, b := range corpus.Extensions() {
+		if b.Kind != pattern.KindMultiVarAtomicity {
+			continue
+		}
+		b := b
+		t.Run(b.ID, func(t *testing.T) {
+			failInst := b.Build(corpus.Variant{Failing: true})
+			okInst := b.Build(corpus.Variant{Failing: false})
+			sess := core.NewSession(failInst.Mod, okInst.Mod)
+			out, err := sess.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := out.Diagnosis
+			if d.Best.Pattern == nil {
+				t.Fatal("no pattern")
+			}
+			if d.Best.Pattern.Kind != pattern.KindMultiVarAtomicity {
+				t.Fatalf("best = %s, want multivar-atomicity\nscores: %v",
+					d.Best.Pattern.Key(), d.Scores)
+			}
+			if d.Best.F1 != 1.0 || !d.Unique {
+				t.Errorf("F1 = %f unique = %v", d.Best.F1, d.Unique)
+			}
+			truth := core.Truth{Kind: failInst.TruthKind, Sub: failInst.TruthSub,
+				PCs: failInst.TruthPCs}
+			if !core.MatchesTruth(d.Best.Pattern, truth) {
+				t.Errorf("diagnosed %s, truth PCs %v", d.Best.Pattern.Key(), truth.PCs)
+			}
+			if acc := core.OrderingAccuracy(d.Best.Pattern, truth); acc != 100 {
+				t.Errorf("A_O = %.1f", acc)
+			}
+			// The formatted report must name the torn-read structure.
+			text := core.Format(failInst.Mod, d)
+			if !strings.Contains(text, "multivar-atomicity") {
+				t.Errorf("format: %s", text)
+			}
+		})
+	}
+}
+
+func TestExtensionGapCalibration(t *testing.T) {
+	for _, b := range corpus.Extensions() {
+		inst := b.Build(corpus.Variant{Failing: true})
+		gaps, res := corpus.Gaps(inst, 1)
+		if gaps == nil {
+			t.Fatalf("%s: incomplete watch events (%v)", b.ID, res.Failure)
+		}
+		targets := []int64{b.GapNS}
+		if b.GapNS2 > 0 {
+			targets = append(targets, b.GapNS2)
+		}
+		for i, want := range targets {
+			lo, hi := want*6/10, want*14/10
+			if gaps[i] < lo || gaps[i] > hi {
+				t.Errorf("%s: gap %d = %d, want ≈%d", b.ID, i, gaps[i], want)
+			}
+		}
+	}
+}
+
+// TestPropagationDiagnosis is the other §7 future-work case: the
+// failing instruction (and even its direct anchor) is not part of the
+// bug pattern; deep anchoring through the cache store recovers the
+// racy read and diagnoses the true order violation.
+func TestPropagationDiagnosis(t *testing.T) {
+	b := corpus.ExtensionByID("httpd-prop1")
+	failInst := b.Build(corpus.Variant{Failing: true})
+	okInst := b.Build(corpus.Variant{Failing: false})
+	sess := core.NewSession(failInst.Mod, okInst.Mod)
+	out, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := out.Diagnosis
+	if d.Best.Pattern == nil {
+		t.Fatal("no pattern")
+	}
+	truth := core.Truth{Kind: failInst.TruthKind, Sub: failInst.TruthSub,
+		PCs: failInst.TruthPCs}
+	if !core.MatchesTruth(d.Best.Pattern, truth) {
+		t.Fatalf("diagnosed %s (F1=%.2f), truth WR %v; all: %v",
+			d.Best.Pattern.Key(), d.Best.F1, truth.PCs, d.Scores)
+	}
+	if d.Best.F1 != 1.0 || !d.Unique {
+		t.Errorf("F1 = %f unique = %v; scores: %v", d.Best.F1, d.Unique, d.Scores)
+	}
+	// The diagnosed racy read must differ from both the faulting
+	// instruction and its direct anchor.
+	if d.Best.Pattern.PCs[1] == out.Failure.PC || d.Best.Pattern.PCs[1] == d.AnchorPC {
+		t.Error("pattern anchored at the faulting chain, not the racy read")
+	}
+}
+
+// TestLostWakeupDiagnosis covers the condition-variable extension: a
+// hang at a wait is diagnosed as the order violation "notify executed
+// before wait" on the condition variable.
+func TestLostWakeupDiagnosis(t *testing.T) {
+	b := corpus.ExtensionByID("log4j-notify1")
+	failInst := b.Build(corpus.Variant{Failing: true})
+	okInst := b.Build(corpus.Variant{Failing: false})
+	sess := core.NewSession(failInst.Mod, okInst.Mod)
+	out, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := out.Diagnosis
+	if d.Best.Pattern == nil {
+		t.Fatal("no pattern")
+	}
+	truth := core.Truth{Kind: failInst.TruthKind, Sub: failInst.TruthSub,
+		PCs: failInst.TruthPCs}
+	if !core.MatchesTruth(d.Best.Pattern, truth) {
+		t.Fatalf("diagnosed %s, truth WR(notify,wait) %v; all: %v",
+			d.Best.Pattern.Key(), truth.PCs, d.Scores)
+	}
+	if d.Best.F1 != 1.0 || !d.Unique {
+		t.Errorf("F1 = %f unique = %v; scores: %v", d.Best.F1, d.Unique, d.Scores)
+	}
+	// The formatted report points at the notify and the wait.
+	text := core.Format(failInst.Mod, d)
+	if !strings.Contains(text, "notify") || !strings.Contains(text, "wait") {
+		t.Errorf("report does not name the condition operations:\n%s", text)
+	}
+}

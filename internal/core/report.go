@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"snorlax/internal/ir"
+	"snorlax/internal/kendall"
+	"snorlax/internal/pattern"
+)
+
+// Truth is the manually-verified root cause a diagnosis is checked
+// against (§6.1 compares Snorlax's output with developers' fixes).
+type Truth struct {
+	Kind    pattern.Kind
+	Sub     string
+	PCs     []ir.PC
+	Absence bool
+}
+
+// canonicalDeadlockPairs sorts a deadlock pattern's (held, attempt)
+// pairs by held-then-attempt PC, making the cycle's discovery order
+// irrelevant for comparison.
+func canonicalDeadlockPairs(pcsList []ir.PC) []ir.PC {
+	type pair struct{ held, attempt ir.PC }
+	var pairs []pair
+	for i := 0; i+1 < len(pcsList); i += 2 {
+		pairs = append(pairs, pair{pcsList[i], pcsList[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].held != pairs[j].held {
+			return pairs[i].held < pairs[j].held
+		}
+		return pairs[i].attempt < pairs[j].attempt
+	})
+	out := make([]ir.PC, 0, len(pcsList))
+	for _, p := range pairs {
+		out = append(out, p.held, p.attempt)
+	}
+	return out
+}
+
+// MatchesTruth reports whether a pattern is the ground-truth root
+// cause. Deadlock cycles are compared as unordered sets of
+// (held, attempt) pairs.
+func MatchesTruth(p *pattern.Pattern, truth Truth) bool {
+	if p == nil || p.Kind != truth.Kind {
+		return false
+	}
+	got, want := p.PCs, truth.PCs
+	if p.Kind == pattern.KindDeadlock {
+		got = canonicalDeadlockPairs(got)
+		want = canonicalDeadlockPairs(want)
+	} else {
+		if p.Sub != truth.Sub || p.Absence != truth.Absence {
+			return false
+		}
+	}
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OrderingAccuracy computes A_O (§6.1): the normalized Kendall tau
+// agreement between the diagnosed event order and the ground truth,
+// in percent. Deadlock orders are canonicalized first.
+func OrderingAccuracy(p *pattern.Pattern, truth Truth) float64 {
+	if p == nil {
+		return 0
+	}
+	got, want := p.PCs, truth.PCs
+	if p.Kind == pattern.KindDeadlock && truth.Kind == pattern.KindDeadlock {
+		got = canonicalDeadlockPairs(got)
+		want = canonicalDeadlockPairs(want)
+	}
+	return kendall.OrderingAccuracy(got, want)
+}
+
+// Format renders a diagnosis for humans: the verdict, the evidence,
+// and where each event lives in the program.
+func Format(mod *ir.Module, d *Diagnosis) string {
+	var sb strings.Builder
+	if d.Best.Pattern == nil {
+		sb.WriteString("no candidate patterns\n")
+		return sb.String()
+	}
+	p := d.Best.Pattern
+	fmt.Fprintf(&sb, "root cause: %s", p.Kind)
+	if p.Kind != pattern.KindDeadlock {
+		fmt.Fprintf(&sb, " (%s", p.Sub)
+		if p.Absence {
+			sb.WriteString(", failing access first")
+		}
+		sb.WriteString(")")
+	}
+	fmt.Fprintf(&sb, "  F1=%.2f precision=%.2f recall=%.2f", d.Best.F1, d.Best.Precision, d.Best.Recall)
+	if !d.Unique {
+		sb.WriteString("  [tied — manual review needed]")
+	}
+	sb.WriteString("\n")
+	for i, pc := range p.PCs {
+		if pc == ir.NoPC {
+			continue
+		}
+		in := mod.InstrAt(pc)
+		fmt.Fprintf(&sb, "  event %d: pc=%-5d %-30s in %s\n", i+1, pc, in, in.Block())
+	}
+	fmt.Fprintf(&sb, "  analyzed %d/%d instructions (scope restriction %0.1fx), %d candidates, %d patterns\n",
+		d.Stats.ExecutedInstrs, d.Stats.TotalInstrs,
+		float64(d.Stats.TotalInstrs)/float64(max(1, d.Stats.ExecutedInstrs)),
+		d.Stats.Candidates, d.Stats.Patterns)
+	fmt.Fprintf(&sb, "  server-side analysis: %v (points-to %v)\n", d.Stats.TotalTime, d.Stats.PointsToTime)
+	return sb.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

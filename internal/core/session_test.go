@@ -1,0 +1,120 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"snorlax/internal/core"
+	"snorlax/internal/ir"
+	"snorlax/internal/pattern"
+)
+
+// buildErrorPathCrash puts the crash inside error-handling code that
+// successful executions never reach: the null check routes to a `bad`
+// block whose dereference traps. Successful runs take `good`, so the
+// failure PC never executes in them and the session must fall back to
+// tracing at a predecessor block (§4.1).
+func buildErrorPathCrash(t *testing.T, failing bool) *ir.Module {
+	t.Helper()
+	consumerDelay, teardownDelay := 300_000, 100_000
+	if !failing {
+		consumerDelay, teardownDelay = 50_000, 400_000
+	}
+	src := fmt.Sprintf(`
+module errpath
+struct Job {
+  payload: int
+}
+global queue: *Job
+
+func consumer() {
+entry:
+  sleep %d
+  %%j = load @queue
+  %%isnull = eq %%j, 0
+  condbr %%isnull, bad, good
+bad:
+  %%p = fieldaddr %%j, payload
+  %%v = load %%p
+  ret
+good:
+  %%p2 = fieldaddr %%j, payload
+  %%v2 = load %%p2
+  ret
+}
+
+func main() {
+entry:
+  %%j = new Job
+  store %%j, @queue
+  %%t = spawn consumer()
+  sleep %d
+  store null:*Job, @queue
+  join %%t
+  ret
+}
+`, consumerDelay, teardownDelay)
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSessionPredecessorTriggerFallback(t *testing.T) {
+	failMod := buildErrorPathCrash(t, true)
+	okMod := buildErrorPathCrash(t, false)
+	sess := core.NewSession(failMod, okMod)
+	out, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The failure lives in the `bad` block; successful runs never
+	// reach it, so the session must have moved the trigger.
+	failBlock := failMod.InstrAt(out.Failure.PC).Block()
+	if failBlock.Name != "bad" {
+		t.Fatalf("failure in block %s, expected the error path", failBlock.Name)
+	}
+	if out.TriggerPC == out.Failure.PC {
+		t.Error("trigger never fell back from the unreachable failure PC")
+	}
+	trigBlock := failMod.InstrAt(out.TriggerPC).Block()
+	if trigBlock.Name != "entry" {
+		t.Errorf("trigger block = %s, want the predecessor (entry)", trigBlock.Name)
+	}
+	// The true root cause (null store before the consumer's load)
+	// must be among the top-scored patterns.
+	var nullStore, racyLoad ir.PC = ir.NoPC, ir.NoPC
+	failMod.Instrs(func(in ir.Instr) {
+		if s, ok := in.(*ir.StoreInstr); ok {
+			if c, isConst := s.Val.(*ir.Const); isConst && c.Val == 0 && c.Typ.Kind() == ir.KindPtr {
+				nullStore = in.PC()
+			}
+		}
+		if l, ok := in.(*ir.LoadInstr); ok && l.Block().Parent.Name == "consumer" {
+			if _, isGlobal := l.Addr.(*ir.GlobalRef); isGlobal && racyLoad == ir.NoPC {
+				racyLoad = in.PC()
+			}
+		}
+	})
+	truth := core.Truth{Kind: pattern.KindOrderViolation, Sub: "WR",
+		PCs: []ir.PC{nullStore, racyLoad}}
+	found := false
+	for _, s := range out.Diagnosis.Scores {
+		if s.F1 == out.Diagnosis.Scores[0].F1 && core.MatchesTruth(s.Pattern, truth) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("true root cause not among top-scored patterns: %v", out.Diagnosis.Scores)
+	}
+}
+
+func TestSessionNoFailure(t *testing.T) {
+	okMod := buildErrorPathCrash(t, false)
+	sess := core.NewSession(okMod, okMod)
+	sess.Seeds = []int64{1, 2, 3}
+	if _, err := sess.Run(); err == nil {
+		t.Error("session must error when no failure reproduces")
+	}
+}

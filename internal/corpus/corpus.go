@@ -1,0 +1,216 @@
+// Package corpus provides the 54 reproducible concurrency bugs in 13
+// synthetic systems used to evaluate the coarse interleaving
+// hypothesis (§3, Tables 1–3) and the Snorlax pipeline (§6).
+//
+// The paper's study reproduces real bugs in MySQL, Apache httpd,
+// memcached, SQLite, Transmission, pbzip2, aget, the JDK, Derby,
+// Groovy, DBCP, Log4j and Lucene. Those systems and their production
+// traces are not available here, so each bug is a synthetic program
+// (DESIGN.md §2) built from the bug's published archetype — ABBA and
+// ring deadlocks, use-after-free and read-before-init order
+// violations, and RWR/WWR/RWW single-variable atomicity violations —
+// dressed in the host system's domain (connection pools, request
+// workers, cache eviction, …) with inter-event gaps calibrated to the
+// ranges the paper measured (91 µs – 3.5 ms).
+//
+// Every bug builds in two variants with identical instruction layout:
+// a failing variant whose delays force the buggy interleaving and a
+// successful variant whose delays avoid it. Identical layout means
+// identical PCs, so pattern keys carry across variants — exactly the
+// property Snorlax relies on when it collects traces from successful
+// production executions at a previous failure's PC (step 8).
+package corpus
+
+import (
+	"fmt"
+	"sort"
+
+	"snorlax/internal/ir"
+	"snorlax/internal/pattern"
+)
+
+// Lang tags the implementation language of the original system; the
+// Snorlax prototype (§6) evaluates only the C/C++ systems, while the
+// hypothesis study (§3) covers both.
+type Lang int
+
+// The corpus languages.
+const (
+	LangC Lang = iota
+	LangJava
+)
+
+func (l Lang) String() string {
+	if l == LangJava {
+		return "Java"
+	}
+	return "C/C++"
+}
+
+// Variant selects which interleaving a build produces.
+type Variant struct {
+	// Failing selects the delays that force the buggy interleaving.
+	Failing bool
+	// JitterPct scales every designed delay by (100+JitterPct)%,
+	// modeling run-to-run variance; the hypothesis study uses a
+	// different jitter per run to obtain realistic standard
+	// deviations. Range: roughly ±25.
+	JitterPct int64
+}
+
+// Instance is one built bug program plus its ground truth.
+type Instance struct {
+	Mod *ir.Module
+	// TruthKind/TruthSub/TruthPCs describe the manually-verified root
+	// cause: the pattern a correct diagnosis must report.
+	TruthKind pattern.Kind
+	TruthSub  string
+	TruthPCs  []ir.PC
+	// TruthAbsence marks reversed order violations (failing access
+	// first).
+	TruthAbsence bool
+	// WatchPCs are the target instructions instrumented for the ΔT
+	// measurements of Tables 1–3, in pattern order.
+	WatchPCs []ir.PC
+}
+
+// Bug is one corpus entry.
+type Bug struct {
+	// System is the host system's name (lowercase, e.g. "mysql").
+	System string
+	// ID is the synthetic bug-tracker id, e.g. "mysql-1".
+	ID   string
+	Kind pattern.Kind
+	Lang Lang
+	// Eval marks the 11 C/C++ bugs in the Snorlax evaluation set
+	// (§6.1); the remaining bugs participate only in the hypothesis
+	// study.
+	Eval bool
+	// GapNS is the designed inter-event gap (ΔT in Figure 1); for
+	// atomicity violations it is ΔT1, and GapNS2 is ΔT2.
+	GapNS  int64
+	GapNS2 int64
+	// Description explains the injected bug in the host's domain.
+	Description string
+
+	build func(v Variant) *Instance
+}
+
+// Build constructs the bug's program for the given variant.
+func (b *Bug) Build(v Variant) *Instance { return b.build(v) }
+
+func (b *Bug) String() string { return b.ID }
+
+var registry []*Bug
+
+func register(b *Bug) *Bug {
+	for _, old := range registry {
+		if old.ID == b.ID {
+			panic("corpus: duplicate bug id " + b.ID)
+		}
+	}
+	registry = append(registry, b)
+	return b
+}
+
+// All returns every corpus bug, ordered by system then id.
+func All() []*Bug {
+	out := append([]*Bug(nil), registry...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].System != out[j].System {
+			return out[i].System < out[j].System
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// EvalSet returns the bugs in the Snorlax evaluation set (§6).
+func EvalSet() []*Bug {
+	var out []*Bug
+	for _, b := range All() {
+		if b.Eval {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ByID returns the named bug, or nil.
+func ByID(id string) *Bug {
+	for _, b := range registry {
+		if b.ID == id {
+			return b
+		}
+	}
+	return nil
+}
+
+// BySystem returns the bugs of one system.
+func BySystem(system string) []*Bug {
+	var out []*Bug
+	for _, b := range All() {
+		if b.System == system {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ByKind returns the bugs of one kind, ordered.
+func ByKind(kind pattern.Kind) []*Bug {
+	var out []*Bug
+	for _, b := range All() {
+		if b.Kind == kind {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Systems returns the distinct system names, sorted.
+func Systems() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, b := range registry {
+		if !seen[b.System] {
+			seen[b.System] = true
+			out = append(out, b.System)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// scale applies the variant's jitter to a designed delay.
+func scale(ns int64, v Variant) int64 {
+	out := ns * (100 + v.JitterPct) / 100
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+// lastInstr returns the most recently emitted instruction of a block
+// builder — how generators capture the PCs of target instructions.
+func lastInstr(bb *ir.BlockBuilder) ir.Instr {
+	ins := bb.Block().Instrs
+	return ins[len(ins)-1]
+}
+
+// pcs resolves captured instructions to their PCs after Finalize.
+func pcs(ins ...ir.Instr) []ir.PC {
+	out := make([]ir.PC, len(ins))
+	for i, in := range ins {
+		out[i] = in.PC()
+	}
+	return out
+}
+
+func mustBuild(b *ir.Builder, id string) *ir.Module {
+	m, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("corpus: bug %s does not verify: %v", id, err))
+	}
+	return m
+}

@@ -1,0 +1,244 @@
+package corpus
+
+import (
+	"testing"
+
+	"snorlax/internal/ir"
+	"snorlax/internal/pattern"
+	"snorlax/internal/vm"
+)
+
+func TestCorpusCensus(t *testing.T) {
+	all := All()
+	if len(all) != 54 {
+		t.Fatalf("corpus has %d bugs, want 54 (the paper's study size)", len(all))
+	}
+	if got := len(Systems()); got != 13 {
+		t.Errorf("systems = %d, want 13", got)
+	}
+	kinds := map[pattern.Kind]int{}
+	langs := map[Lang]int{}
+	for _, b := range all {
+		kinds[b.Kind]++
+		langs[b.Lang]++
+	}
+	if kinds[pattern.KindDeadlock] != 14 ||
+		kinds[pattern.KindOrderViolation] != 18 ||
+		kinds[pattern.KindAtomicityViolation] != 22 {
+		t.Errorf("kind distribution = %v", kinds)
+	}
+	if langs[LangC] != 29 || langs[LangJava] != 25 {
+		t.Errorf("lang distribution = %v", langs)
+	}
+	if got := len(EvalSet()); got != 11 {
+		t.Errorf("eval set = %d bugs, want 11 (the paper's §6 set)", got)
+	}
+	for _, b := range EvalSet() {
+		if b.Lang != LangC {
+			t.Errorf("%s: eval bug must be C/C++ (Snorlax analyzes clang builds)", b.ID)
+		}
+	}
+}
+
+func TestLookups(t *testing.T) {
+	if ByID("pbzip2-1") == nil {
+		t.Error("ByID(pbzip2-1) missing")
+	}
+	if ByID("nope-0") != nil {
+		t.Error("ByID(nope-0) should be nil")
+	}
+	if got := len(BySystem("mysql")); got != 6 {
+		t.Errorf("mysql bugs = %d, want 6", got)
+	}
+	if got := len(ByKind(pattern.KindDeadlock)); got != 14 {
+		t.Errorf("deadlocks = %d, want 14", got)
+	}
+}
+
+func TestAllBugsReproduceAndVerify(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.ID, func(t *testing.T) {
+			inst := b.Build(Variant{Failing: true})
+			if inst.Mod == nil || !inst.Mod.Finalized() {
+				t.Fatal("module not built/finalized")
+			}
+			res := vm.Run(inst.Mod, vm.Config{Seed: 1})
+			if !res.Failed() {
+				t.Fatal("failing variant did not fail")
+			}
+			wantKind := vm.FailCrash
+			if b.Kind == pattern.KindDeadlock {
+				wantKind = vm.FailDeadlock
+			}
+			if res.Failure.Kind != wantKind {
+				t.Fatalf("failure kind = %v, want %v (%s)", res.Failure.Kind, wantKind, res.Failure.Msg)
+			}
+			if b.Kind == pattern.KindDeadlock && len(res.Failure.DeadlockPCs) == 0 {
+				t.Error("deadlock without cycle PCs")
+			}
+		})
+	}
+}
+
+func TestAllBugsSuccessVariantsSucceed(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.ID, func(t *testing.T) {
+			inst := b.Build(Variant{Failing: false})
+			for seed := int64(1); seed <= 2; seed++ {
+				res := vm.Run(inst.Mod, vm.Config{Seed: seed})
+				if res.Failed() {
+					t.Fatalf("seed %d: success variant failed: %v", seed, res.Failure)
+				}
+			}
+		})
+	}
+}
+
+func TestVariantLayoutInvariance(t *testing.T) {
+	for _, b := range All() {
+		fail := b.Build(Variant{Failing: true})
+		ok := b.Build(Variant{Failing: false, JitterPct: 10})
+		if fail.Mod.NumInstrs() != ok.Mod.NumInstrs() {
+			t.Errorf("%s: instruction count differs across variants: %d vs %d",
+				b.ID, fail.Mod.NumInstrs(), ok.Mod.NumInstrs())
+		}
+		if len(fail.TruthPCs) != len(ok.TruthPCs) {
+			t.Errorf("%s: truth PC count differs", b.ID)
+			continue
+		}
+		for i := range fail.TruthPCs {
+			if fail.TruthPCs[i] != ok.TruthPCs[i] {
+				t.Errorf("%s: truth PC %d differs across variants: %d vs %d",
+					b.ID, i, fail.TruthPCs[i], ok.TruthPCs[i])
+			}
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	b := ByID("mysql-3")
+	m1 := ir.Print(b.Build(Variant{Failing: true}).Mod)
+	m2 := ir.Print(b.Build(Variant{Failing: true}).Mod)
+	if m1 != m2 {
+		t.Error("Build is not deterministic")
+	}
+}
+
+func TestGapCalibration(t *testing.T) {
+	// Every bug's measured inter-event gap must be within 40% of its
+	// designed gap, and never below the paper's 91 µs floor minus
+	// jitter headroom.
+	for _, b := range All() {
+		b := b
+		t.Run(b.ID, func(t *testing.T) {
+			inst := b.Build(Variant{Failing: true})
+			gaps, res := Gaps(inst, 1)
+			if gaps == nil {
+				t.Fatalf("incomplete watch events (failure: %v)", res.Failure)
+			}
+			targets := []int64{b.GapNS}
+			if b.GapNS2 > 0 {
+				targets = append(targets, b.GapNS2)
+			}
+			if len(gaps) < len(targets) {
+				t.Fatalf("measured %d gaps, want >= %d", len(gaps), len(targets))
+			}
+			for i, want := range targets {
+				got := gaps[i]
+				lo, hi := want*6/10, want*14/10
+				if got < lo || got > hi {
+					t.Errorf("gap %d = %dns, want within [%d, %d] (designed %d)",
+						i, got, lo, hi, want)
+				}
+			}
+		})
+	}
+}
+
+func TestMeasureBugStats(t *testing.T) {
+	b := ByID("pbzip2-1")
+	st := MeasureBug(b, 10)
+	if st.Runs < 8 {
+		t.Fatalf("only %d/10 runs measured", st.Runs)
+	}
+	if len(st.Mean) != 1 {
+		t.Fatalf("mean gaps = %v", st.Mean)
+	}
+	if st.Mean[0] < 80_000 || st.Mean[0] > 250_000 {
+		t.Errorf("pbzip2-1 mean gap = %.0fns, designed 140000", st.Mean[0])
+	}
+	if st.Min <= 0 {
+		t.Error("min gap not recorded")
+	}
+	if st.Std[0] < 0 {
+		t.Error("negative std")
+	}
+}
+
+func TestTruthPCsPointAtRightOpcodes(t *testing.T) {
+	for _, b := range All() {
+		inst := b.Build(Variant{Failing: true})
+		for i, pc := range inst.TruthPCs {
+			in := inst.Mod.InstrAt(pc)
+			var okOp bool
+			switch b.Kind {
+			case pattern.KindDeadlock:
+				okOp = in.Op() == ir.OpLock
+			default:
+				okOp = in.Op() == ir.OpLoad || in.Op() == ir.OpStore
+			}
+			if !okOp {
+				t.Errorf("%s: truth PC %d is %s", b.ID, i, in)
+			}
+		}
+		wantLen := map[pattern.Kind]int{
+			pattern.KindOrderViolation:     2,
+			pattern.KindAtomicityViolation: 3,
+		}
+		if b.Kind != pattern.KindDeadlock && len(inst.TruthPCs) != wantLen[b.Kind] {
+			t.Errorf("%s: truth PCs = %d", b.ID, len(inst.TruthPCs))
+		}
+	}
+}
+
+func TestColdCodeDominatesModuleSize(t *testing.T) {
+	// MySQL's module must be much larger than aget's, mirroring the
+	// real systems' size gap that drives the Table 4 speedups.
+	big := ByID("mysql-3").Build(Variant{Failing: true}).Mod.NumInstrs()
+	small := ByID("aget-1").Build(Variant{Failing: true}).Mod.NumInstrs()
+	if big < small*10 {
+		t.Errorf("mysql module (%d instrs) not ≫ aget module (%d instrs)", big, small)
+	}
+}
+
+func TestPerfModulesRun(t *testing.T) {
+	for _, sys := range PerfSystems() {
+		sys := sys
+		t.Run(sys, func(t *testing.T) {
+			mod := Perf(sys, 2, 10)
+			res := vm.Run(mod, vm.Config{Seed: 1})
+			if res.Failed() {
+				t.Fatalf("perf workload failed: %v", res.Failure)
+			}
+			if res.MaxThreads != 3 {
+				t.Errorf("MaxThreads = %d, want 3", res.MaxThreads)
+			}
+		})
+	}
+	if len(PerfSystems()) != 7 {
+		t.Errorf("perf systems = %d, want 7", len(PerfSystems()))
+	}
+}
+
+func TestPerfScalesThreads(t *testing.T) {
+	mod := Perf("memcached", 8, 4)
+	res := vm.Run(mod, vm.Config{Seed: 2})
+	if res.Failed() {
+		t.Fatal(res.Failure)
+	}
+	if res.MaxThreads != 9 {
+		t.Errorf("MaxThreads = %d, want 9", res.MaxThreads)
+	}
+}

@@ -1,0 +1,242 @@
+package corpus
+
+import (
+	"sort"
+
+	"snorlax/internal/ir"
+	"snorlax/internal/pattern"
+)
+
+// Extension bugs exercise capabilities beyond the paper's evaluation —
+// currently the §7 future-work item this reproduction implements:
+// multi-variable atomicity violations. They live in a separate
+// registry so the 54-bug census of the hypothesis study stays exactly
+// the paper's.
+var extensions []*Bug
+
+func registerExt(b *Bug) {
+	for _, old := range extensions {
+		if old.ID == b.ID {
+			panic("corpus: duplicate extension bug id " + b.ID)
+		}
+	}
+	extensions = append(extensions, b)
+}
+
+// Extensions returns the extension bugs, ordered by id.
+func Extensions() []*Bug {
+	out := append([]*Bug(nil), extensions...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ExtensionByID returns the named extension bug, or nil.
+func ExtensionByID(id string) *Bug {
+	for _, b := range extensions {
+		if b.ID == id {
+			return b
+		}
+	}
+	return nil
+}
+
+// genMultiVar builds a multi-variable atomicity violation: an auditor
+// thread reads two locations bound by an invariant (bytes == items ×
+// unit) non-atomically; an updater bumps the second location between
+// the two reads, so the auditor's snapshot is torn and its invariant
+// check trips. The paper's single-variable patterns cannot express
+// this; the diagnosis must produce the MV-RWR triple
+// (read-x, write-y, read-y).
+func genMultiVar(sh shape, gap1, gap2 int64, id string) func(Variant) *Instance {
+	return func(v Variant) *Instance {
+		b := ir.NewBuilder(id)
+		bytesG := b.GlobalInit(sh.Global+"_bytes", ir.Int, 10)
+		itemsG := b.GlobalInit(sh.Global+"_items", ir.Int, 1)
+		busy := addBusy(b)
+
+		auditorB := scale(130_000, v)
+		updaterA := auditorB + scale(gap1, v)
+		if !v.Failing {
+			updaterA = auditorB + scale(gap1, v) + scale(gap2, v) + scale(200_000, v)
+		}
+
+		aud := b.Func(sh.Workers[0], ir.Void)
+		ae := aud.Block("entry")
+		ae.Call(busy.Ref(), ir.ConstInt(sh.Busy))
+		ae.SleepNS(auditorB)
+		x := ae.Load(bytesG)
+		readX := lastInstr(ae)
+		ae.SleepNS(scale(gap1, v) + scale(gap2, v))
+		y := ae.Load(itemsG)
+		readY := lastInstr(ae)
+		expect := ae.Mul(y, ir.ConstInt(10))
+		ae.Assert(ae.Eq(x, expect), "accounting invariant torn: bytes != items*10")
+		ae.RetVoid()
+
+		m := b.Func("main", ir.Void)
+		me := m.Block("entry")
+		tid := me.Spawn(aud.Ref())
+		me.Call(busy.Ref(), ir.ConstInt(sh.Busy))
+		me.SleepNS(updaterA)
+		// The pair update: items first, bytes later. Only the items
+		// write lands between the auditor's two reads.
+		me.Store(ir.ConstInt(2), itemsG)
+		writeY := lastInstr(me)
+		// The bytes write lands only after the auditor's second read
+		// (and in the failing run, after its crash).
+		me.SleepNS(scale(gap2, v) + scale(120_000, v))
+		me.Store(ir.ConstInt(20), bytesG)
+		me.Join(tid)
+		me.RetVoid()
+
+		addCold(b, sh, sh.Cold)
+		mod := mustBuild(b, id)
+		return &Instance{
+			Mod:       mod,
+			TruthKind: pattern.KindMultiVarAtomicity,
+			TruthSub:  "MV-RWR",
+			TruthPCs:  pcs(readX, writeY, readY),
+			WatchPCs:  pcs(readX, writeY, readY),
+		}
+	}
+}
+
+// genPropagation builds the §7 "failing instruction not in the bug
+// pattern" case: the worker reads the racy shared pointer, parks it in
+// a cache slot, and only crashes much later when it reloads the slot
+// and dereferences. Neither the faulting instruction nor its direct
+// anchor (the cache reload) is part of the root-cause pattern — the
+// diagnosis must chase the corrupt value's provenance through the
+// store into the cache back to the racy shared read.
+func genPropagation(sh shape, gap int64, id string) func(Variant) *Instance {
+	return func(v Variant) *Instance {
+		b := ir.NewBuilder(id)
+		st := b.Struct(sh.Struct, ir.Field{Name: sh.Field, Type: ir.Int})
+		shared := b.Global(sh.Global, ir.PtrTo(st))
+		cache := b.Global(sh.Global+"_cached", ir.PtrTo(st))
+		busy := addBusy(b)
+
+		baseA := scale(140_000, v)
+		workerB := baseA + scale(gap, v)
+		if !v.Failing {
+			workerB = scale(40_000, v)
+		}
+
+		w := b.Func(sh.Workers[0], ir.Void)
+		we := w.Block("entry")
+		we.Call(busy.Ref(), ir.ConstInt(sh.Busy))
+		we.SleepNS(workerB)
+		p := we.Load(shared)
+		racyLoad := lastInstr(we)
+		we.Store(p, cache)
+		we.SleepNS(scale(120_000, v))
+		q := we.Load(cache)
+		fa := we.FieldAddr(q, sh.Field)
+		we.Load(fa)
+		we.RetVoid()
+
+		m := b.Func("main", ir.Void)
+		me := m.Block("entry")
+		me.Store(me.New(st), shared)
+		tid := me.Spawn(w.Ref())
+		me.Call(busy.Ref(), ir.ConstInt(sh.Busy))
+		me.SleepNS(baseA)
+		me.Store(ir.Null(ir.PtrTo(st)), shared)
+		nullStore := lastInstr(me)
+		me.Join(tid)
+		me.RetVoid()
+
+		addCold(b, sh, sh.Cold)
+		mod := mustBuild(b, id)
+		return &Instance{
+			Mod:       mod,
+			TruthKind: pattern.KindOrderViolation,
+			TruthSub:  "WR",
+			TruthPCs:  pcs(nullStore, racyLoad),
+			WatchPCs:  pcs(nullStore, racyLoad),
+		}
+	}
+}
+
+// genLostWakeup builds the condition-variable order violation: the
+// producer signals work-available before the flusher starts waiting,
+// so the notify is lost and the flusher hangs forever. The hang
+// anchors at the wait; the diagnosis must report the WR order
+// violation "notify executed before wait" on the condition variable.
+func genLostWakeup(sh shape, gap int64, id string) func(Variant) *Instance {
+	return func(v Variant) *Instance {
+		b := ir.NewBuilder(id)
+		qmu := b.Global(sh.Global+"_qmu", ir.Mutex)
+		qcv := b.Global(sh.Global+"_qcv", ir.Cond)
+		pending := b.Global(sh.Global+"_pending", ir.Int)
+		busy := addBusy(b)
+
+		notifyA := scale(120_000, v)
+		waiterB := notifyA + scale(gap, v)
+		if !v.Failing {
+			waiterB = scale(30_000, v)
+		}
+
+		w := b.Func(sh.Workers[0], ir.Void)
+		we := w.Block("entry")
+		we.Call(busy.Ref(), ir.ConstInt(sh.Busy))
+		we.SleepNS(waiterB)
+		we.Lock(qmu)
+		we.Wait(qmu, qcv)
+		waitInstr := lastInstr(we)
+		p := we.Load(pending)
+		we.Store(we.Sub(p, ir.ConstInt(1)), pending)
+		we.Unlock(qmu)
+		we.RetVoid()
+
+		m := b.Func("main", ir.Void)
+		me := m.Block("entry")
+		tid := me.Spawn(w.Ref())
+		me.Call(busy.Ref(), ir.ConstInt(sh.Busy))
+		me.SleepNS(notifyA)
+		me.Lock(qmu)
+		me.Store(ir.ConstInt(1), pending)
+		me.Notify(qcv)
+		notifyInstr := lastInstr(me)
+		me.Unlock(qmu)
+		me.Join(tid)
+		me.RetVoid()
+
+		addCold(b, sh, sh.Cold)
+		mod := mustBuild(b, id)
+		return &Instance{
+			Mod:       mod,
+			TruthKind: pattern.KindOrderViolation,
+			TruthSub:  "WR",
+			TruthPCs:  pcs(notifyInstr, waitInstr),
+			WatchPCs:  pcs(notifyInstr, waitInstr),
+		}
+	}
+}
+
+func init() {
+	registerExt(&Bug{
+		System: "log4j", ID: "log4j-notify1", Kind: pattern.KindOrderViolation,
+		Lang: LangJava, GapNS: 180_000,
+		Description: "flush thread's condition wait races with the producer's notify; the signal fires first and is lost (hang)",
+		build:       genLostWakeup(shLog4j, 180_000, "log4j-notify1"),
+	})
+	registerExt(&Bug{
+		System: "httpd", ID: "httpd-prop1", Kind: pattern.KindOrderViolation,
+		Lang: LangC, GapNS: 200_000,
+		Description: "connection record freed under a worker that cached the pointer; the crash fires two hops downstream of the race",
+		build:       genPropagation(shHTTPD, 200_000, "httpd-prop1"),
+	})
+	registerExt(&Bug{
+		System: "mysql", ID: "mysql-mv1", Kind: pattern.KindMultiVarAtomicity,
+		Lang: LangC, GapNS: 160_000, GapNS2: 180_000,
+		Description: "table stats reader sees row count updated but byte count stale (multi-variable invariant torn)",
+		build:       genMultiVar(shMySQL, 160_000, 180_000, "mysql-mv1"),
+	})
+	registerExt(&Bug{
+		System: "memcached", ID: "memcached-mv1", Kind: pattern.KindMultiVarAtomicity,
+		Lang: LangC, GapNS: 120_000, GapNS2: 140_000,
+		Description: "stats snapshot reads curr_items and total_bytes non-atomically across an eviction",
+		build:       genMultiVar(shMemcached, 120_000, 140_000, "memcached-mv1"),
+	})
+}

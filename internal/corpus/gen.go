@@ -1,0 +1,611 @@
+package corpus
+
+import (
+	"fmt"
+
+	"snorlax/internal/ir"
+	"snorlax/internal/pattern"
+)
+
+// shape carries the domain dressing and size of a host system: the
+// names give the synthetic bug the vocabulary of the real system
+// (queues, connections, caches, …) and Cold controls how much
+// never-executed library code the module carries — the mass that
+// makes scope restriction (§4.2) and the Table 4 speedups meaningful.
+type shape struct {
+	System string
+	// Struct/Field/Global name the shared state in domain terms.
+	Struct string
+	Field  string
+	Global string
+	// Workers name the racing thread functions.
+	Workers [3]string
+	// Cold is the number of never-executed library functions.
+	Cold int
+	// Busy is the iteration count of the busy() calls threads run
+	// between protocol steps, generating realistic trace traffic.
+	Busy int64
+}
+
+// addBusy defines the busy(n) helper: a branchy compute loop standing
+// in for real per-request work (parsing, hashing, compression).
+func addBusy(b *ir.Builder) *ir.FuncBuilder {
+	f := b.Func("busy", ir.Int)
+	n := f.Param("n", ir.Int)
+	entry := f.Block("entry")
+	loop := f.Block("loop")
+	body := f.Block("body")
+	odd := f.Block("odd")
+	even := f.Block("even")
+	next := f.Block("next")
+	done := f.Block("done")
+
+	acc := entry.Alloca(ir.Int)
+	i := entry.Alloca(ir.Int)
+	entry.Store(ir.ConstInt(0), acc)
+	entry.Store(ir.ConstInt(0), i)
+	entry.Br(loop)
+
+	iv := loop.Load(i)
+	loop.CondBr(loop.Lt(iv, n), body, done)
+
+	r := body.Bin(ir.Rem, body.Load(i), ir.ConstInt(2))
+	body.CondBr(body.Eq(r, ir.ConstInt(1)), odd, even)
+
+	odd.Store(odd.Add(odd.Load(acc), odd.Mul(odd.Load(i), ir.ConstInt(3))), acc)
+	odd.Br(next)
+	even.Store(even.Add(even.Load(acc), ir.ConstInt(7)), acc)
+	even.Br(next)
+
+	next.Store(next.Add(next.Load(i), ir.ConstInt(1)), i)
+	next.Br(loop)
+
+	done.Ret(done.Load(acc))
+	return f
+}
+
+// addCold appends n never-executed library functions plus the cold
+// state they manipulate. They form a call chain with loops, loads and
+// stores so whole-program pointer analysis has real work to do on
+// them — work the hybrid analysis skips.
+func addCold(b *ir.Builder, sh shape, n int) {
+	if n <= 0 {
+		return
+	}
+	st := b.Struct(sh.Struct+"Meta", ir.Field{Name: "refs", Type: ir.Int},
+		ir.Field{Name: "next", Type: ir.PtrTo(ir.Int)})
+	// One pool global per 8 library functions: real libraries have
+	// clustered, not global, aliasing.
+	var pool *ir.GlobalRef
+	var prev *ir.FuncBuilder
+	for i := 0; i < n; i++ {
+		if i%8 == 0 {
+			pool = b.Global(fmt.Sprintf("%s_meta_pool_%d", sh.System, i/8), ir.PtrTo(st))
+		}
+		f := b.Func(fmt.Sprintf("%s_lib_%d", sh.System, i), ir.Int)
+		x := f.Param("x", ir.Int)
+		entry := f.Block("entry")
+		hot := f.Block("work")
+		done := f.Block("done")
+
+		m := entry.New(st)
+		entry.Store(m, pool)
+		myRefs := entry.FieldAddr(m, "refs")
+		entry.CondBr(entry.Lt(x, ir.ConstInt(100)), hot, done)
+
+		p := hot.Load(pool)
+		refs := hot.FieldAddr(p, "refs")
+		hot.Store(hot.Add(hot.Load(refs), x), refs)
+		if prev != nil {
+			r := hot.Call(prev.Ref(), hot.Add(x, ir.ConstInt(1)))
+			hot.Store(r, refs)
+		}
+		hot.Br(done)
+
+		done.Ret(done.Load(myRefs))
+		prev = f
+	}
+}
+
+// addProbe defines and returns a metrics/debug thread that reads the
+// shared slot through a C-style cast — the type punning of the
+// paper's Figure 4. Its accesses alias the slot in the points-to
+// analysis but operate on a mismatched type, so type-based ranking
+// demotes them to rank 2: exactly the candidates ranking exists to
+// deprioritize.
+func addProbe(b *ir.Builder, busy *ir.FuncBuilder, slot *ir.GlobalRef, iters int64) *ir.FuncBuilder {
+	f := b.Func("metrics_probe", ir.Void)
+	entry := f.Block("entry")
+	loop := f.Block("loop")
+	body := f.Block("body")
+	done := f.Block("done")
+
+	i := entry.Alloca(ir.Int)
+	entry.Store(ir.ConstInt(0), i)
+	raw := entry.Cast(slot, ir.PtrTo(ir.Bool))
+	entry.Br(loop)
+
+	iv := loop.Load(i)
+	loop.CondBr(loop.Lt(iv, ir.ConstInt(iters)), body, done)
+
+	v := body.Load(raw)
+	body.Store(v, raw) // benign rewrite: checksum bookkeeping
+	body.Call(busy.Ref(), ir.ConstInt(20))
+	body.SleepNS(40_000)
+	body.Store(body.Add(body.Load(i), ir.ConstInt(1)), i)
+	body.Br(loop)
+
+	done.RetVoid()
+	return f
+}
+
+// genOrderUAF builds a use-after-free order violation (Figure 1.b,
+// write first): the main thread frees/nulls the shared object while a
+// worker still dereferences it. The pbzip2 archetype.
+func genOrderUAF(sh shape, gap int64, id string) func(Variant) *Instance {
+	return func(v Variant) *Instance {
+		b := ir.NewBuilder(id)
+		st := b.Struct(sh.Struct, ir.Field{Name: sh.Field, Type: ir.Int})
+		g := b.Global(sh.Global, ir.PtrTo(st))
+		busy := addBusy(b)
+
+		baseA := scale(150_000, v)
+		workerB := baseA + scale(gap, v)
+		if !v.Failing {
+			workerB = scale(30_000, v)
+		}
+
+		w := b.Func(sh.Workers[0], ir.Void)
+		we := w.Block("entry")
+		we.Call(busy.Ref(), ir.ConstInt(sh.Busy))
+		we.SleepNS(workerB)
+		p := we.Load(g)
+		loadInstr := lastInstr(we)
+		fa := we.FieldAddr(p, sh.Field)
+		we.Load(fa)
+		we.RetVoid()
+
+		probe := addProbe(b, busy, g, 2)
+		m := b.Func("main", ir.Void)
+		me := m.Block("entry")
+		obj := me.New(st)
+		me.Store(me.Add(ir.ConstInt(0), ir.ConstInt(1)), me.FieldAddr(obj, sh.Field))
+		me.Store(obj, g)
+		tid := me.Spawn(w.Ref())
+		ptid := me.Spawn(probe.Ref())
+		me.Call(busy.Ref(), ir.ConstInt(sh.Busy))
+		me.SleepNS(baseA)
+		me.Store(ir.Null(ir.PtrTo(st)), g)
+		nullStore := lastInstr(me)
+		me.Join(tid)
+		me.Join(ptid)
+		me.RetVoid()
+
+		addCold(b, sh, sh.Cold)
+		mod := mustBuild(b, id)
+		return &Instance{
+			Mod:       mod,
+			TruthKind: pattern.KindOrderViolation,
+			TruthSub:  "WR",
+			TruthPCs:  pcs(nullStore, loadInstr),
+			WatchPCs:  pcs(nullStore, loadInstr),
+		}
+	}
+}
+
+// genOrderInit builds a read-before-init order violation (Figure 1.b,
+// read first): a worker consumes a shared pointer before the main
+// thread has published it. The crash surfaces at a later dereference,
+// after the write has also executed, so both target events appear in
+// the failing trace.
+func genOrderInit(sh shape, gap int64, id string) func(Variant) *Instance {
+	return func(v Variant) *Instance {
+		b := ir.NewBuilder(id)
+		st := b.Struct(sh.Struct, ir.Field{Name: sh.Field, Type: ir.Int})
+		g := b.Global(sh.Global, ir.PtrTo(st))
+		busy := addBusy(b)
+
+		baseA := scale(gap, v) + scale(120_000, v)
+		workerB := baseA - scale(gap, v)
+		if !v.Failing {
+			workerB = baseA + scale(gap, v)
+		}
+		deferNS := scale(gap, v)*2 + scale(100_000, v)
+
+		w := b.Func(sh.Workers[0], ir.Void)
+		we := w.Block("entry")
+		we.Call(busy.Ref(), ir.ConstInt(sh.Busy))
+		we.SleepNS(workerB)
+		p := we.Load(g)
+		loadInstr := lastInstr(we)
+		we.SleepNS(deferNS)
+		fa := we.FieldAddr(p, sh.Field)
+		we.Load(fa)
+		we.RetVoid()
+
+		m := b.Func("main", ir.Void)
+		me := m.Block("entry")
+		tid := me.Spawn(w.Ref())
+		me.Call(busy.Ref(), ir.ConstInt(sh.Busy))
+		me.SleepNS(baseA)
+		obj := me.New(st)
+		me.Store(obj, g)
+		initStore := lastInstr(me)
+		me.Join(tid)
+		me.RetVoid()
+
+		addCold(b, sh, sh.Cold)
+		mod := mustBuild(b, id)
+		return &Instance{
+			Mod:          mod,
+			TruthKind:    pattern.KindOrderViolation,
+			TruthSub:     "RW",
+			TruthPCs:     pcs(loadInstr, initStore),
+			TruthAbsence: true,
+			WatchPCs:     pcs(loadInstr, initStore),
+		}
+	}
+}
+
+// genDeadlockABBA builds the two-lock two-thread deadlock of
+// Figure 1.a on two global locks.
+func genDeadlockABBA(sh shape, gap int64, id string) func(Variant) *Instance {
+	return func(v Variant) *Instance {
+		b := ir.NewBuilder(id)
+		l1 := b.Global(sh.Global+"_lock", ir.Mutex)
+		l2 := b.Global(sh.Global+"_log_lock", ir.Mutex)
+		busy := addBusy(b)
+
+		hold1 := scale(250_000, v)
+		stagger := scale(30_000, v)
+		hold2 := hold1 + scale(gap, v) - stagger
+		if !v.Failing {
+			// The second worker starts only after the first has fully
+			// released both locks (generously past its busy phase).
+			hold1, hold2 = 1, 1
+			stagger = scale(500_000, v)
+		}
+
+		mkWorker := func(name string, first, second *ir.GlobalRef, start, hold int64) (*ir.FuncBuilder, ir.Instr, ir.Instr) {
+			f := b.Func(name, ir.Void)
+			e := f.Block("entry")
+			e.SleepNS(start)
+			e.Lock(first)
+			held := lastInstr(e)
+			e.Call(busy.Ref(), ir.ConstInt(sh.Busy))
+			e.SleepNS(hold)
+			e.Lock(second)
+			attempt := lastInstr(e)
+			e.Unlock(second)
+			e.Unlock(first)
+			e.RetVoid()
+			return f, held, attempt
+		}
+		w1, held1, att1 := mkWorker(sh.Workers[0], l1, l2, 1, hold1)
+		w2, held2, att2 := mkWorker(sh.Workers[1], l2, l1, stagger, hold2)
+
+		m := b.Func("main", ir.Void)
+		me := m.Block("entry")
+		t1 := me.Spawn(w1.Ref())
+		t2 := me.Spawn(w2.Ref())
+		me.Join(t1)
+		me.Join(t2)
+		me.RetVoid()
+
+		addCold(b, sh, sh.Cold)
+		mod := mustBuild(b, id)
+		return &Instance{
+			Mod:       mod,
+			TruthKind: pattern.KindDeadlock,
+			TruthSub:  "DL2",
+			TruthPCs:  pcs(held1, att1, held2, att2),
+			WatchPCs:  pcs(att1, att2),
+		}
+	}
+}
+
+// genDeadlockStruct builds the ABBA deadlock through a shared
+// transfer(from, to) routine locking mutexes embedded in heap
+// objects — both threads block at the same static lock instruction,
+// exercising the points-to analysis across call sites.
+func genDeadlockStruct(sh shape, gap int64, id string) func(Variant) *Instance {
+	return func(v Variant) *Instance {
+		b := ir.NewBuilder(id)
+		st := b.Struct(sh.Struct,
+			ir.Field{Name: "guard", Type: ir.Mutex},
+			ir.Field{Name: sh.Field, Type: ir.Int})
+		ga := b.Global(sh.Global+"_a", ir.PtrTo(st))
+		gb := b.Global(sh.Global+"_b", ir.PtrTo(st))
+		busy := addBusy(b)
+
+		hold1 := scale(300_000, v)
+		stagger := scale(40_000, v)
+		hold2 := hold1 + scale(gap, v) - stagger
+		if !v.Failing {
+			hold1, hold2 = 1, 1
+			stagger = scale(500_000, v)
+		}
+
+		tr := b.Func("transfer", ir.Void)
+		from := tr.Param("from", ir.PtrTo(st))
+		to := tr.Param("to", ir.PtrTo(st))
+		hold := tr.Param("hold", ir.Int)
+		te := tr.Block("entry")
+		fm := te.FieldAddr(from, "guard")
+		te.Lock(fm)
+		held := lastInstr(te)
+		te.Call(busy.Ref(), ir.ConstInt(sh.Busy))
+		te.Sleep(hold)
+		tm := te.FieldAddr(to, "guard")
+		te.Lock(tm)
+		attempt := lastInstr(te)
+		bal := te.FieldAddr(to, sh.Field)
+		te.Store(te.Add(te.Load(bal), ir.ConstInt(10)), bal)
+		te.Unlock(tm)
+		te.Unlock(fm)
+		te.RetVoid()
+
+		mkWorker := func(name string, x, y *ir.GlobalRef, start, holdNS int64) *ir.FuncBuilder {
+			f := b.Func(name, ir.Void)
+			e := f.Block("entry")
+			e.SleepNS(start)
+			px := e.Load(x)
+			py := e.Load(y)
+			e.Call(tr.Ref(), px, py, ir.ConstInt(holdNS))
+			e.RetVoid()
+			return f
+		}
+		w1 := mkWorker(sh.Workers[0], ga, gb, 1, hold1)
+		w2 := mkWorker(sh.Workers[1], gb, ga, stagger, hold2)
+
+		m := b.Func("main", ir.Void)
+		me := m.Block("entry")
+		me.Store(me.New(st), ga)
+		me.Store(me.New(st), gb)
+		t1 := me.Spawn(w1.Ref())
+		t2 := me.Spawn(w2.Ref())
+		me.Join(t1)
+		me.Join(t2)
+		me.RetVoid()
+
+		addCold(b, sh, sh.Cold)
+		mod := mustBuild(b, id)
+		return &Instance{
+			Mod:       mod,
+			TruthKind: pattern.KindDeadlock,
+			TruthSub:  "DL2",
+			TruthPCs:  pcs(held, attempt, held, attempt),
+			WatchPCs:  pcs(attempt, attempt),
+		}
+	}
+}
+
+// genDeadlockRing builds a three-thread circular deadlock: worker i
+// holds lock i and wants lock (i+1) mod 3.
+func genDeadlockRing(sh shape, gap int64, id string) func(Variant) *Instance {
+	return func(v Variant) *Instance {
+		b := ir.NewBuilder(id)
+		locks := []*ir.GlobalRef{
+			b.Global(sh.Global+"_l0", ir.Mutex),
+			b.Global(sh.Global+"_l1", ir.Mutex),
+			b.Global(sh.Global+"_l2", ir.Mutex),
+		}
+		busy := addBusy(b)
+
+		base := scale(300_000, v)
+		var helds, attempts [3]ir.Instr
+		var workers [3]*ir.FuncBuilder
+		for i := 0; i < 3; i++ {
+			start := int64(1) + int64(i)*scale(25_000, v)
+			hold := base + int64(i)*scale(gap, v) - start
+			if !v.Failing {
+				hold = 1
+				start = int64(1) + int64(i)*scale(600_000, v)
+			}
+			f := b.Func(sh.Workers[i], ir.Void)
+			e := f.Block("entry")
+			e.SleepNS(start)
+			e.Lock(locks[i])
+			helds[i] = lastInstr(e)
+			e.Call(busy.Ref(), ir.ConstInt(sh.Busy))
+			e.SleepNS(hold)
+			e.Lock(locks[(i+1)%3])
+			attempts[i] = lastInstr(e)
+			e.Unlock(locks[(i+1)%3])
+			e.Unlock(locks[i])
+			e.RetVoid()
+			workers[i] = f
+		}
+
+		m := b.Func("main", ir.Void)
+		me := m.Block("entry")
+		var tids [3]*ir.Reg
+		for i := 0; i < 3; i++ {
+			tids[i] = me.Spawn(workers[i].Ref())
+		}
+		for i := 0; i < 3; i++ {
+			me.Join(tids[i])
+		}
+		me.RetVoid()
+
+		addCold(b, sh, sh.Cold)
+		mod := mustBuild(b, id)
+		return &Instance{
+			Mod:       mod,
+			TruthKind: pattern.KindDeadlock,
+			TruthSub:  "DL3",
+			TruthPCs: pcs(helds[0], attempts[0], helds[1], attempts[1],
+				helds[2], attempts[2]),
+			WatchPCs: pcs(attempts[0], attempts[1], attempts[2]),
+		}
+	}
+}
+
+// genAtomRWR builds a check-then-use atomicity violation: the worker
+// validates the shared pointer, another thread nulls it, the worker
+// uses it.
+func genAtomRWR(sh shape, gap1, gap2 int64, id string) func(Variant) *Instance {
+	return func(v Variant) *Instance {
+		b := ir.NewBuilder(id)
+		st := b.Struct(sh.Struct, ir.Field{Name: sh.Field, Type: ir.Int})
+		g := b.Global(sh.Global, ir.PtrTo(st))
+		busy := addBusy(b)
+
+		workerB := scale(120_000, v)
+		mainA := workerB + scale(gap1, v)
+		if !v.Failing {
+			mainA = workerB + scale(gap1, v) + scale(gap2, v) + scale(150_000, v)
+		}
+
+		w := b.Func(sh.Workers[0], ir.Void)
+		we := w.Block("entry")
+		cont := w.Block("use")
+		skip := w.Block("empty")
+		we.Call(busy.Ref(), ir.ConstInt(sh.Busy))
+		we.SleepNS(workerB)
+		p1 := we.Load(g)
+		checkLoad := lastInstr(we)
+		we.CondBr(we.Eq(p1, ir.ConstInt(0)), skip, cont)
+		skip.RetVoid()
+		cont.SleepNS(scale(gap1, v) + scale(gap2, v))
+		p2 := cont.Load(g)
+		useLoad := lastInstr(cont)
+		fa := cont.FieldAddr(p2, sh.Field)
+		cont.Load(fa)
+		cont.RetVoid()
+
+		probe := addProbe(b, busy, g, 2)
+		m := b.Func("main", ir.Void)
+		me := m.Block("entry")
+		me.Store(me.New(st), g)
+		tid := me.Spawn(w.Ref())
+		ptid := me.Spawn(probe.Ref())
+		me.Call(busy.Ref(), ir.ConstInt(sh.Busy))
+		me.SleepNS(mainA)
+		me.Store(ir.Null(ir.PtrTo(st)), g)
+		nullStore := lastInstr(me)
+		me.Join(tid)
+		me.Join(ptid)
+		me.RetVoid()
+
+		addCold(b, sh, sh.Cold)
+		mod := mustBuild(b, id)
+		return &Instance{
+			Mod:       mod,
+			TruthKind: pattern.KindAtomicityViolation,
+			TruthSub:  "RWR",
+			TruthPCs:  pcs(checkLoad, nullStore, useLoad),
+			WatchPCs:  pcs(checkLoad, nullStore, useLoad),
+		}
+	}
+}
+
+// genAtomWWR builds a lost-reservation atomicity violation: the
+// worker writes its claim, another thread overwrites it, the worker
+// rereads and asserts its claim survived.
+func genAtomWWR(sh shape, gap1, gap2 int64, id string) func(Variant) *Instance {
+	return func(v Variant) *Instance {
+		b := ir.NewBuilder(id)
+		slot := b.Global(sh.Global+"_owner", ir.Int)
+		busy := addBusy(b)
+
+		workerB := scale(100_000, v)
+		mainA := workerB + scale(gap1, v)
+		if !v.Failing {
+			mainA = workerB + scale(gap1, v) + scale(gap2, v) + scale(200_000, v)
+		}
+
+		w := b.Func(sh.Workers[0], ir.Void)
+		we := w.Block("entry")
+		we.Call(busy.Ref(), ir.ConstInt(sh.Busy))
+		we.SleepNS(workerB)
+		we.Store(ir.ConstInt(7), slot)
+		claim := lastInstr(we)
+		we.SleepNS(scale(gap1, v) + scale(gap2, v))
+		got := we.Load(slot)
+		reread := lastInstr(we)
+		we.Assert(we.Eq(got, ir.ConstInt(7)), "claim overwritten")
+		we.RetVoid()
+
+		probe := addProbe(b, busy, slot, 2)
+		m := b.Func("main", ir.Void)
+		me := m.Block("entry")
+		tid := me.Spawn(w.Ref())
+		ptid := me.Spawn(probe.Ref())
+		me.Call(busy.Ref(), ir.ConstInt(sh.Busy))
+		me.SleepNS(mainA)
+		me.Store(ir.ConstInt(99), slot)
+		steal := lastInstr(me)
+		me.Join(tid)
+		me.Join(ptid)
+		me.RetVoid()
+
+		addCold(b, sh, sh.Cold)
+		mod := mustBuild(b, id)
+		return &Instance{
+			Mod:       mod,
+			TruthKind: pattern.KindAtomicityViolation,
+			TruthSub:  "WWR",
+			TruthPCs:  pcs(claim, steal, reread),
+			WatchPCs:  pcs(claim, steal, reread),
+		}
+	}
+}
+
+// genAtomStaleWrite builds an atomicity violation whose failure is a
+// store through a stale pointer: the worker reads the shared cell,
+// another thread nulls it, the worker reloads and writes through the
+// now-null pointer. The crash is at the store, but its corrupt
+// pointer's provenance anchors the diagnosis at the reload — so the
+// ground-truth pattern is the RWR triple on the cell, exactly as the
+// paper's Figure 6 reasons about read-anchored failures.
+func genAtomStaleWrite(sh shape, gap1, gap2 int64, id string) func(Variant) *Instance {
+	return func(v Variant) *Instance {
+		b := ir.NewBuilder(id)
+		cell := b.Global(sh.Global+"_cell", ir.PtrTo(ir.Int))
+		busy := addBusy(b)
+
+		workerB := scale(110_000, v)
+		mainA := workerB + scale(gap1, v)
+		if !v.Failing {
+			mainA = workerB + scale(gap1, v) + scale(gap2, v) + scale(180_000, v)
+		}
+
+		w := b.Func(sh.Workers[0], ir.Void)
+		we := w.Block("entry")
+		cont := w.Block("flush")
+		skip := w.Block("empty")
+		we.Call(busy.Ref(), ir.ConstInt(sh.Busy))
+		we.SleepNS(workerB)
+		p1 := we.Load(cell)
+		firstLoad := lastInstr(we)
+		we.CondBr(we.Eq(p1, ir.ConstInt(0)), skip, cont)
+		skip.RetVoid()
+		cont.SleepNS(scale(gap1, v) + scale(gap2, v))
+		p2 := cont.Load(cell)
+		reload := lastInstr(cont)
+		cont.Store(ir.ConstInt(7), p2)
+		cont.RetVoid()
+
+		m := b.Func("main", ir.Void)
+		me := m.Block("entry")
+		me.Store(me.New(ir.Int), cell)
+		tid := me.Spawn(w.Ref())
+		me.Call(busy.Ref(), ir.ConstInt(sh.Busy))
+		me.SleepNS(mainA)
+		me.Store(ir.Null(ir.PtrTo(ir.Int)), cell)
+		nullStore := lastInstr(me)
+		me.Join(tid)
+		me.RetVoid()
+
+		addCold(b, sh, sh.Cold)
+		mod := mustBuild(b, id)
+		return &Instance{
+			Mod:       mod,
+			TruthKind: pattern.KindAtomicityViolation,
+			TruthSub:  "RWR",
+			TruthPCs:  pcs(firstLoad, nullStore, reload),
+			WatchPCs:  pcs(firstLoad, nullStore, reload),
+		}
+	}
+}

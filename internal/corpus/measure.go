@@ -1,0 +1,125 @@
+package corpus
+
+import (
+	"math"
+
+	"snorlax/internal/ir"
+	"snorlax/internal/vm"
+)
+
+// Gaps executes an instance while timestamping its target
+// instructions (the §3.2 methodology: timestamps injected as
+// immediate predecessors of target instructions) and returns the time
+// elapsed between consecutive target events, in watch order.
+//
+// The first watch event per PC is used: for a blocked lock attempt
+// the first execution is the attempt that blocked; loads and stores
+// in the corpus execute their target instance exactly once.
+//
+// For deadlocks the returned slice holds ΔT between successive lock
+// attempts (Figure 1.a); for order violations one ΔT (Figure 1.b);
+// for atomicity violations ΔT1 and ΔT2 (Figure 1.c). The vm.Result is
+// returned so callers can check the failure outcome.
+func Gaps(inst *Instance, seed int64) ([]int64, *vm.Result) {
+	watch := make(map[ir.PC]bool, len(inst.WatchPCs))
+	for _, pc := range inst.WatchPCs {
+		watch[pc] = true
+	}
+	res := vm.Run(inst.Mod, vm.Config{Seed: seed, WatchPCs: watch})
+
+	// First occurrence per (PC, thread): a watch PC may be the same
+	// static instruction executed by several threads (e.g. both sides
+	// of a deadlock blocking in one shared routine).
+	type key struct {
+		pc  ir.PC
+		tid int
+	}
+	seen := make(map[key]bool)
+	perPC := make(map[ir.PC][]int64)
+	for _, ev := range res.Watch {
+		k := key{ev.PC, ev.Thread}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		perPC[ev.PC] = append(perPC[ev.PC], ev.Time)
+	}
+	cursor := make(map[ir.PC]int)
+	var times []int64
+	for _, pc := range inst.WatchPCs {
+		evs := perPC[pc]
+		i := cursor[pc]
+		if i >= len(evs) {
+			return nil, res
+		}
+		cursor[pc] = i + 1
+		times = append(times, evs[i])
+	}
+	gaps := make([]int64, 0, len(times)-1)
+	for i := 1; i < len(times); i++ {
+		d := times[i] - times[i-1]
+		if d < 0 {
+			d = -d
+		}
+		gaps = append(gaps, d)
+	}
+	return gaps, res
+}
+
+// GapStats aggregates Gaps over several runs with per-run jitter,
+// mirroring the paper's 10-run averages with standard deviations.
+type GapStats struct {
+	// Mean and Std are per gap position (ΔT, or ΔT1/ΔT2).
+	Mean []float64
+	Std  []float64
+	// Min is the smallest single gap observed anywhere.
+	Min int64
+	// Runs is the number of successful measurements.
+	Runs int
+}
+
+// MeasureBug reproduces a bug `runs` times with varying jitter and
+// returns gap statistics. Runs whose watch events are incomplete
+// (the failure preempted a target instruction) are skipped.
+func MeasureBug(b *Bug, runs int) GapStats {
+	jitters := []int64{0, 8, -7, 15, -12, 21, -18, 5, -3, 12, -9, 18}
+	var all [][]int64
+	min := int64(0)
+	for r := 0; r < runs; r++ {
+		inst := b.Build(Variant{Failing: true, JitterPct: jitters[r%len(jitters)]})
+		gaps, _ := Gaps(inst, int64(r)+1)
+		if gaps == nil {
+			continue
+		}
+		all = append(all, gaps)
+		for _, g := range gaps {
+			if min == 0 || g < min {
+				min = g
+			}
+		}
+	}
+	st := GapStats{Min: min, Runs: len(all)}
+	if len(all) == 0 {
+		return st
+	}
+	nGaps := len(all[0])
+	st.Mean = make([]float64, nGaps)
+	st.Std = make([]float64, nGaps)
+	for i := 0; i < nGaps; i++ {
+		var sum float64
+		for _, gaps := range all {
+			sum += float64(gaps[i])
+		}
+		mean := sum / float64(len(all))
+		var varSum float64
+		for _, gaps := range all {
+			d := float64(gaps[i]) - mean
+			varSum += d * d
+		}
+		st.Mean[i] = mean
+		if len(all) > 1 {
+			st.Std[i] = math.Sqrt(varSum / float64(len(all)-1))
+		}
+	}
+	return st
+}

@@ -1,0 +1,111 @@
+package corpus
+
+import (
+	"fmt"
+	"sort"
+
+	"snorlax/internal/ir"
+)
+
+// perfProfile shapes a system's throughput workload for the overhead
+// experiments (Figures 8 and 9): compute-bound systems (pbzip2) run
+// long branchy bursts between rare waits; I/O-bound servers (httpd,
+// memcached) alternate short bursts with longer waits. Branch density
+// is what drives control-flow-tracing overhead, so the profile
+// determines where each system lands in Figure 8.
+type perfProfile struct {
+	shape shape
+	// BusyPerOp is the busy() iteration count per operation.
+	BusyPerOp int64
+	// WaitNS is the simulated I/O wait per operation.
+	WaitNS int64
+	// LockEvery takes the stats lock once per this many operations.
+	LockEvery int64
+}
+
+var perfProfiles = map[string]perfProfile{
+	"mysql":        {shape: shMySQL, BusyPerOp: 260, WaitNS: 60_000, LockEvery: 2},
+	"httpd":        {shape: shHTTPD, BusyPerOp: 180, WaitNS: 80_000, LockEvery: 3},
+	"memcached":    {shape: shMemcached, BusyPerOp: 140, WaitNS: 40_000, LockEvery: 1},
+	"sqlite":       {shape: shSQLite, BusyPerOp: 240, WaitNS: 70_000, LockEvery: 2},
+	"transmission": {shape: shTransmission, BusyPerOp: 200, WaitNS: 90_000, LockEvery: 4},
+	"pbzip2":       {shape: shPbzip2, BusyPerOp: 900, WaitNS: 8_000, LockEvery: 8},
+	"aget":         {shape: shAget, BusyPerOp: 160, WaitNS: 100_000, LockEvery: 4},
+}
+
+// PerfSystems returns the C/C++ systems with throughput workloads
+// (the Figure 8 benchmark set), sorted.
+func PerfSystems() []string {
+	out := make([]string, 0, len(perfProfiles))
+	for name := range perfProfiles {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Perf builds the throughput workload of one system: `threads` worker
+// threads each performing `ops` operations (busy compute + simulated
+// I/O wait + occasional shared-stats locking). The module is
+// bug-free; it exists to measure tracing overhead.
+func Perf(system string, threads, ops int) *ir.Module {
+	prof, ok := perfProfiles[system]
+	if !ok {
+		panic("corpus: no perf profile for " + system)
+	}
+	sh := prof.shape
+	id := fmt.Sprintf("%s-perf-t%d", system, threads)
+	b := ir.NewBuilder(id)
+	statsMu := b.Global("stats_lock", ir.Mutex)
+	opsDone := b.Global("ops_done", ir.Int)
+	busy := addBusy(b)
+
+	w := b.Func("op_worker", ir.Void)
+	n := w.Param("n", ir.Int)
+	entry := w.Block("entry")
+	loop := w.Block("loop")
+	body := w.Block("body")
+	stats := w.Block("stats")
+	skip := w.Block("skip")
+	done := w.Block("done")
+
+	i := entry.Alloca(ir.Int)
+	entry.Store(ir.ConstInt(0), i)
+	entry.Br(loop)
+
+	iv := loop.Load(i)
+	loop.CondBr(loop.Lt(iv, n), body, done)
+
+	body.Call(busy.Ref(), ir.ConstInt(prof.BusyPerOp))
+	body.SleepNS(prof.WaitNS)
+	rem := body.Bin(ir.Rem, body.Load(i), ir.ConstInt(prof.LockEvery))
+	body.CondBr(body.Eq(rem, ir.ConstInt(0)), stats, skip)
+
+	stats.Lock(statsMu)
+	stats.Store(stats.Add(stats.Load(opsDone), ir.ConstInt(1)), opsDone)
+	stats.Unlock(statsMu)
+	stats.Br(skip)
+
+	skip.Store(skip.Add(skip.Load(i), ir.ConstInt(1)), i)
+	skip.Br(loop)
+
+	done.RetVoid()
+
+	m := b.Func("main", ir.Void)
+	me := m.Block("entry")
+	tids := make([]*ir.Reg, threads)
+	for t := 0; t < threads; t++ {
+		tids[t] = me.Spawn(w.Ref(), ir.ConstInt(int64(ops)))
+	}
+	for _, tid := range tids {
+		me.Join(tid)
+	}
+	me.RetVoid()
+
+	addCold(b, sh, sh.Cold/4)
+	mod, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("corpus: perf module %s does not verify: %v", id, err))
+	}
+	return mod
+}

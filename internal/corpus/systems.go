@@ -1,0 +1,273 @@
+package corpus
+
+import "snorlax/internal/pattern"
+
+// The 13 host systems of the paper's study (§3.2), with domain
+// vocabulary for the synthetic bugs and a cold-code mass proportional
+// to the real system's size (MySQL 650 KLOC … aget 842 LOC).
+var (
+	shMySQL = shape{System: "mysql", Struct: "TableCache", Field: "rows",
+		Global: "open_tables", Workers: [3]string{"insert_worker", "purge_worker", "repl_worker"},
+		Cold: 320, Busy: 60}
+	shHTTPD = shape{System: "httpd", Struct: "ConnRec", Field: "reqs",
+		Global: "active_conns", Workers: [3]string{"worker_thread", "listener_thread", "cleanup_thread"},
+		Cold: 150, Busy: 60}
+	shMemcached = shape{System: "memcached", Struct: "ItemCache", Field: "hits",
+		Global: "lru_head", Workers: [3]string{"get_worker", "evict_worker", "flush_worker"},
+		Cold: 25, Busy: 60}
+	shSQLite = shape{System: "sqlite", Struct: "BtCursor", Field: "page",
+		Global: "shared_cache", Workers: [3]string{"reader_thread", "writer_thread", "checkpoint_thread"},
+		Cold: 90, Busy: 60}
+	shTransmission = shape{System: "transmission", Struct: "Torrent", Field: "pieces",
+		Global: "active_torrent", Workers: [3]string{"peer_worker", "tracker_worker", "verify_worker"},
+		Cold: 60, Busy: 60}
+	shPbzip2 = shape{System: "pbzip2", Struct: "BlockQueue", Field: "size",
+		Global: "fifo", Workers: [3]string{"consumer_thread", "producer_thread", "writer_thread"},
+		Cold: 10, Busy: 60}
+	shAget = shape{System: "aget", Struct: "Segment", Field: "offset",
+		Global: "download_state", Workers: [3]string{"http_worker", "resume_worker", "signal_worker"},
+		Cold: 6, Busy: 60}
+	shJDK = shape{System: "jdk", Struct: "BufferState", Field: "pos",
+		Global: "shared_buffer", Workers: [3]string{"io_thread", "gc_thread", "finalizer_thread"},
+		Cold: 200, Busy: 60}
+	shDerby = shape{System: "derby", Struct: "TxnTable", Field: "xid",
+		Global: "txn_registry", Workers: [3]string{"commit_thread", "abort_thread", "lock_manager"},
+		Cold: 120, Busy: 60}
+	shGroovy = shape{System: "groovy", Struct: "ClassInfo", Field: "version",
+		Global: "class_registry", Workers: [3]string{"compile_thread", "reload_thread", "meta_thread"},
+		Cold: 80, Busy: 60}
+	shDBCP = shape{System: "dbcp", Struct: "PooledConn", Field: "uses",
+		Global: "conn_pool", Workers: [3]string{"borrow_thread", "return_thread", "evictor_thread"},
+		Cold: 40, Busy: 60}
+	shLog4j = shape{System: "log4j", Struct: "Appender", Field: "events",
+		Global: "root_logger", Workers: [3]string{"append_thread", "config_thread", "flush_thread"},
+		Cold: 50, Busy: 60}
+	shLucene = shape{System: "lucene", Struct: "IndexReader", Field: "docs",
+		Global: "segment_infos", Workers: [3]string{"search_thread", "merge_thread", "commit_thread"},
+		Cold: 70, Busy: 60}
+)
+
+func reg(sh shape, n int, kind pattern.Kind, lang Lang, eval bool,
+	gap, gap2 int64, desc string, build func(Variant) *Instance) {
+	register(&Bug{
+		System:      sh.System,
+		ID:          sh.System + "-" + itoa(n),
+		Kind:        kind,
+		Lang:        lang,
+		Eval:        eval,
+		GapNS:       gap,
+		GapNS2:      gap2,
+		Description: desc,
+		build:       build,
+	})
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+const (
+	dl = pattern.KindDeadlock
+	ov = pattern.KindOrderViolation
+	av = pattern.KindAtomicityViolation
+)
+
+func init() {
+	// MySQL — 6 bugs (650 KLOC host; biggest cold mass).
+	reg(shMySQL, 1, dl, LangC, true, 480_000, 0,
+		"lock-order inversion between table-cache and binlog mutexes during concurrent INSERT and replication flush",
+		genDeadlockStruct(shMySQL, 480_000, "mysql-1"))
+	reg(shMySQL, 2, dl, LangC, false, 900_000, 0,
+		"three-way cycle among purge, insert and replication threads over dictionary locks",
+		genDeadlockRing(shMySQL, 900_000, "mysql-2"))
+	reg(shMySQL, 3, ov, LangC, true, 350_000, 0,
+		"purge thread frees a table-cache entry still referenced by an in-flight query",
+		genOrderUAF(shMySQL, 350_000, "mysql-3"))
+	reg(shMySQL, 4, ov, LangC, false, 260_000, 0,
+		"replication worker consumes the relay-log descriptor before the coordinator publishes it",
+		genOrderInit(shMySQL, 260_000, "mysql-4"))
+	reg(shMySQL, 5, av, LangC, false, 180_000, 200_000,
+		"query cache validity check races with invalidation between check and use",
+		genAtomRWR(shMySQL, 180_000, 200_000, "mysql-5"))
+	reg(shMySQL, 6, av, LangC, false, 240_000, 300_000,
+		"thread registers itself in the processlist, a concurrent KILL overwrites the slot before the self-check",
+		genAtomWWR(shMySQL, 240_000, 300_000, "mysql-6"))
+
+	// Apache httpd — 5 bugs.
+	reg(shHTTPD, 1, dl, LangC, false, 420_000, 0,
+		"ABBA inversion between the scoreboard mutex and the accept mutex at graceful restart",
+		genDeadlockABBA(shHTTPD, 420_000, "httpd-1"))
+	reg(shHTTPD, 2, ov, LangC, false, 550_000, 0,
+		"cleanup thread tears down a connection record a worker is still serving",
+		genOrderUAF(shHTTPD, 550_000, "httpd-2"))
+	reg(shHTTPD, 3, ov, LangC, true, 200_000, 0,
+		"worker reads the per-child config pointer before the listener finishes initialization",
+		genOrderInit(shHTTPD, 200_000, "httpd-3"))
+	reg(shHTTPD, 4, av, LangC, true, 150_000, 160_000,
+		"keep-alive check races with connection close between the check and the reuse",
+		genAtomRWR(shHTTPD, 150_000, 160_000, "httpd-4"))
+	reg(shHTTPD, 5, av, LangC, false, 300_000, 250_000,
+		"two workers race to claim the same scoreboard slot and the self-check trips",
+		genAtomWWR(shHTTPD, 300_000, 250_000, "httpd-5"))
+
+	// memcached — 4 bugs.
+	reg(shMemcached, 1, dl, LangC, false, 380_000, 0,
+		"item-lock vs LRU-lock inversion between a get and a concurrent eviction",
+		genDeadlockStruct(shMemcached, 380_000, "memcached-1"))
+	reg(shMemcached, 2, ov, LangC, true, 300_000, 0,
+		"flush_all frees the LRU head while a get worker dereferences it",
+		genOrderUAF(shMemcached, 300_000, "memcached-2"))
+	reg(shMemcached, 3, av, LangC, false, 120_000, 140_000,
+		"item refcount check races with eviction between check and fetch",
+		genAtomRWR(shMemcached, 120_000, 140_000, "memcached-3"))
+	reg(shMemcached, 4, av, LangC, false, 160_000, 220_000,
+		"slab rebalancer nulls the item cell between a worker's validation and write-back",
+		genAtomStaleWrite(shMemcached, 160_000, 220_000, "memcached-4"))
+
+	// SQLite — 4 bugs.
+	reg(shSQLite, 1, dl, LangC, true, 650_000, 0,
+		"shared-cache ABBA inversion between reader and checkpoint over schema and WAL locks",
+		genDeadlockABBA(shSQLite, 650_000, "sqlite-1"))
+	reg(shSQLite, 2, ov, LangC, false, 450_000, 0,
+		"reader uses the shared-cache page pointer before the writer publishes the loaded page",
+		genOrderInit(shSQLite, 450_000, "sqlite-2"))
+	reg(shSQLite, 3, av, LangC, true, 110_000, 130_000,
+		"two connections race on the schema cookie and the staleness self-check trips",
+		genAtomWWR(shSQLite, 110_000, 130_000, "sqlite-3"))
+	reg(shSQLite, 4, av, LangC, false, 210_000, 260_000,
+		"checkpoint nulls the page-cache cell between a cursor's validation and its write-back",
+		genAtomStaleWrite(shSQLite, 210_000, 260_000, "sqlite-4"))
+
+	// Transmission — 4 bugs.
+	reg(shTransmission, 1, dl, LangC, false, 1_200_000, 0,
+		"three-way cycle among peer, tracker and verify threads over torrent locks",
+		genDeadlockRing(shTransmission, 1_200_000, "transmission-1"))
+	reg(shTransmission, 2, ov, LangC, false, 800_000, 0,
+		"torrent removal frees the piece table while a peer worker reads it",
+		genOrderUAF(shTransmission, 800_000, "transmission-2"))
+	reg(shTransmission, 3, ov, LangC, false, 380_000, 0,
+		"verify worker reads the torrent handle before the session thread publishes it (tr-1818 archetype)",
+		genOrderInit(shTransmission, 380_000, "transmission-3"))
+	reg(shTransmission, 4, av, LangC, true, 170_000, 190_000,
+		"bandwidth-group check races with group teardown between check and use",
+		genAtomRWR(shTransmission, 170_000, 190_000, "transmission-4"))
+
+	// pbzip2 — 3 bugs.
+	reg(shPbzip2, 1, ov, LangC, true, 140_000, 0,
+		"main frees the block FIFO while a consumer still dequeues (the classic pbzip2 crash)",
+		genOrderUAF(shPbzip2, 140_000, "pbzip2-1"))
+	reg(shPbzip2, 2, av, LangC, true, 110_000, 120_000,
+		"queue-empty check races with the producer's final block between check and dequeue",
+		genAtomRWR(shPbzip2, 110_000, 120_000, "pbzip2-2"))
+	reg(shPbzip2, 3, av, LangC, false, 130_000, 150_000,
+		"two consumers race to claim the same output slot and the ownership check trips",
+		genAtomWWR(shPbzip2, 130_000, 150_000, "pbzip2-3"))
+
+	// aget — 3 bugs.
+	reg(shAget, 1, ov, LangC, true, 110_000, 0,
+		"signal handler frees the download state while an http worker updates its segment",
+		genOrderUAF(shAget, 110_000, "aget-1"))
+	reg(shAget, 2, ov, LangC, false, 150_000, 0,
+		"resume worker reads the segment table before main finishes parsing the state file",
+		genOrderInit(shAget, 150_000, "aget-2"))
+	reg(shAget, 3, av, LangC, false, 120_000, 110_000,
+		"SIGINT handler nulls the state cell between a worker's validation and offset write-back",
+		genAtomStaleWrite(shAget, 120_000, 110_000, "aget-3"))
+
+	// JDK — 5 bugs (Java side of the hypothesis study).
+	reg(shJDK, 1, dl, LangJava, false, 700_000, 0,
+		"ABBA inversion between a direct-buffer lock and the cleaner lock (JDK-6822370 archetype)",
+		genDeadlockABBA(shJDK, 700_000, "jdk-1"))
+	reg(shJDK, 2, dl, LangJava, false, 1_600_000, 0,
+		"io and finalizer threads invert stream-header locks during concurrent close",
+		genDeadlockStruct(shJDK, 1_600_000, "jdk-2"))
+	reg(shJDK, 3, ov, LangJava, false, 520_000, 0,
+		"gc thread clears the buffer cache entry an io thread still drains",
+		genOrderUAF(shJDK, 520_000, "jdk-3"))
+	reg(shJDK, 4, av, LangJava, false, 260_000, 280_000,
+		"buffer position check races with an async reset between check and read",
+		genAtomRWR(shJDK, 260_000, 280_000, "jdk-4"))
+	reg(shJDK, 5, av, LangJava, false, 3_000_000, 3_300_000,
+		"two threads race to install the same charset decoder and the identity check trips",
+		genAtomWWR(shJDK, 3_000_000, 3_300_000, "jdk-5"))
+
+	// Apache Derby — 4 bugs.
+	reg(shDerby, 1, dl, LangJava, false, 2_000_000, 0,
+		"three-way cycle among commit, abort and lock-manager threads (DERBY-5447 archetype)",
+		genDeadlockRing(shDerby, 2_000_000, "derby-1"))
+	reg(shDerby, 2, ov, LangJava, false, 600_000, 0,
+		"lock manager reads the transaction table entry before the committer publishes it",
+		genOrderInit(shDerby, 600_000, "derby-2"))
+	reg(shDerby, 3, av, LangJava, false, 310_000, 330_000,
+		"transaction-state check races with abort between check and log write",
+		genAtomRWR(shDerby, 310_000, 330_000, "derby-3"))
+	reg(shDerby, 4, av, LangJava, false, 420_000, 380_000,
+		"two transactions race on the XID slot and the ownership check trips",
+		genAtomWWR(shDerby, 420_000, 380_000, "derby-4"))
+
+	// Apache Groovy — 4 bugs.
+	reg(shGroovy, 1, dl, LangJava, false, 520_000, 0,
+		"class-registry vs metaclass lock inversion during concurrent compilation and reload",
+		genDeadlockABBA(shGroovy, 520_000, "groovy-1"))
+	reg(shGroovy, 2, ov, LangJava, false, 700_000, 0,
+		"reload thread evicts a ClassInfo a compile thread still resolves (GROOVY-6152 archetype)",
+		genOrderUAF(shGroovy, 700_000, "groovy-2"))
+	reg(shGroovy, 3, ov, LangJava, false, 330_000, 0,
+		"meta thread reads the class registry before the compiler publishes the class entry",
+		genOrderInit(shGroovy, 330_000, "groovy-3"))
+	reg(shGroovy, 4, av, LangJava, false, 280_000, 240_000,
+		"reload nulls the registry cell between version validation and write-back",
+		genAtomStaleWrite(shGroovy, 280_000, 240_000, "groovy-4"))
+
+	// Apache Commons DBCP — 4 bugs.
+	reg(shDBCP, 1, dl, LangJava, false, 850_000, 0,
+		"pool lock vs connection lock inversion between borrow and evictor (DBCP-44 archetype)",
+		genDeadlockStruct(shDBCP, 850_000, "dbcp-1"))
+	reg(shDBCP, 2, dl, LangJava, false, 1_100_000, 0,
+		"ABBA inversion between the idle list lock and the factory lock at pool close",
+		genDeadlockABBA(shDBCP, 1_100_000, "dbcp-2"))
+	reg(shDBCP, 3, av, LangJava, false, 230_000, 210_000,
+		"connection liveness check races with eviction between validate and use",
+		genAtomRWR(shDBCP, 230_000, 210_000, "dbcp-3"))
+	reg(shDBCP, 4, av, LangJava, false, 350_000, 290_000,
+		"two borrowers race on the same pooled slot and the claim check trips",
+		genAtomWWR(shDBCP, 350_000, 290_000, "dbcp-4"))
+
+	// Apache Log4j — 4 bugs.
+	reg(shLog4j, 1, dl, LangJava, false, 460_000, 0,
+		"logger hierarchy lock vs appender lock inversion at reconfiguration (LOG4J2-1420 archetype)",
+		genDeadlockABBA(shLog4j, 460_000, "log4j-1"))
+	reg(shLog4j, 2, ov, LangJava, false, 240_000, 0,
+		"reconfiguration closes an appender a logging thread still appends to",
+		genOrderUAF(shLog4j, 240_000, "log4j-2"))
+	reg(shLog4j, 3, ov, LangJava, false, 420_000, 0,
+		"append thread reads the root logger before configuration publishes it",
+		genOrderInit(shLog4j, 420_000, "log4j-3"))
+	reg(shLog4j, 4, av, LangJava, false, 190_000, 170_000,
+		"two configurators race on the appender slot and the identity check trips",
+		genAtomWWR(shLog4j, 190_000, 170_000, "log4j-4"))
+
+	// Apache Lucene — 4 bugs.
+	reg(shLucene, 1, dl, LangJava, false, 950_000, 0,
+		"index-writer lock vs segment lock inversion between merge and commit (LUCENE-2509 archetype)",
+		genDeadlockStruct(shLucene, 950_000, "lucene-1"))
+	reg(shLucene, 2, ov, LangJava, false, 500_000, 0,
+		"search thread reads segment infos before the committer publishes them",
+		genOrderInit(shLucene, 500_000, "lucene-2"))
+	reg(shLucene, 3, av, LangJava, false, 270_000, 250_000,
+		"reader refcount check races with close between check and doc fetch",
+		genAtomRWR(shLucene, 270_000, 250_000, "lucene-3"))
+	reg(shLucene, 4, av, LangJava, false, 320_000, 300_000,
+		"merge nulls the segment cell between a reader's validation and write-back",
+		genAtomStaleWrite(shLucene, 320_000, 300_000, "lucene-4"))
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"snorlax/internal/core"
+	"snorlax/internal/corpus"
+)
+
+// AccuracyRow is one bug's diagnosis outcome (§6.1).
+type AccuracyRow struct {
+	Bug            string
+	Correct        bool
+	Unique         bool
+	OrderingAcc    float64
+	F1             float64
+	FailuresNeeded int
+	AnalysisTime   time.Duration
+	Stats          core.StageStats
+}
+
+// Accuracy diagnoses each bug through the full Session loop and
+// scores the result against ground truth.
+func Accuracy(bugs []*corpus.Bug) []AccuracyRow {
+	var rows []AccuracyRow
+	for _, b := range bugs {
+		failInst := b.Build(corpus.Variant{Failing: true})
+		okInst := b.Build(corpus.Variant{Failing: false})
+		sess := core.NewSession(failInst.Mod, okInst.Mod)
+		out, err := sess.Run()
+		row := AccuracyRow{Bug: b.ID}
+		if err == nil {
+			truth := core.Truth{Kind: failInst.TruthKind, Sub: failInst.TruthSub,
+				PCs: failInst.TruthPCs, Absence: failInst.TruthAbsence}
+			row.Correct = core.MatchesTruth(out.Diagnosis.Best.Pattern, truth)
+			row.Unique = out.Diagnosis.Unique
+			row.OrderingAcc = core.OrderingAccuracy(out.Diagnosis.Best.Pattern, truth)
+			row.F1 = out.Diagnosis.Best.F1
+			row.FailuresNeeded = out.FailuresNeeded
+			row.AnalysisTime = out.Diagnosis.Stats.TotalTime
+			row.Stats = out.Diagnosis.Stats
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Fig7Row decomposes one bug's diagnosis into per-stage reductions of
+// the instruction set still under consideration. The contribution of
+// a stage is the share of the original instruction set it eliminated
+// — the metric behind the paper's Figure 7 (trace processing ≈87.9%,
+// type ranking ≈+9.7%).
+type Fig7Row struct {
+	Bug string
+	// Remaining counts instructions after each stage: module, trace
+	// processing (2), points-to candidates (4), rank-1 candidates
+	// (5), pattern events (6), root-cause events (7).
+	Remaining [6]int
+	// ContributionPct per stage (5 entries, summing to ~100).
+	ContributionPct [5]float64
+	// ScopeReduction and RankReduction are the stagewise factors the
+	// paper quotes (9x and 4.6x geometric means).
+	ScopeReduction float64
+	RankReduction  float64
+}
+
+// Fig7 measures stage contributions for the given bugs and also
+// returns the geometric means of the scope and ranking reductions.
+func Fig7(bugs []*corpus.Bug) (rows []Fig7Row, geoScope, geoRank float64) {
+	var logScope, logRank float64
+	n := 0
+	for _, b := range bugs {
+		failInst := b.Build(corpus.Variant{Failing: true})
+		okInst := b.Build(corpus.Variant{Failing: false})
+		sess := core.NewSession(failInst.Mod, okInst.Mod)
+		out, err := sess.Run()
+		if err != nil {
+			continue
+		}
+		st := out.Diagnosis.Stats
+		best := out.Diagnosis.Best.Pattern
+		// The anchored failing instruction appears in every pattern
+		// but is never a candidate; exclude it so the stage counts
+		// measure the same set (candidates still in play).
+		anchor := out.Diagnosis.AnchorPC
+		patEvents := 0
+		if best != nil {
+			seen := map[int64]bool{}
+			for _, s := range out.Diagnosis.Scores {
+				for _, pc := range s.Pattern.PCs {
+					if pc != anchor && pc >= 0 {
+						seen[int64(pc)] = true
+					}
+				}
+			}
+			patEvents = len(seen)
+		}
+		rootEvents := 0
+		if best != nil {
+			for _, pc := range best.PCs {
+				if pc != anchor && pc >= 0 {
+					rootEvents++
+				}
+			}
+		}
+		row := Fig7Row{Bug: b.ID}
+		row.Remaining = [6]int{st.TotalInstrs, st.ExecutedInstrs, st.Candidates,
+			st.Rank1Candidates, patEvents, rootEvents}
+		// Later stages can only narrow the set under consideration.
+		for i := 1; i < len(row.Remaining); i++ {
+			if row.Remaining[i] > row.Remaining[i-1] {
+				row.Remaining[i] = row.Remaining[i-1]
+			}
+		}
+		total := float64(st.TotalInstrs)
+		for i := 0; i < 5; i++ {
+			row.ContributionPct[i] = 100 * float64(row.Remaining[i]-row.Remaining[i+1]) / total
+		}
+		if st.ExecutedInstrs > 0 {
+			row.ScopeReduction = float64(st.TotalInstrs) / float64(st.ExecutedInstrs)
+		}
+		if st.Rank1Candidates > 0 {
+			row.RankReduction = float64(st.Candidates) / float64(st.Rank1Candidates)
+		} else if st.Candidates > 0 {
+			row.RankReduction = float64(st.Candidates)
+		}
+		rows = append(rows, row)
+		if row.ScopeReduction > 0 && row.RankReduction > 0 {
+			logScope += math.Log(row.ScopeReduction)
+			logRank += math.Log(row.RankReduction)
+			n++
+		}
+	}
+	if n > 0 {
+		geoScope = math.Exp(logScope / float64(n))
+		geoRank = math.Exp(logRank / float64(n))
+	}
+	return rows, geoScope, geoRank
+}
+
+// FormatAccuracy renders the §6.1 results.
+func FormatAccuracy(rows []AccuracyRow) string {
+	var sb strings.Builder
+	correct, aoSum := 0, 0.0
+	for _, r := range rows {
+		status := "WRONG"
+		if r.Correct {
+			status = "ok"
+			correct++
+		}
+		aoSum += r.OrderingAcc
+		fmt.Fprintf(&sb, "  %-16s %-5s A_O=%5.1f%% F1=%.2f failures=%d analysis=%v\n",
+			r.Bug, status, r.OrderingAcc, r.F1, r.FailuresNeeded, r.AnalysisTime.Round(time.Millisecond))
+	}
+	fmt.Fprintf(&sb, "  accuracy: %d/%d (%.0f%%), mean A_O %.1f%%\n",
+		correct, len(rows), 100*float64(correct)/float64(len(rows)), aoSum/float64(len(rows)))
+	return sb.String()
+}
+
+// FormatFig7 renders the stage-contribution figure.
+func FormatFig7(rows []Fig7Row, geoScope, geoRank float64) string {
+	stages := []string{"trace processing", "hybrid points-to", "type ranking",
+		"pattern computation", "statistical diagnosis"}
+	var sb strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-16s instrs %6d→%5d→%4d→%3d→%3d→%d  scope %5.1fx rank %4.1fx\n",
+			r.Bug, r.Remaining[0], r.Remaining[1], r.Remaining[2],
+			r.Remaining[3], r.Remaining[4], r.Remaining[5],
+			r.ScopeReduction, r.RankReduction)
+	}
+	var avg [5]float64
+	for _, r := range rows {
+		for i := range avg {
+			avg[i] += r.ContributionPct[i] / float64(len(rows))
+		}
+	}
+	sb.WriteString("  mean contribution to instruction-set reduction:\n")
+	for i, s := range stages {
+		fmt.Fprintf(&sb, "    %-24s %6.2f%%\n", s, avg[i])
+	}
+	fmt.Fprintf(&sb, "  geometric means: scope restriction %.1fx (paper: 9x), type ranking %.1fx (paper: 4.6x)\n",
+		geoScope, geoRank)
+	return sb.String()
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"snorlax/internal/corpus"
+	"snorlax/internal/gist"
+	"snorlax/internal/pattern"
+	"snorlax/internal/vm"
+)
+
+// LatencyResult is the §6.3 diagnosis-latency comparison.
+type LatencyResult struct {
+	// PerBugRecurrences maps evaluated bugs to how many failure
+	// recurrences Gist's iterative refinement needed.
+	PerBugRecurrences map[string]int
+	// MeanRecurrences is the average (the paper reports 3.7 for
+	// Gist; Snorlax always needs exactly 1 failure).
+	MeanRecurrences float64
+	// Model extrapolates to many open bugs under space sampling.
+	Model []LatencyModelRow
+}
+
+// LatencyModelRow is one open-bug-count scenario.
+type LatencyModelRow struct {
+	OpenBugs        int
+	GistFailures    float64
+	SimulatedMean   float64
+	SpeedupOverGist float64
+}
+
+// Latency measures Gist's recurrences-to-diagnosis on the evaluated
+// crash bugs and extrapolates the latency model, including the
+// paper's Chromium scenario (684 open race reports).
+func Latency() LatencyResult {
+	res := LatencyResult{PerBugRecurrences: map[string]int{}}
+	total, count := 0, 0
+	for _, b := range corpus.EvalSet() {
+		if b.Kind == pattern.KindDeadlock {
+			continue
+		}
+		inst := b.Build(corpus.Variant{Failing: true})
+		run := vm.Run(inst.Mod, vm.Config{Seed: 1})
+		if !run.Failed() {
+			continue
+		}
+		out, err := gist.Diagnose(inst.Mod, run.Failure.PC, inst.TruthPCs, 1, 12)
+		if err != nil || !out.Captured {
+			continue
+		}
+		res.PerBugRecurrences[b.ID] = out.Recurrences
+		total += out.Recurrences
+		count++
+	}
+	if count > 0 {
+		res.MeanRecurrences = float64(total) / float64(count)
+	}
+	for _, bugs := range []int{1, 10, 100, 684} {
+		m := gist.LatencyModel{RecurrencesNeeded: res.MeanRecurrences, Bugs: bugs}
+		res.Model = append(res.Model, LatencyModelRow{
+			OpenBugs:        bugs,
+			GistFailures:    m.ExpectedGistFailures(),
+			SimulatedMean:   m.SimulateMean(400, 11),
+			SpeedupOverGist: m.SpeedupOverGist(),
+		})
+	}
+	return res
+}
+
+// FormatLatency renders the comparison.
+func FormatLatency(r LatencyResult) string {
+	var sb strings.Builder
+	sb.WriteString("  Gist recurrences to diagnosis per bug (Snorlax: always 1 failure):\n")
+	for _, b := range corpus.EvalSet() {
+		if n, ok := r.PerBugRecurrences[b.ID]; ok {
+			fmt.Fprintf(&sb, "    %-16s %d\n", b.ID, n)
+		}
+	}
+	fmt.Fprintf(&sb, "  mean recurrences: %.2f (paper: 3.7)\n", r.MeanRecurrences)
+	sb.WriteString("  expected failures before diagnosing one target bug under space sampling:\n")
+	for _, row := range r.Model {
+		fmt.Fprintf(&sb, "    %4d open bugs: gist %8.1f (simulated %8.1f)  snorlax 1.0  → snorlax %7.1fx lower latency\n",
+			row.OpenBugs, row.GistFailures, row.SimulatedMean, row.SpeedupOverGist)
+	}
+	sb.WriteString("  (paper: ≥3.7x, and 2523x for Chromium's 684 open race reports)\n")
+	return sb.String()
+}

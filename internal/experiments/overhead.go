@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"snorlax/internal/corpus"
+	"snorlax/internal/gist"
+	"snorlax/internal/pt"
+	"snorlax/internal/vm"
+)
+
+// Fig8Row is one system's control-flow-tracing overhead (Figure 8).
+type Fig8Row struct {
+	System string
+	// MeanPct and PeakPct are the average and worst overhead across
+	// seeds, in percent of untraced virtual time.
+	MeanPct, PeakPct float64
+}
+
+// Fig8 measures tracing overhead per benchmark system: each system's
+// throughput workload runs with and without the tracer under `reps`
+// seeds.
+func Fig8(threads, ops, reps int) ([]Fig8Row, float64) {
+	var rows []Fig8Row
+	var sum float64
+	for _, sys := range corpus.PerfSystems() {
+		mod := corpus.Perf(sys, threads, ops)
+		var total, peak float64
+		for seed := int64(1); seed <= int64(reps); seed++ {
+			base := vm.Run(mod, vm.Config{Seed: seed})
+			traced := vm.Run(mod, vm.Config{Seed: seed, Sink: pt.NewEncoder(pt.Config{})})
+			oh := 100 * float64(traced.Time-base.Time) / float64(base.Time)
+			total += oh
+			if oh > peak {
+				peak = oh
+			}
+		}
+		mean := total / float64(reps)
+		rows = append(rows, Fig8Row{System: sys, MeanPct: mean, PeakPct: peak})
+		sum += mean
+	}
+	return rows, sum / float64(len(rows))
+}
+
+// Fig9Row is one thread count's conflated overhead for both tools.
+type Fig9Row struct {
+	Threads    int
+	SnorlaxPct float64
+	GistPct    float64
+}
+
+// Fig9 sweeps the application thread count, measuring Snorlax's
+// tracing overhead against Gist's instrumentation overhead, conflated
+// (averaged) across all benchmark systems as in the paper.
+func Fig9(threadCounts []int, ops int) []Fig9Row {
+	var rows []Fig9Row
+	systems := corpus.PerfSystems()
+	for _, threads := range threadCounts {
+		var snor, gst float64
+		for _, sys := range systems {
+			mod := corpus.Perf(sys, threads, ops)
+			base := vm.Run(mod, vm.Config{Seed: 1})
+			traced := vm.Run(mod, vm.Config{Seed: 1, Sink: pt.NewEncoder(pt.Config{})})
+			snor += 100 * float64(traced.Time-base.Time) / float64(base.Time)
+
+			mon := gist.NewMonitor(gist.SharedAccessPCs(mod, "op_worker"))
+			monitored := vm.Run(mod, vm.Config{Seed: 1, Hook: mon})
+			gst += 100 * float64(monitored.Time-base.Time) / float64(base.Time)
+		}
+		rows = append(rows, Fig9Row{
+			Threads:    threads,
+			SnorlaxPct: snor / float64(len(systems)),
+			GistPct:    gst / float64(len(systems)),
+		})
+	}
+	return rows
+}
+
+// FormatFig8 renders the per-system overhead chart.
+func FormatFig8(rows []Fig8Row, avg float64) string {
+	var sb strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-14s mean %5.2f%%  peak %5.2f%%  %s\n",
+			r.System, r.MeanPct, r.PeakPct, bar(r.MeanPct, 2.5, 40))
+	}
+	fmt.Fprintf(&sb, "  average %.2f%% (paper: 0.97%%; peak pbzip2 1.91%%)\n", avg)
+	return sb.String()
+}
+
+// FormatFig9 renders the scalability comparison.
+func FormatFig9(rows []Fig9Row) string {
+	var sb strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  threads %2d  snorlax %5.2f%% %-20s gist %6.2f%% %s\n",
+			r.Threads, r.SnorlaxPct, bar(r.SnorlaxPct, 45, 20), r.GistPct, bar(r.GistPct, 45, 20))
+	}
+	sb.WriteString("  (paper: snorlax 0.87%→1.98%, gist 3.14%→38.9% from 2 to 32 threads)\n")
+	return sb.String()
+}
+
+func bar(v, max float64, width int) string {
+	n := int(v / max * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}

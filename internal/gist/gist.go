@@ -1,0 +1,59 @@
+package gist
+
+import (
+	"fmt"
+
+	"snorlax/internal/ir"
+	"snorlax/internal/vm"
+)
+
+// DiagnoseResult is the outcome of Gist's iterative refinement on one
+// bug.
+type DiagnoseResult struct {
+	// Recurrences is how many failure recurrences Gist consumed: one
+	// per refinement round, widening the slice each time.
+	Recurrences int
+	// Captured reports whether the final slice's instrumentation
+	// observed every ground-truth event.
+	Captured bool
+	// SliceSizes records the instrumented slice size per round.
+	SliceSizes []int
+	// OverheadPct is the instrumentation overhead of the final
+	// (widest) monitored round, in percent of uninstrumented time.
+	OverheadPct float64
+}
+
+// Diagnose runs Gist's refinement loop against a failing program:
+// round k re-runs the failure with the depth-k slice instrumented,
+// and stops once every ground-truth event was observed by the
+// instrumentation. This is the per-bug "recurrences needed" number
+// behind the paper's 3.7× average (§6.3).
+func Diagnose(mod *ir.Module, failingPC ir.PC, truth []ir.PC, runSeed int64, maxRounds int) (*DiagnoseResult, error) {
+	slicer := NewSlicer(mod)
+	baseline := vm.Run(mod, vm.Config{Seed: runSeed})
+	if !baseline.Failed() {
+		return nil, fmt.Errorf("gist: program did not fail under seed %d", runSeed)
+	}
+	res := &DiagnoseResult{}
+	for depth := 1; depth <= maxRounds; depth++ {
+		slice := slicer.Slice(failingPC, depth)
+		mon := NewMonitor(slice)
+		run := vm.Run(mod, vm.Config{Seed: runSeed, Hook: mon})
+		if !run.Failed() {
+			// Heisenbug: instrumentation perturbed the schedule and
+			// masked the failure — count the recurrence and retry
+			// deeper, as Gist must wait for another recurrence.
+			res.Recurrences++
+			res.SliceSizes = append(res.SliceSizes, len(slice))
+			continue
+		}
+		res.Recurrences++
+		res.SliceSizes = append(res.SliceSizes, len(slice))
+		if mon.Observed(truth) {
+			res.Captured = true
+			res.OverheadPct = 100 * float64(run.Time-baseline.Time) / float64(baseline.Time)
+			return res, nil
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,78 @@
+package gist
+
+import "math/rand"
+
+// LatencyModel captures the §6.3 diagnosis-latency comparison.
+//
+// Snorlax is always-on: it diagnoses after the first failure, so its
+// latency is 1 observed failure regardless of how many bugs are being
+// diagnosed.
+//
+// Gist samples in space: each production execution monitors one bug.
+// A failure only advances a bug's diagnosis when (a) that bug is the
+// one being monitored and (b) the failure is a recurrence of it. With
+// nBugs open bugs and r recurrences needed, the expected number of
+// failures before one specific bug is diagnosed is r × nBugs.
+type LatencyModel struct {
+	// RecurrencesNeeded is Gist's average slice-refinement count
+	// (the paper reports 3.7).
+	RecurrencesNeeded float64
+	// Bugs is the number of concurrency bugs being diagnosed at once
+	// (the paper's Chromium example uses 684 open race reports).
+	Bugs int
+}
+
+// ExpectedGistFailures returns the expected failures until Gist
+// diagnoses one target bug.
+func (m LatencyModel) ExpectedGistFailures() float64 {
+	bugs := m.Bugs
+	if bugs < 1 {
+		bugs = 1
+	}
+	return m.RecurrencesNeeded * float64(bugs)
+}
+
+// SnorlaxFailures is the constant 1: no sampling, always-on tracing.
+func (m LatencyModel) SnorlaxFailures() float64 { return 1 }
+
+// SpeedupOverGist returns the latency ratio (the paper's "at least
+// 3.7×", and 2523× for Chromium's 684 open bugs).
+func (m LatencyModel) SpeedupOverGist() float64 {
+	return m.ExpectedGistFailures() / m.SnorlaxFailures()
+}
+
+// Simulate draws one diagnosis episode and returns the number of
+// recurrences of the target bug observed before its diagnosis
+// completes: each recurrence advances the diagnosis only when the
+// target happens to be the bug monitored during that execution
+// (probability 1/Bugs under space sampling), and
+// ceil(RecurrencesNeeded) monitored recurrences are required.
+func (m LatencyModel) Simulate(rng *rand.Rand) int {
+	bugs := m.Bugs
+	if bugs < 1 {
+		bugs = 1
+	}
+	needed := int(m.RecurrencesNeeded)
+	if float64(needed) < m.RecurrencesNeeded {
+		needed++
+	}
+	failures := 0
+	captured := 0
+	for captured < needed {
+		failures++
+		if rng.Intn(bugs) == 0 {
+			captured++
+		}
+	}
+	return failures
+}
+
+// SimulateMean averages Simulate over n episodes.
+func (m LatencyModel) SimulateMean(n int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	total := 0
+	for i := 0; i < n; i++ {
+		total += m.Simulate(rng)
+	}
+	return float64(total) / float64(n)
+}

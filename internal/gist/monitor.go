@@ -1,0 +1,102 @@
+package gist
+
+import (
+	"snorlax/internal/ir"
+	"snorlax/internal/vm"
+)
+
+// Monitor is Gist's in-production instrumentation: it watches the
+// sliced program points and records the order of shared accesses.
+// Ordering across threads requires blocking synchronization on shared
+// instrumentation state (the paper's explanation for Gist's poor
+// scalability), modeled as a per-access cost that grows with the
+// number of live threads — cache-line ping-pong on the shared log.
+//
+// Monitor implements vm.InstrHook.
+type Monitor struct {
+	// PCs is the instrumented slice.
+	PCs map[ir.PC]bool
+	// BaseCostNS is the per-access instrumentation cost at one
+	// thread (default 120ns: a logging call plus a CAS).
+	BaseCostNS int64
+	// ContentionCostNS is the additional per-access cost per live
+	// thread (default 90ns), modeling serialization on the shared
+	// access log.
+	ContentionCostNS int64
+	// Events records the observed accesses in order.
+	Events []AccessEvent
+	// RecordLimit bounds the log (default 1<<20).
+	RecordLimit int
+}
+
+// AccessEvent is one instrumented access observation.
+type AccessEvent struct {
+	Tid  int
+	PC   ir.PC
+	Time int64
+}
+
+// NewMonitor returns a Monitor over the given slice.
+func NewMonitor(slice map[ir.PC]bool) *Monitor {
+	return &Monitor{
+		PCs:              slice,
+		BaseCostNS:       120,
+		ContentionCostNS: 90,
+		RecordLimit:      1 << 20,
+	}
+}
+
+// Before implements vm.InstrHook.
+func (m *Monitor) Before(tid int, in ir.Instr, live int, time int64) int64 {
+	if !m.PCs[in.PC()] {
+		return 0
+	}
+	// Only memory and synchronization operations are logged; other
+	// sliced instructions are tracked via cheap path profiling,
+	// which we fold into the base cost of the accesses.
+	if !ir.IsMemAccess(in) && !ir.IsSyncOp(in) {
+		return 0
+	}
+	if len(m.Events) < m.RecordLimit {
+		m.Events = append(m.Events, AccessEvent{Tid: tid, PC: in.PC(), Time: time})
+	}
+	return m.BaseCostNS + m.ContentionCostNS*int64(live)
+}
+
+// Observed reports whether every given PC appears in the access log.
+func (m *Monitor) Observed(pcs []ir.PC) bool {
+	seen := map[ir.PC]bool{}
+	for _, ev := range m.Events {
+		seen[ev.PC] = true
+	}
+	for _, pc := range pcs {
+		if pc != ir.NoPC && !seen[pc] {
+			return false
+		}
+	}
+	return true
+}
+
+// SharedAccessPCs returns the memory and synchronization instructions
+// of the named functions that touch module globals (directly or
+// through pointers) — the accesses Gist instruments when monitoring a
+// bug in that code. Passing no function names selects the whole
+// module.
+func SharedAccessPCs(mod *ir.Module, funcs ...string) map[ir.PC]bool {
+	want := map[string]bool{}
+	for _, f := range funcs {
+		want[f] = true
+	}
+	out := map[ir.PC]bool{}
+	mod.Instrs(func(in ir.Instr) {
+		if len(want) > 0 && !want[in.Block().Parent.Name] {
+			return
+		}
+		if ir.IsMemAccess(in) || ir.IsSyncOp(in) {
+			out[in.PC()] = true
+		}
+	})
+	return out
+}
+
+var _ vm.InstrHook = (*Monitor)(nil)

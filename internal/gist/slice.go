@@ -1,0 +1,171 @@
+// Package gist implements the baseline Snorlax is compared against in
+// §6.3 of the paper: Gist (SOSP'15 "failure sketching"), a
+// concurrency-bug diagnosis tool that
+//
+//   - computes a static backward slice from the failing instruction,
+//   - instruments the sliced program points in production (sampling
+//     in space: one monitored bug per execution), tracking the order
+//     of shared accesses with blocking synchronization, and
+//   - iteratively broadens the slice on every recurrence of the
+//     failure until the root cause is captured.
+//
+// The properties the comparison measures all emerge from this
+// construction: per-access instrumentation with shared state makes
+// overhead grow with thread count (Figure 9), and needing several
+// recurrences — multiplied by the number of bugs being diagnosed —
+// makes diagnosis latency far higher than Snorlax's single failure
+// (§6.3).
+package gist
+
+import (
+	"snorlax/internal/ir"
+	"snorlax/internal/pointsto"
+)
+
+// Slicer computes static backward slices over a module's dependence
+// graph: use-def edges, may-alias store→load edges (via whole-program
+// inclusion-based points-to analysis), control edges from block
+// predecessors' terminators, and call-boundary edges.
+type Slicer struct {
+	mod *ir.Module
+	// deps maps each instruction to its immediate dependencies.
+	deps map[ir.PC][]ir.PC
+}
+
+// NewSlicer builds the dependence graph; construction runs the
+// whole-program points-to analysis (Gist has no execution trace to
+// restrict it with).
+func NewSlicer(mod *ir.Module) *Slicer {
+	s := &Slicer{mod: mod, deps: make(map[ir.PC][]ir.PC, mod.NumInstrs())}
+	pts := pointsto.NewAndersen(mod, nil)
+
+	// defsOf: register -> defining instructions, per function.
+	defs := map[*ir.Reg][]ir.PC{}
+	mod.Instrs(func(in ir.Instr) {
+		if d := in.Def(); d != nil {
+			defs[d] = append(defs[d], in.PC())
+		}
+	})
+	// callersOf: function -> call sites; argsOf: param -> value PCs.
+	callSites := map[*ir.Func][]ir.PC{}
+	mod.Instrs(func(in ir.Instr) {
+		switch c := in.(type) {
+		case *ir.CallInstr:
+			if f := c.StaticCallee(); f != nil {
+				callSites[f] = append(callSites[f], in.PC())
+			}
+		case *ir.SpawnInstr:
+			if f := c.StaticCallee(); f != nil {
+				callSites[f] = append(callSites[f], in.PC())
+			}
+		}
+	})
+	// stores grouped for alias queries.
+	var stores []*ir.StoreInstr
+	mod.Instrs(func(in ir.Instr) {
+		if st, ok := in.(*ir.StoreInstr); ok {
+			stores = append(stores, st)
+		}
+	})
+
+	cfgs := map[*ir.Func]*ir.CFG{}
+	cfgOf := func(f *ir.Func) *ir.CFG {
+		c, ok := cfgs[f]
+		if !ok {
+			c = ir.NewCFG(f)
+			cfgs[f] = c
+		}
+		return c
+	}
+
+	mod.Instrs(func(in ir.Instr) {
+		pc := in.PC()
+		add := func(dep ir.PC) { s.deps[pc] = append(s.deps[pc], dep) }
+
+		// Data: defs of used registers; parameters pull in call sites.
+		for _, u := range in.Uses() {
+			if r, ok := u.(*ir.Reg); ok {
+				if ds := defs[r]; len(ds) > 0 {
+					for _, d := range ds {
+						add(d)
+					}
+				} else {
+					// Likely a parameter: depend on the call sites.
+					for _, cs := range callSites[in.Block().Parent] {
+						add(cs)
+					}
+				}
+			}
+		}
+		// Memory: loads depend on may-aliased stores.
+		if ld, ok := in.(*ir.LoadInstr); ok {
+			for _, st := range stores {
+				if pts.MayAlias(ld.Addr, st.Addr) {
+					add(st.PC())
+				}
+			}
+		}
+		// Control: depend on the terminators of predecessor blocks.
+		blk := in.Block()
+		for _, b := range cfgOf(blk.Parent).Preds(blk) {
+			if t := b.Terminator(); t != nil {
+				add(t.PC())
+			}
+		}
+		// Returns feed call results.
+		if c, ok := in.(*ir.CallInstr); ok && c.Dst != nil {
+			if f := c.StaticCallee(); f != nil {
+				for _, b := range f.Blocks {
+					if t := b.Terminator(); t != nil && t.Op() == ir.OpRet {
+						add(t.PC())
+					}
+				}
+			}
+		}
+	})
+	return s
+}
+
+// Slice returns the PCs within `depth` backward-dependence steps of
+// the failing instruction. Depth models Gist's iterative refinement:
+// each recurrence of the failure lets Gist widen the slice by one
+// level.
+func (s *Slicer) Slice(failing ir.PC, depth int) map[ir.PC]bool {
+	out := map[ir.PC]bool{failing: true}
+	frontier := []ir.PC{failing}
+	for d := 0; d < depth && len(frontier) > 0; d++ {
+		var next []ir.PC
+		for _, pc := range frontier {
+			for _, dep := range s.deps[pc] {
+				if !out[dep] {
+					out[dep] = true
+					next = append(next, dep)
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// RecurrencesToCapture returns how many failure recurrences Gist
+// needs before its slice contains every ground-truth event: the slice
+// starts at depth 1 and widens by one level per recurrence. Returns
+// (n, true) on success or (maxDepth, false) if the slice never covers
+// the truth.
+func (s *Slicer) RecurrencesToCapture(failing ir.PC, truth []ir.PC, maxDepth int) (int, bool) {
+	for depth := 1; depth <= maxDepth; depth++ {
+		slice := s.Slice(failing, depth)
+		all := true
+		for _, pc := range truth {
+			if pc != ir.NoPC && !slice[pc] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return depth, true
+		}
+	}
+	return maxDepth, false
+}

@@ -1,0 +1,336 @@
+package ir
+
+import "fmt"
+
+// Builder constructs a Module programmatically. It is the API the bug
+// corpus uses to define its synthetic systems. All Builder methods
+// panic on misuse (duplicate names, unknown fields); corpus programs
+// are static data, so construction errors are programmer errors.
+type Builder struct {
+	m *Module
+}
+
+// NewBuilder returns a Builder for a new module with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{m: NewModule(name)}
+}
+
+// Struct declares a named struct type.
+func (b *Builder) Struct(name string, fields ...Field) *StructType {
+	if b.m.StructByName(name) != nil {
+		panic("ir: duplicate struct " + name)
+	}
+	st := &StructType{Name: name, Fields: fields}
+	b.m.Structs = append(b.m.Structs, st)
+	return st
+}
+
+// Global declares a module-level variable and returns a reference to
+// it (whose value is the global's address).
+func (b *Builder) Global(name string, typ Type) *GlobalRef {
+	if b.m.GlobalByName(name) != nil {
+		panic("ir: duplicate global " + name)
+	}
+	g := &Global{Name: name, Typ: typ}
+	b.m.Globals = append(b.m.Globals, g)
+	return &GlobalRef{Global: g}
+}
+
+// GlobalInit declares a module-level variable with a scalar initial
+// value for its first word.
+func (b *Builder) GlobalInit(name string, typ Type, init int64) *GlobalRef {
+	ref := b.Global(name, typ)
+	ref.Global.Init = &Const{Val: init, Typ: typ}
+	return ref
+}
+
+// Func starts a new function with the given name and return type and
+// returns its FuncBuilder. Parameters are added with FuncBuilder.Param
+// before any block is created.
+func (b *Builder) Func(name string, ret Type) *FuncBuilder {
+	if b.m.FuncByName(name) != nil {
+		panic("ir: duplicate function " + name)
+	}
+	f := &Func{Name: name, Sig: &FuncType{Ret: ret}}
+	b.m.Funcs = append(b.m.Funcs, f)
+	return &FuncBuilder{b: b, f: f}
+}
+
+// Build verifies, finalizes and returns the module.
+func (b *Builder) Build() (*Module, error) {
+	b.m.Finalize()
+	if err := Verify(b.m); err != nil {
+		return nil, err
+	}
+	return b.m, nil
+}
+
+// MustBuild is Build that panics on verification failure. Corpus
+// programs are static, so a failure is a bug in the corpus itself.
+func (b *Builder) MustBuild() *Module {
+	m, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("ir: module %s does not verify: %v", b.m.Name, err))
+	}
+	return m
+}
+
+// Module returns the module under construction without finalizing it.
+func (b *Builder) Module() *Module { return b.m }
+
+// FuncBuilder constructs one function.
+type FuncBuilder struct {
+	b      *Builder
+	f      *Func
+	nextT  int // auto-named temporaries %t0, %t1, ...
+	sealed bool
+}
+
+// Ref returns a reference to the function, usable as a call target or
+// a stored function value.
+func (fb *FuncBuilder) Ref() *FuncRef { return &FuncRef{Func: fb.f} }
+
+// Func returns the function under construction.
+func (fb *FuncBuilder) Func() *Func { return fb.f }
+
+// Param appends a parameter register. All parameters must be declared
+// before the first block is created.
+func (fb *FuncBuilder) Param(name string, typ Type) *Reg {
+	if len(fb.f.Blocks) > 0 {
+		panic("ir: Param after first block in " + fb.f.Name)
+	}
+	r := fb.newReg(name, typ)
+	fb.f.Params = append(fb.f.Params, r)
+	fb.f.Sig.Params = append(fb.f.Sig.Params, typ)
+	return r
+}
+
+// Block creates a new basic block. The first block created is the
+// function's entry block.
+func (fb *FuncBuilder) Block(name string) *BlockBuilder {
+	if fb.f.BlockByName(name) != nil {
+		panic("ir: duplicate block " + name + " in " + fb.f.Name)
+	}
+	blk := &Block{Name: name, Parent: fb.f}
+	fb.f.Blocks = append(fb.f.Blocks, blk)
+	return &BlockBuilder{fb: fb, blk: blk}
+}
+
+// Reg creates a named register without defining it; useful when a
+// value must be assigned on multiple paths.
+func (fb *FuncBuilder) Reg(name string, typ Type) *Reg {
+	return fb.newReg(name, typ)
+}
+
+func (fb *FuncBuilder) newReg(name string, typ Type) *Reg {
+	if name == "" {
+		name = fmt.Sprintf("t%d", fb.nextT)
+		fb.nextT++
+	}
+	for _, r := range fb.f.Regs {
+		if r.Name == name {
+			panic("ir: duplicate register %" + name + " in " + fb.f.Name)
+		}
+	}
+	r := &Reg{Name: name, Index: len(fb.f.Regs), Typ: typ}
+	fb.f.Regs = append(fb.f.Regs, r)
+	return r
+}
+
+// BlockBuilder appends instructions to one basic block.
+type BlockBuilder struct {
+	fb  *FuncBuilder
+	blk *Block
+}
+
+// Block returns the block under construction.
+func (bb *BlockBuilder) Block() *Block { return bb.blk }
+
+func (bb *BlockBuilder) emit(in Instr) {
+	if t := bb.blk.Terminator(); t != nil {
+		panic(fmt.Sprintf("ir: emit after terminator in %s", bb.blk))
+	}
+	bb.blk.Instrs = append(bb.blk.Instrs, in)
+}
+
+// Alloca allocates frame storage for one elem and returns its address.
+func (bb *BlockBuilder) Alloca(elem Type) *Reg {
+	dst := bb.fb.newReg("", PtrTo(elem))
+	in := &AllocaInstr{anInstr: newAnInstr(), Dst: dst, Elem: elem}
+	bb.emit(in)
+	return dst
+}
+
+// New allocates heap storage for one elem and returns its address.
+func (bb *BlockBuilder) New(elem Type) *Reg {
+	dst := bb.fb.newReg("", PtrTo(elem))
+	in := &NewInstr{anInstr: newAnInstr(), Dst: dst, Elem: elem}
+	bb.emit(in)
+	return dst
+}
+
+// Load reads the value at addr.
+func (bb *BlockBuilder) Load(addr Value) *Reg {
+	elem := Deref(addr.Type())
+	if elem == nil {
+		panic(fmt.Sprintf("ir: load of non-pointer %s in %s", addr, bb.blk))
+	}
+	dst := bb.fb.newReg("", elem)
+	bb.emit(&LoadInstr{anInstr: newAnInstr(), Dst: dst, Addr: addr})
+	return dst
+}
+
+// Store writes val to addr.
+func (bb *BlockBuilder) Store(val, addr Value) {
+	bb.emit(&StoreInstr{anInstr: newAnInstr(), Val: val, Addr: addr})
+}
+
+// FieldAddr returns the address of the named field of the struct that
+// base points to.
+func (bb *BlockBuilder) FieldAddr(base Value, field string) *Reg {
+	st, ok := Deref(base.Type()).(*StructType)
+	if !ok {
+		panic(fmt.Sprintf("ir: fieldaddr on non-struct-pointer %s in %s", base, bb.blk))
+	}
+	idx := st.FieldIndex(field)
+	if idx < 0 {
+		panic(fmt.Sprintf("ir: struct %s has no field %q", st.Name, field))
+	}
+	dst := bb.fb.newReg("", PtrTo(st.Fields[idx].Type))
+	bb.emit(&FieldAddrInstr{anInstr: newAnInstr(), Dst: dst, Base: base, Field: idx})
+	return dst
+}
+
+// IndexAddr returns the address of element index of the array that
+// base points to.
+func (bb *BlockBuilder) IndexAddr(base, index Value) *Reg {
+	at, ok := Deref(base.Type()).(*ArrayType)
+	if !ok {
+		panic(fmt.Sprintf("ir: indexaddr on non-array-pointer %s in %s", base, bb.blk))
+	}
+	dst := bb.fb.newReg("", PtrTo(at.Elem))
+	bb.emit(&IndexAddrInstr{anInstr: newAnInstr(), Dst: dst, Base: base, Index: index})
+	return dst
+}
+
+// Bin computes x op y.
+func (bb *BlockBuilder) Bin(op BinOp, x, y Value) *Reg {
+	var t Type = Int
+	if op.IsComparison() {
+		t = Bool
+	}
+	dst := bb.fb.newReg("", t)
+	bb.emit(&BinInstr{anInstr: newAnInstr(), Dst: dst, BOp: op, X: x, Y: y})
+	return dst
+}
+
+// Add computes x + y.
+func (bb *BlockBuilder) Add(x, y Value) *Reg { return bb.Bin(Add, x, y) }
+
+// Sub computes x - y.
+func (bb *BlockBuilder) Sub(x, y Value) *Reg { return bb.Bin(Sub, x, y) }
+
+// Mul computes x * y.
+func (bb *BlockBuilder) Mul(x, y Value) *Reg { return bb.Bin(Mul, x, y) }
+
+// Eq computes x == y.
+func (bb *BlockBuilder) Eq(x, y Value) *Reg { return bb.Bin(Eq, x, y) }
+
+// Ne computes x != y.
+func (bb *BlockBuilder) Ne(x, y Value) *Reg { return bb.Bin(Ne, x, y) }
+
+// Lt computes x < y.
+func (bb *BlockBuilder) Lt(x, y Value) *Reg { return bb.Bin(Lt, x, y) }
+
+// Cast reinterprets val as type to.
+func (bb *BlockBuilder) Cast(val Value, to Type) *Reg {
+	dst := bb.fb.newReg("", to)
+	bb.emit(&CastInstr{anInstr: newAnInstr(), Dst: dst, Val: val, To: to})
+	return dst
+}
+
+// Br emits an unconditional branch to target.
+func (bb *BlockBuilder) Br(target *BlockBuilder) {
+	bb.emit(&BrInstr{anInstr: newAnInstr(), Target: target.blk})
+}
+
+// CondBr branches to then when cond is true, else to els.
+func (bb *BlockBuilder) CondBr(cond Value, then, els *BlockBuilder) {
+	bb.emit(&CondBrInstr{anInstr: newAnInstr(), Cond: cond, Then: then.blk, Else: els.blk})
+}
+
+// Call emits a call; dst is nil for void callees.
+func (bb *BlockBuilder) Call(callee Value, args ...Value) *Reg {
+	var dst *Reg
+	if ft, ok := calleeSig(callee); ok && ft.Ret != nil && ft.Ret.Kind() != KindVoid {
+		dst = bb.fb.newReg("", ft.Ret)
+	}
+	bb.emit(&CallInstr{anInstr: newAnInstr(), Dst: dst, Callee: callee, Args: args})
+	return dst
+}
+
+func calleeSig(callee Value) (*FuncType, bool) {
+	ft, ok := callee.Type().(*FuncType)
+	return ft, ok
+}
+
+// Ret returns val from the function.
+func (bb *BlockBuilder) Ret(val Value) {
+	bb.emit(&RetInstr{anInstr: newAnInstr(), Val: val})
+}
+
+// RetVoid returns from a void function.
+func (bb *BlockBuilder) RetVoid() {
+	bb.emit(&RetInstr{anInstr: newAnInstr()})
+}
+
+// Spawn starts callee(args...) on a new thread and returns the thread id.
+func (bb *BlockBuilder) Spawn(callee Value, args ...Value) *Reg {
+	dst := bb.fb.newReg("", Int)
+	bb.emit(&SpawnInstr{anInstr: newAnInstr(), Dst: dst, Callee: callee, Args: args})
+	return dst
+}
+
+// Join waits for the thread identified by tid to exit.
+func (bb *BlockBuilder) Join(tid Value) {
+	bb.emit(&JoinInstr{anInstr: newAnInstr(), Tid: tid})
+}
+
+// Lock acquires the mutex at addr.
+func (bb *BlockBuilder) Lock(addr Value) {
+	bb.emit(&LockInstr{anInstr: newAnInstr(), Addr: addr})
+}
+
+// Unlock releases the mutex at addr.
+func (bb *BlockBuilder) Unlock(addr Value) {
+	bb.emit(&UnlockInstr{anInstr: newAnInstr(), Addr: addr})
+}
+
+// Wait releases the mutex at mu, blocks until cv is notified, then
+// reacquires mu.
+func (bb *BlockBuilder) Wait(mu, cv Value) {
+	bb.emit(&WaitInstr{anInstr: newAnInstr(), Mu: mu, Cv: cv})
+}
+
+// Notify wakes every waiter on the condition variable at cv.
+func (bb *BlockBuilder) Notify(cv Value) {
+	bb.emit(&NotifyInstr{anInstr: newAnInstr(), Cv: cv})
+}
+
+// Sleep advances virtual time by dur nanoseconds.
+func (bb *BlockBuilder) Sleep(dur Value) {
+	bb.emit(&SleepInstr{anInstr: newAnInstr(), Dur: dur})
+}
+
+// SleepNS advances virtual time by a constant number of nanoseconds.
+func (bb *BlockBuilder) SleepNS(ns int64) { bb.Sleep(ConstInt(ns)) }
+
+// Assert crashes with msg when cond is false.
+func (bb *BlockBuilder) Assert(cond Value, msg string) {
+	bb.emit(&AssertInstr{anInstr: newAnInstr(), Cond: cond, Msg: msg})
+}
+
+// Print appends args to the VM output log.
+func (bb *BlockBuilder) Print(args ...Value) {
+	bb.emit(&PrintInstr{anInstr: newAnInstr(), Args: args})
+}

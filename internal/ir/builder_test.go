@@ -1,0 +1,263 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildCounterModule builds a small module exercising most opcodes:
+// a global counter incremented in a loop with a lock held.
+func buildCounterModule(t *testing.T) *Module {
+	t.Helper()
+	b := NewBuilder("counter")
+	mu := b.Global("mu", Mutex)
+	ctr := b.GlobalInit("count", Int, 0)
+
+	inc := b.Func("inc", Void)
+	n := inc.Param("n", Int)
+	entry := inc.Block("entry")
+	loop := inc.Block("loop")
+	body := inc.Block("body")
+	done := inc.Block("done")
+
+	iAddr := entry.Alloca(Int)
+	entry.Store(ConstInt(0), iAddr)
+	entry.Br(loop)
+
+	i := loop.Load(iAddr)
+	cond := loop.Lt(i, n)
+	loop.CondBr(cond, body, done)
+
+	body.Lock(mu)
+	c := body.Load(ctr)
+	c2 := body.Add(c, ConstInt(1))
+	body.Store(c2, ctr)
+	body.Unlock(mu)
+	i2 := body.Add(body.Load(iAddr), ConstInt(1))
+	body.Store(i2, iAddr)
+	body.Br(loop)
+
+	done.RetVoid()
+
+	main := b.Func("main", Void)
+	me := main.Block("entry")
+	tid := me.Spawn(inc.Ref(), ConstInt(10))
+	me.Call(inc.Ref(), ConstInt(5))
+	me.Join(tid)
+	me.RetVoid()
+
+	return b.MustBuild()
+}
+
+func TestBuilderProducesVerifiedModule(t *testing.T) {
+	m := buildCounterModule(t)
+	if !m.Finalized() {
+		t.Fatal("module not finalized")
+	}
+	if m.NumInstrs() == 0 {
+		t.Fatal("no instructions")
+	}
+	if m.FuncByName("inc") == nil || m.FuncByName("main") == nil {
+		t.Fatal("missing functions")
+	}
+}
+
+func TestBuilderPCAssignment(t *testing.T) {
+	m := buildCounterModule(t)
+	// PCs must be dense and InstrAt must invert them.
+	want := PC(0)
+	m.Instrs(func(in Instr) {
+		if in.PC() != want {
+			t.Fatalf("PC = %d, want %d for %s", in.PC(), want, in)
+		}
+		if m.InstrAt(want) != in {
+			t.Fatalf("InstrAt(%d) mismatch", want)
+		}
+		want++
+	})
+	if int(want) != m.NumInstrs() {
+		t.Fatalf("iterated %d instrs, NumInstrs = %d", want, m.NumInstrs())
+	}
+}
+
+func TestBuilderBlockStructure(t *testing.T) {
+	m := buildCounterModule(t)
+	inc := m.FuncByName("inc")
+	if len(inc.Blocks) != 4 {
+		t.Fatalf("inc has %d blocks, want 4", len(inc.Blocks))
+	}
+	entry := inc.Entry()
+	if entry.Name != "entry" {
+		t.Fatalf("entry block = %s", entry.Name)
+	}
+	succs := entry.Succs()
+	if len(succs) != 1 || succs[0].Name != "loop" {
+		t.Fatalf("entry succs = %v", succs)
+	}
+	loop := inc.BlockByName("loop")
+	succs = loop.Succs()
+	if len(succs) != 2 || succs[0].Name != "body" || succs[1].Name != "done" {
+		t.Fatalf("loop succs = %v", succs)
+	}
+	if got := inc.NumInstrs(); got != 16 {
+		t.Fatalf("inc NumInstrs = %d, want 16", got)
+	}
+}
+
+func TestBuilderFuncOf(t *testing.T) {
+	m := buildCounterModule(t)
+	inc := m.FuncByName("inc")
+	pc := inc.Entry().FirstPC()
+	if m.FuncOf(pc) != inc {
+		t.Fatalf("FuncOf(%d) != inc", pc)
+	}
+	if m.FuncOf(NoPC) != nil {
+		t.Fatal("FuncOf(NoPC) should be nil")
+	}
+	if m.FuncOf(PC(m.NumInstrs())) != nil {
+		t.Fatal("FuncOf(out of range) should be nil")
+	}
+}
+
+func TestBuilderPanicsOnDuplicateFunc(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate function")
+		}
+	}()
+	b := NewBuilder("dup")
+	b.Func("f", Void)
+	b.Func("f", Void)
+}
+
+func TestBuilderPanicsOnDuplicateGlobal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate global")
+		}
+	}()
+	b := NewBuilder("dup")
+	b.Global("g", Int)
+	b.Global("g", Int)
+}
+
+func TestBuilderPanicsOnEmitAfterTerminator(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on emit after terminator")
+		}
+	}()
+	b := NewBuilder("term")
+	f := b.Func("main", Void)
+	e := f.Block("entry")
+	e.RetVoid()
+	e.RetVoid()
+}
+
+func TestBuilderPanicsOnUnknownField(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unknown field")
+		}
+	}()
+	b := NewBuilder("fields")
+	st := b.Struct("S", Field{"x", Int})
+	f := b.Func("main", Void)
+	e := f.Block("entry")
+	p := e.New(st)
+	e.FieldAddr(p, "nope")
+}
+
+func TestBuilderFieldAddrTypes(t *testing.T) {
+	b := NewBuilder("fields")
+	st := b.Struct("S", Field{"x", Int}, Field{"p", PtrTo(Int)})
+	f := b.Func("main", Void)
+	e := f.Block("entry")
+	p := e.New(st)
+	xa := e.FieldAddr(p, "x")
+	if xa.Typ.String() != "*int" {
+		t.Errorf("fieldaddr x type = %s, want *int", xa.Typ)
+	}
+	pa := e.FieldAddr(p, "p")
+	if pa.Typ.String() != "**int" {
+		t.Errorf("fieldaddr p type = %s, want **int", pa.Typ)
+	}
+	e.RetVoid()
+}
+
+func TestBuilderAutoNamesAreUnique(t *testing.T) {
+	b := NewBuilder("names")
+	f := b.Func("main", Void)
+	e := f.Block("entry")
+	seen := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		r := e.Alloca(Int)
+		if seen[r.Name] {
+			t.Fatalf("duplicate auto register name %s", r.Name)
+		}
+		seen[r.Name] = true
+	}
+	e.RetVoid()
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstrStringForms(t *testing.T) {
+	m := buildCounterModule(t)
+	var all []string
+	m.Instrs(func(in Instr) { all = append(all, in.String()) })
+	joined := strings.Join(all, "\n")
+	for _, want := range []string{"alloca int", "lock @mu", "unlock @mu",
+		"= spawn inc(10)", "join", "ret", "condbr", "br loop", "= add"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("instruction dump missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestAccessedPointerAndClassifiers(t *testing.T) {
+	m := buildCounterModule(t)
+	var loads, stores, locks, unlocks, terms int
+	m.Instrs(func(in Instr) {
+		switch in.Op() {
+		case OpLoad:
+			loads++
+			if AccessedPointer(in) == nil {
+				t.Error("load has no accessed pointer")
+			}
+			if !IsMemAccess(in) || IsSyncOp(in) {
+				t.Error("load misclassified")
+			}
+		case OpStore:
+			stores++
+			if AccessedPointer(in) == nil {
+				t.Error("store has no accessed pointer")
+			}
+		case OpLock:
+			locks++
+			if !IsSyncOp(in) || IsMemAccess(in) {
+				t.Error("lock misclassified")
+			}
+			if AccessedPointer(in) == nil {
+				t.Error("lock has no accessed pointer")
+			}
+		case OpUnlock:
+			unlocks++
+		case OpBin:
+			if AccessedPointer(in) != nil {
+				t.Error("bin should have no accessed pointer")
+			}
+		}
+		if IsTerminator(in) {
+			terms++
+		}
+	})
+	if loads == 0 || stores == 0 || locks != 1 || unlocks != 1 {
+		t.Errorf("loads=%d stores=%d locks=%d unlocks=%d", loads, stores, locks, unlocks)
+	}
+	// One terminator per block.
+	if terms != 5 {
+		t.Errorf("terminators = %d, want 5", terms)
+	}
+}

@@ -1,0 +1,94 @@
+package ir
+
+// CFG holds per-function control-flow-graph derivations: predecessor
+// lists and a reverse postorder. Analyses that walk backwards (the
+// Gist baseline's slicer, the diagnosis server's predecessor-trigger
+// fallback) build one per function instead of rescanning blocks.
+type CFG struct {
+	fn *Func
+	// preds maps each block to its predecessors, in layout order.
+	preds map[*Block][]*Block
+	// rpo is the blocks in reverse postorder from the entry.
+	rpo []*Block
+	// reachable marks blocks reachable from the entry.
+	reachable map[*Block]bool
+}
+
+// NewCFG computes the CFG of fn.
+func NewCFG(fn *Func) *CFG {
+	c := &CFG{
+		fn:        fn,
+		preds:     make(map[*Block][]*Block, len(fn.Blocks)),
+		reachable: make(map[*Block]bool, len(fn.Blocks)),
+	}
+	for _, b := range fn.Blocks {
+		for _, s := range b.Succs() {
+			c.preds[s] = append(c.preds[s], b)
+		}
+	}
+	// Postorder DFS from the entry, then reverse.
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		if c.reachable[b] {
+			return
+		}
+		c.reachable[b] = true
+		for _, s := range b.Succs() {
+			dfs(s)
+		}
+		post = append(post, b)
+	}
+	if entry := fn.Entry(); entry != nil {
+		dfs(entry)
+	}
+	c.rpo = make([]*Block, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		c.rpo = append(c.rpo, post[i])
+	}
+	return c
+}
+
+// Preds returns b's predecessor blocks.
+func (c *CFG) Preds(b *Block) []*Block { return c.preds[b] }
+
+// ReversePostorder returns the reachable blocks, entry first.
+func (c *CFG) ReversePostorder() []*Block { return c.rpo }
+
+// Reachable reports whether b is reachable from the entry.
+func (c *CFG) Reachable(b *Block) bool { return c.reachable[b] }
+
+// Dominates reports whether a dominates b: every path from the entry
+// to b passes through a. Computed by reachability with a removed —
+// O(V+E) per query, fine for the block counts involved here.
+func (c *CFG) Dominates(a, b *Block) bool {
+	if !c.reachable[b] || !c.reachable[a] {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	entry := c.fn.Entry()
+	if a == entry {
+		return true
+	}
+	seen := map[*Block]bool{a: true} // a blocks the walk
+	var dfs func(x *Block) bool
+	dfs = func(x *Block) bool {
+		if x == b {
+			return true
+		}
+		if seen[x] {
+			return false
+		}
+		seen[x] = true
+		for _, s := range x.Succs() {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	// If b is still reachable with a removed, a does not dominate it.
+	return !dfs(entry)
+}

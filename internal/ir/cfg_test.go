@@ -1,0 +1,142 @@
+package ir
+
+import "testing"
+
+const cfgSrc = `
+module cfg
+func main() {
+entry:
+  %x = add 1, 2
+  %c = lt %x, 10
+  condbr %c, loop, exit
+loop:
+  %c2 = lt %x, 5
+  condbr %c2, body, exit
+body:
+  br loop
+exit:
+  ret
+}
+func orphan() {
+entry:
+  br next
+next:
+  ret
+}
+`
+
+func TestCFGPreds(t *testing.T) {
+	m := mustParse(t, cfgSrc)
+	fn := m.FuncByName("main")
+	c := NewCFG(fn)
+	loop := fn.BlockByName("loop")
+	exit := fn.BlockByName("exit")
+	body := fn.BlockByName("body")
+	entry := fn.Entry()
+
+	if got := c.Preds(entry); len(got) != 0 {
+		t.Errorf("entry preds = %v", got)
+	}
+	if got := c.Preds(loop); len(got) != 2 {
+		t.Errorf("loop preds = %d, want 2 (entry, body)", len(got))
+	}
+	if got := c.Preds(exit); len(got) != 2 {
+		t.Errorf("exit preds = %d, want 2", len(got))
+	}
+	if got := c.Preds(body); len(got) != 1 || got[0] != loop {
+		t.Errorf("body preds = %v", got)
+	}
+}
+
+func TestCFGReversePostorder(t *testing.T) {
+	m := mustParse(t, cfgSrc)
+	fn := m.FuncByName("main")
+	c := NewCFG(fn)
+	rpo := c.ReversePostorder()
+	if len(rpo) != 4 {
+		t.Fatalf("rpo covers %d blocks, want 4", len(rpo))
+	}
+	if rpo[0] != fn.Entry() {
+		t.Error("rpo must start at the entry")
+	}
+	// Every block appears before its dominated successors: entry
+	// before loop before body.
+	pos := map[string]int{}
+	for i, b := range rpo {
+		pos[b.Name] = i
+	}
+	if pos["entry"] > pos["loop"] || pos["loop"] > pos["body"] {
+		t.Errorf("rpo order wrong: %v", pos)
+	}
+}
+
+func TestCFGReachability(t *testing.T) {
+	src := `
+module unreach
+func main() {
+entry:
+  ret
+dead:
+  ret
+}
+`
+	m := mustParse(t, src)
+	fn := m.FuncByName("main")
+	c := NewCFG(fn)
+	if !c.Reachable(fn.Entry()) {
+		t.Error("entry unreachable")
+	}
+	if c.Reachable(fn.BlockByName("dead")) {
+		t.Error("dead block marked reachable")
+	}
+	if len(c.ReversePostorder()) != 1 {
+		t.Error("rpo includes unreachable blocks")
+	}
+}
+
+func TestCFGDominates(t *testing.T) {
+	m := mustParse(t, cfgSrc)
+	fn := m.FuncByName("main")
+	c := NewCFG(fn)
+	entry := fn.Entry()
+	loop := fn.BlockByName("loop")
+	body := fn.BlockByName("body")
+	exit := fn.BlockByName("exit")
+
+	cases := []struct {
+		a, b *Block
+		want bool
+	}{
+		{entry, loop, true},
+		{entry, exit, true},
+		{loop, body, true},
+		{body, loop, false}, // loop reachable from entry directly
+		{loop, exit, false}, // exit reachable from entry directly
+		{body, body, true},
+	}
+	for _, tc := range cases {
+		if got := c.Dominates(tc.a, tc.b); got != tc.want {
+			t.Errorf("Dominates(%s, %s) = %v, want %v", tc.a.Name, tc.b.Name, got, tc.want)
+		}
+	}
+}
+
+func TestVerifyRejectsAggregateLoad(t *testing.T) {
+	src := `
+module agg
+struct Big {
+  a: int
+  b: int
+}
+global g: Big
+func main() {
+entry:
+  %v = load @g
+  ret
+}
+`
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("aggregate load accepted")
+	}
+}

@@ -1,0 +1,128 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the parser's total robustness: any input either
+// fails with a ParseError-shaped error or produces a verified module
+// whose printed form is a parse/print fixpoint.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleSrc)
+	f.Add(cfgSrc)
+	f.Add(`
+module cv
+global mu: mutex
+global c: cond
+func main() {
+entry:
+  lock @mu
+  wait @mu, @c
+  notify @c
+  unlock @mu
+  ret
+}
+`)
+	f.Add("module m\nfunc main() {\nentry:\n  ret\n}\n")
+	f.Add("not a module at all")
+	f.Add("module x\nstruct S {\n a: [3]*int\n}\nglobal g: *S\nfunc main() {\nentry:\n  %p = load @g\n  ret\n}\n")
+	f.Add("module y\nfunc main() {\nentry:\n  %x = add 1, 9223372036854775807\n  print %x\n  ret\n}\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		text := Print(m)
+		m2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("printed module does not reparse: %v\n%s", err, text)
+		}
+		if Print(m2) != text {
+			t.Fatal("print/parse not a fixpoint")
+		}
+		if m2.NumInstrs() != m.NumInstrs() {
+			t.Fatalf("instruction count changed: %d -> %d", m.NumInstrs(), m2.NumInstrs())
+		}
+	})
+}
+
+func TestCondRoundTrip(t *testing.T) {
+	src := `
+module cvrt
+global mu: mutex
+global c: cond
+global n: int
+
+func waiter() {
+entry:
+  lock @mu
+  wait @mu, @c
+  unlock @mu
+  ret
+}
+
+func main() {
+entry:
+  %t = spawn waiter()
+  sleep 100000
+  lock @mu
+  store 1, @n
+  notify @c
+  unlock @mu
+  join %t
+  ret
+}
+`
+	m := mustParse(t, src)
+	var waits, notifies int
+	m.Instrs(func(in Instr) {
+		switch in.Op() {
+		case OpWait:
+			waits++
+			w := in.(*WaitInstr)
+			if Deref(w.Mu.Type()).Kind() != KindMutex || Deref(w.Cv.Type()).Kind() != KindCond {
+				t.Error("wait operand types wrong")
+			}
+			if AccessedPointer(in) != w.Cv {
+				t.Error("wait accessed pointer must be the cond")
+			}
+			if !IsSyncOp(in) {
+				t.Error("wait not a sync op")
+			}
+		case OpNotify:
+			notifies++
+		}
+	})
+	if waits != 1 || notifies != 1 {
+		t.Fatalf("waits=%d notifies=%d", waits, notifies)
+	}
+	text := Print(m)
+	if !strings.Contains(text, "wait @mu, @c") || !strings.Contains(text, "notify @c") {
+		t.Errorf("printed form: %s", text)
+	}
+	m2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if Print(m2) != text {
+		t.Error("round trip not a fixpoint")
+	}
+}
+
+func TestVerifyWaitTypeErrors(t *testing.T) {
+	cases := []string{
+		// cond where mutex expected
+		"module m\nglobal c: cond\nglobal d: cond\nfunc main() {\nentry:\n  wait @c, @d\n  ret\n}\n",
+		// mutex where cond expected
+		"module m\nglobal mu: mutex\nglobal mv: mutex\nfunc main() {\nentry:\n  wait @mu, @mv\n  ret\n}\n",
+		// notify on int
+		"module m\nglobal n: int\nfunc main() {\nentry:\n  notify @n\n  ret\n}\n",
+	}
+	for i, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("case %d: type-confused wait/notify accepted", i)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Global is a module-level variable. Its storage is allocated by the
+// VM before main starts and zero initialized (Init, when non-nil,
+// overrides the first word).
+type Global struct {
+	Name string
+	Typ  Type
+	Init *Const // optional scalar initializer
+}
+
+// Func is a function: an ordered list of basic blocks plus the
+// function's registers. Params are the first len(Params) registers.
+type Func struct {
+	Name   string
+	Sig    *FuncType
+	Params []*Reg
+	Blocks []*Block
+	// Regs is every register of the function, indexed by Reg.Index.
+	Regs []*Reg
+}
+
+// Entry returns the function's entry block.
+func (f *Func) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// BlockByName returns the named block, or nil.
+func (f *Func) BlockByName(name string) *Block {
+	for _, b := range f.Blocks {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// NumInstrs returns the number of static instructions in the function.
+func (f *Func) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+func (f *Func) String() string { return f.Name }
+
+// Block is a basic block: a maximal straight-line instruction sequence
+// ending in a terminator.
+type Block struct {
+	Name   string
+	Parent *Func
+	Instrs []Instr
+	// Index is the block's position within Parent.Blocks.
+	Index int
+}
+
+// Terminator returns the block's final instruction, or nil when the
+// block is empty or not yet terminated.
+func (b *Block) Terminator() Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	t := b.Instrs[len(b.Instrs)-1]
+	if !IsTerminator(t) {
+		return nil
+	}
+	return t
+}
+
+// Succs returns the control-flow successor blocks.
+func (b *Block) Succs() []*Block {
+	switch t := b.Terminator().(type) {
+	case *BrInstr:
+		return []*Block{t.Target}
+	case *CondBrInstr:
+		return []*Block{t.Then, t.Else}
+	}
+	return nil
+}
+
+// FirstPC returns the PC of the block's first instruction, or NoPC for
+// an empty block.
+func (b *Block) FirstPC() PC {
+	if len(b.Instrs) == 0 {
+		return NoPC
+	}
+	return b.Instrs[0].PC()
+}
+
+func (b *Block) String() string { return b.Parent.Name + ":" + b.Name }
+
+// Module is a complete IR program: named struct types, globals, and
+// functions. After construction, Finalize must be called to assign
+// PCs before the module is executed or analyzed.
+type Module struct {
+	Name    string
+	Structs []*StructType
+	Globals []*Global
+	Funcs   []*Func
+
+	finalized bool
+	// pcTable maps every PC to its instruction; built by Finalize.
+	pcTable []Instr
+}
+
+// NewModule returns an empty module with the given name.
+func NewModule(name string) *Module { return &Module{Name: name} }
+
+// FuncByName returns the named function, or nil.
+func (m *Module) FuncByName(name string) *Func {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// GlobalByName returns the named global, or nil.
+func (m *Module) GlobalByName(name string) *Global {
+	for _, g := range m.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// StructByName returns the named struct type, or nil.
+func (m *Module) StructByName(name string) *StructType {
+	for _, s := range m.Structs {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Finalize assigns dense PCs to every instruction in layout order,
+// records block parents and indices, and builds the PC lookup table.
+// Finalize is idempotent.
+func (m *Module) Finalize() {
+	m.pcTable = m.pcTable[:0]
+	var pc PC
+	for _, f := range m.Funcs {
+		for bi, b := range f.Blocks {
+			b.Parent = f
+			b.Index = bi
+			for _, in := range b.Instrs {
+				in.setPos(pc, b)
+				m.pcTable = append(m.pcTable, in)
+				pc++
+			}
+		}
+	}
+	m.finalized = true
+}
+
+// Finalized reports whether Finalize has run.
+func (m *Module) Finalized() bool { return m.finalized }
+
+// NumInstrs returns the number of static instructions in the module.
+// The module must be finalized.
+func (m *Module) NumInstrs() int { return len(m.pcTable) }
+
+// InstrAt returns the instruction at the given PC. The module must be
+// finalized and the PC valid.
+func (m *Module) InstrAt(pc PC) Instr {
+	if int(pc) < 0 || int(pc) >= len(m.pcTable) {
+		panic(fmt.Sprintf("ir: PC %d out of range [0,%d)", pc, len(m.pcTable)))
+	}
+	return m.pcTable[pc]
+}
+
+// Instrs calls fn for every instruction in the module in layout order.
+func (m *Module) Instrs(fn func(Instr)) {
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				fn(in)
+			}
+		}
+	}
+}
+
+// FuncOf returns the function containing the given PC, or nil. The
+// module must be finalized.
+func (m *Module) FuncOf(pc PC) *Func {
+	if int(pc) < 0 || int(pc) >= len(m.pcTable) {
+		return nil
+	}
+	return m.pcTable[pc].Block().Parent
+}
+
+// SortedFuncNames returns the function names in sorted order; useful
+// for deterministic reports.
+func (m *Module) SortedFuncNames() []string {
+	names := make([]string, len(m.Funcs))
+	for i, f := range m.Funcs {
+		names[i] = f.Name
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,128 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the module in the textual IR format accepted by Parse.
+func Print(m *Module) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s\n", m.Name)
+	for _, st := range m.Structs {
+		sb.WriteString("\n")
+		fmt.Fprintf(&sb, "struct %s {\n", st.Name)
+		for _, f := range st.Fields {
+			fmt.Fprintf(&sb, "  %s: %s\n", f.Name, f.Type)
+		}
+		sb.WriteString("}\n")
+	}
+	if len(m.Globals) > 0 {
+		sb.WriteString("\n")
+	}
+	for _, g := range m.Globals {
+		if g.Init != nil {
+			fmt.Fprintf(&sb, "global %s: %s = %d\n", g.Name, g.Typ, g.Init.Val)
+		} else {
+			fmt.Fprintf(&sb, "global %s: %s\n", g.Name, g.Typ)
+		}
+	}
+	for _, f := range m.Funcs {
+		sb.WriteString("\n")
+		sb.WriteString(printFuncHeader(f))
+		sb.WriteString(" {\n")
+		for _, b := range f.Blocks {
+			fmt.Fprintf(&sb, "%s:\n", b.Name)
+			for _, in := range b.Instrs {
+				fmt.Fprintf(&sb, "  %s\n", printInstr(in))
+			}
+		}
+		sb.WriteString("}\n")
+	}
+	return sb.String()
+}
+
+func printFuncHeader(f *Func) string {
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = fmt.Sprintf("%s: %s", p.Name, p.Typ)
+	}
+	h := fmt.Sprintf("func %s(%s)", f.Name, strings.Join(params, ", "))
+	if f.Sig.Ret != nil && f.Sig.Ret.Kind() != KindVoid {
+		h += " " + f.Sig.Ret.String()
+	}
+	return h
+}
+
+// printInstr renders one instruction in parseable syntax. It matches
+// Instr.String for most opcodes but uses parse-friendly forms for
+// typed nulls.
+func printInstr(in Instr) string {
+	// The String methods already emit the parseable grammar; nulls are
+	// the one exception, handled by operand rendering below.
+	switch i := in.(type) {
+	case *StoreInstr:
+		return fmt.Sprintf("store %s, %s", operand(i.Val), operand(i.Addr))
+	case *LoadInstr:
+		return fmt.Sprintf("%s = load %s", i.Dst, operand(i.Addr))
+	case *BinInstr:
+		return fmt.Sprintf("%s = %s %s, %s", i.Dst, i.BOp, operand(i.X), operand(i.Y))
+	case *CallInstr:
+		s := fmt.Sprintf("call %s(%s)", calleeName(i.Callee), operands(i.Args))
+		if i.Dst != nil {
+			s = i.Dst.String() + " = " + s
+		}
+		return s
+	case *SpawnInstr:
+		return fmt.Sprintf("%s = spawn %s(%s)", i.Dst, calleeName(i.Callee), operands(i.Args))
+	case *RetInstr:
+		if i.Val == nil {
+			return "ret"
+		}
+		return "ret " + operand(i.Val)
+	case *CondBrInstr:
+		return fmt.Sprintf("condbr %s, %s, %s", operand(i.Cond), i.Then.Name, i.Else.Name)
+	case *AssertInstr:
+		return fmt.Sprintf("assert %s, %q", operand(i.Cond), i.Msg)
+	case *PrintInstr:
+		return "print " + operands(i.Args)
+	case *SleepInstr:
+		return "sleep " + operand(i.Dur)
+	case *JoinInstr:
+		return "join " + operand(i.Tid)
+	case *LockInstr:
+		return "lock " + operand(i.Addr)
+	case *UnlockInstr:
+		return "unlock " + operand(i.Addr)
+	case *WaitInstr:
+		return fmt.Sprintf("wait %s, %s", operand(i.Mu), operand(i.Cv))
+	case *NotifyInstr:
+		return "notify " + operand(i.Cv)
+	default:
+		return in.String()
+	}
+}
+
+func operands(vs []Value) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = operand(v)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// operand renders a value in parseable syntax: typed nulls are written
+// "null:T" so the parser can recover their pointer type.
+func operand(v Value) string {
+	if c, ok := v.(*Const); ok && c.Typ.Kind() == KindPtr && c.Val == 0 {
+		return "null:" + c.Typ.String()
+	}
+	return v.String()
+}
+
+func calleeName(v Value) string {
+	if fr, ok := v.(*FuncRef); ok {
+		return fr.Func.Name
+	}
+	return v.String()
+}

@@ -1,0 +1,234 @@
+// Package ir defines the typed intermediate representation consumed by
+// every analysis in this repository.
+//
+// The IR plays the role LLVM bitcode plays in the Snorlax paper (SOSP
+// 2017): it is the common substrate shared by the virtual machine that
+// executes programs (internal/vm), the simulated processor-trace
+// encoder/decoder (internal/pt), and the static analyses of Lazy
+// Diagnosis (points-to analysis, type-based ranking, bug-pattern
+// computation).
+//
+// The IR is register based (not SSA): each function owns a set of
+// virtual registers that instructions may assign to repeatedly. This
+// keeps the interpreter and the textual format simple while preserving
+// everything Lazy Diagnosis needs — opcodes, pointer operands, static
+// types, the control-flow graph, and a stable program-counter mapping.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates the classes of IR types.
+type Kind int
+
+// The type kinds of the IR.
+const (
+	KindVoid Kind = iota
+	KindInt
+	KindBool
+	KindPtr
+	KindStruct
+	KindArray
+	KindFunc
+	KindMutex
+	KindCond
+)
+
+// Type is the interface implemented by all IR types.
+type Type interface {
+	Kind() Kind
+	String() string
+	// Size reports the abstract size of the type in bytes. Every
+	// scalar slot (int, bool, pointer, mutex) occupies one 8-byte
+	// word; aggregates are the sum of their parts. The VM's memory
+	// model is word addressed, so Size/8 is the number of slots.
+	Size() int64
+}
+
+type (
+	voidType  struct{}
+	intType   struct{}
+	boolType  struct{}
+	mutexType struct{}
+	condType  struct{}
+)
+
+// Singleton instances of the scalar types.
+var (
+	Void  Type = voidType{}
+	Int   Type = intType{}
+	Bool  Type = boolType{}
+	Mutex Type = mutexType{}
+	// Cond is a condition variable usable with wait/notify.
+	Cond Type = condType{}
+)
+
+func (voidType) Kind() Kind     { return KindVoid }
+func (voidType) String() string { return "void" }
+func (voidType) Size() int64    { return 0 }
+
+func (intType) Kind() Kind     { return KindInt }
+func (intType) String() string { return "int" }
+func (intType) Size() int64    { return 8 }
+
+func (boolType) Kind() Kind     { return KindBool }
+func (boolType) String() string { return "bool" }
+func (boolType) Size() int64    { return 8 }
+
+func (mutexType) Kind() Kind     { return KindMutex }
+func (mutexType) String() string { return "mutex" }
+func (mutexType) Size() int64    { return 8 }
+
+func (condType) Kind() Kind     { return KindCond }
+func (condType) String() string { return "cond" }
+func (condType) Size() int64    { return 8 }
+
+// PtrType is a typed pointer.
+type PtrType struct {
+	Elem Type
+}
+
+// PtrTo returns the pointer type with element type elem.
+func PtrTo(elem Type) *PtrType { return &PtrType{Elem: elem} }
+
+// Kind implements Type.
+func (*PtrType) Kind() Kind { return KindPtr }
+
+func (p *PtrType) String() string { return "*" + p.Elem.String() }
+
+// Size implements Type; pointers are one word.
+func (*PtrType) Size() int64 { return 8 }
+
+// Field is a named member of a StructType.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// StructType is a named aggregate with ordered fields. Struct types
+// are nominal: two structs are the same type only if they are the same
+// *StructType object (obtained from the module's type table).
+type StructType struct {
+	Name   string
+	Fields []Field
+}
+
+// Kind implements Type.
+func (*StructType) Kind() Kind { return KindStruct }
+
+func (s *StructType) String() string { return s.Name }
+
+// Size implements Type.
+func (s *StructType) Size() int64 {
+	var n int64
+	for _, f := range s.Fields {
+		n += f.Type.Size()
+	}
+	return n
+}
+
+// FieldIndex returns the index of the field with the given name, or -1.
+func (s *StructType) FieldIndex(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// FieldOffset returns the word offset of field i within the struct.
+func (s *StructType) FieldOffset(i int) int64 {
+	var off int64
+	for j := 0; j < i; j++ {
+		off += s.Fields[j].Type.Size() / 8
+	}
+	return off
+}
+
+// ArrayType is a fixed-length homogeneous aggregate.
+type ArrayType struct {
+	Elem Type
+	Len  int64
+}
+
+// ArrayOf returns the array type [n]elem.
+func ArrayOf(elem Type, n int64) *ArrayType { return &ArrayType{Elem: elem, Len: n} }
+
+// Kind implements Type.
+func (*ArrayType) Kind() Kind { return KindArray }
+
+func (a *ArrayType) String() string { return fmt.Sprintf("[%d]%s", a.Len, a.Elem) }
+
+// Size implements Type.
+func (a *ArrayType) Size() int64 { return a.Len * a.Elem.Size() }
+
+// FuncType describes a function signature.
+type FuncType struct {
+	Params []Type
+	Ret    Type
+}
+
+// Kind implements Type.
+func (*FuncType) Kind() Kind { return KindFunc }
+
+func (f *FuncType) String() string {
+	parts := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		parts[i] = p.String()
+	}
+	s := "func(" + strings.Join(parts, ", ") + ")"
+	if f.Ret != nil && f.Ret.Kind() != KindVoid {
+		s += " " + f.Ret.String()
+	}
+	return s
+}
+
+// Size implements Type; function values are one word (a code address).
+func (*FuncType) Size() int64 { return 8 }
+
+// TypesEqual reports structural equality for scalar, pointer, array
+// and function types and nominal identity for struct types. It is the
+// equality used by the verifier and by type-based ranking.
+func TypesEqual(a, b Type) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch at := a.(type) {
+	case voidType, intType, boolType, mutexType, condType:
+		return true
+	case *PtrType:
+		return TypesEqual(at.Elem, b.(*PtrType).Elem)
+	case *StructType:
+		return at == b.(*StructType)
+	case *ArrayType:
+		bt := b.(*ArrayType)
+		return at.Len == bt.Len && TypesEqual(at.Elem, bt.Elem)
+	case *FuncType:
+		bt := b.(*FuncType)
+		if len(at.Params) != len(bt.Params) || !TypesEqual(at.Ret, bt.Ret) {
+			return false
+		}
+		for i := range at.Params {
+			if !TypesEqual(at.Params[i], bt.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Deref returns the element type of a pointer type, or nil if t is not
+// a pointer.
+func Deref(t Type) Type {
+	if p, ok := t.(*PtrType); ok {
+		return p.Elem
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarTypeProperties(t *testing.T) {
+	cases := []struct {
+		t    Type
+		kind Kind
+		str  string
+		size int64
+	}{
+		{Void, KindVoid, "void", 0},
+		{Int, KindInt, "int", 8},
+		{Bool, KindBool, "bool", 8},
+		{Mutex, KindMutex, "mutex", 8},
+	}
+	for _, c := range cases {
+		if c.t.Kind() != c.kind {
+			t.Errorf("%s: kind = %v, want %v", c.str, c.t.Kind(), c.kind)
+		}
+		if c.t.String() != c.str {
+			t.Errorf("String() = %q, want %q", c.t.String(), c.str)
+		}
+		if c.t.Size() != c.size {
+			t.Errorf("%s: size = %d, want %d", c.str, c.t.Size(), c.size)
+		}
+	}
+}
+
+func TestPtrType(t *testing.T) {
+	p := PtrTo(Int)
+	if p.Kind() != KindPtr {
+		t.Fatalf("kind = %v", p.Kind())
+	}
+	if p.String() != "*int" {
+		t.Fatalf("String() = %q", p.String())
+	}
+	if p.Size() != 8 {
+		t.Fatalf("size = %d", p.Size())
+	}
+	pp := PtrTo(p)
+	if pp.String() != "**int" {
+		t.Fatalf("String() = %q", pp.String())
+	}
+	if Deref(pp) != Type(p) {
+		t.Fatalf("Deref(**int) != *int")
+	}
+	if Deref(Int) != nil {
+		t.Fatalf("Deref(int) should be nil")
+	}
+}
+
+func TestStructType(t *testing.T) {
+	st := &StructType{Name: "Queue", Fields: []Field{
+		{Name: "head", Type: Int},
+		{Name: "tail", Type: Int},
+		{Name: "buf", Type: PtrTo(Int)},
+	}}
+	if st.Size() != 24 {
+		t.Errorf("size = %d, want 24", st.Size())
+	}
+	if got := st.FieldIndex("tail"); got != 1 {
+		t.Errorf("FieldIndex(tail) = %d, want 1", got)
+	}
+	if got := st.FieldIndex("missing"); got != -1 {
+		t.Errorf("FieldIndex(missing) = %d, want -1", got)
+	}
+	if got := st.FieldOffset(2); got != 2 {
+		t.Errorf("FieldOffset(2) = %d, want 2 words", got)
+	}
+	if st.String() != "Queue" {
+		t.Errorf("String() = %q", st.String())
+	}
+}
+
+func TestStructFieldOffsetsMonotonic(t *testing.T) {
+	// Property: field offsets are strictly increasing and bounded by
+	// the struct word size, for arbitrary field counts.
+	check := func(nFields uint8) bool {
+		n := int(nFields%16) + 1
+		fields := make([]Field, n)
+		for i := range fields {
+			if i%2 == 0 {
+				fields[i] = Field{Name: "f", Type: Int}
+			} else {
+				fields[i] = Field{Name: "g", Type: PtrTo(Int)}
+			}
+		}
+		st := &StructType{Name: "S", Fields: fields}
+		prev := int64(-1)
+		for i := range fields {
+			off := st.FieldOffset(i)
+			if off <= prev || off >= st.Size()/8+1 {
+				return false
+			}
+			prev = off
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArrayType(t *testing.T) {
+	a := ArrayOf(Int, 10)
+	if a.String() != "[10]int" {
+		t.Errorf("String() = %q", a.String())
+	}
+	if a.Size() != 80 {
+		t.Errorf("size = %d, want 80", a.Size())
+	}
+	nested := ArrayOf(a, 3)
+	if nested.Size() != 240 {
+		t.Errorf("nested size = %d, want 240", nested.Size())
+	}
+}
+
+func TestFuncTypeString(t *testing.T) {
+	ft := &FuncType{Params: []Type{Int, PtrTo(Bool)}, Ret: Int}
+	if got := ft.String(); got != "func(int, *bool) int" {
+		t.Errorf("String() = %q", got)
+	}
+	vf := &FuncType{Ret: Void}
+	if got := vf.String(); got != "func()" {
+		t.Errorf("void String() = %q", got)
+	}
+}
+
+func TestTypesEqual(t *testing.T) {
+	q1 := &StructType{Name: "Q", Fields: []Field{{"x", Int}}}
+	q2 := &StructType{Name: "Q", Fields: []Field{{"x", Int}}}
+	cases := []struct {
+		a, b Type
+		want bool
+	}{
+		{Int, Int, true},
+		{Int, Bool, false},
+		{PtrTo(Int), PtrTo(Int), true},
+		{PtrTo(Int), PtrTo(Bool), false},
+		{q1, q1, true},
+		{q1, q2, false}, // nominal: same name but distinct objects differ
+		{ArrayOf(Int, 3), ArrayOf(Int, 3), true},
+		{ArrayOf(Int, 3), ArrayOf(Int, 4), false},
+		{&FuncType{Params: []Type{Int}, Ret: Void}, &FuncType{Params: []Type{Int}, Ret: Void}, true},
+		{&FuncType{Params: []Type{Int}, Ret: Void}, &FuncType{Params: []Type{Bool}, Ret: Void}, false},
+		{&FuncType{Params: []Type{Int}, Ret: Int}, &FuncType{Params: []Type{Int}, Ret: Void}, false},
+		{nil, nil, true},
+		{Int, nil, false},
+	}
+	for _, c := range cases {
+		if got := TypesEqual(c.a, c.b); got != c.want {
+			t.Errorf("TypesEqual(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTypesEqualSymmetric(t *testing.T) {
+	pool := []Type{Int, Bool, Mutex, PtrTo(Int), PtrTo(PtrTo(Bool)),
+		ArrayOf(Int, 2), &StructType{Name: "S", Fields: []Field{{"a", Int}}},
+		&FuncType{Params: []Type{Int}, Ret: Bool}}
+	for _, a := range pool {
+		for _, b := range pool {
+			if TypesEqual(a, b) != TypesEqual(b, a) {
+				t.Errorf("TypesEqual not symmetric for %v, %v", a, b)
+			}
+		}
+		if !TypesEqual(a, a) {
+			t.Errorf("TypesEqual not reflexive for %v", a)
+		}
+	}
+}
+
+func TestConstValues(t *testing.T) {
+	if c := ConstInt(42); c.Val != 42 || c.Typ != Int || c.String() != "42" {
+		t.Errorf("ConstInt broken: %+v", c)
+	}
+	if c := ConstBool(true); c.Val != 1 || c.String() != "true" {
+		t.Errorf("ConstBool(true) broken: %+v", c)
+	}
+	if c := ConstBool(false); c.Val != 0 || c.String() != "false" {
+		t.Errorf("ConstBool(false) broken: %+v", c)
+	}
+	n := Null(PtrTo(Int))
+	if n.Val != 0 || n.String() != "null" {
+		t.Errorf("Null broken: %+v", n)
+	}
+}

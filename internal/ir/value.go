@@ -1,0 +1,98 @@
+package ir
+
+import "fmt"
+
+// Value is an operand of an instruction: a constant, a virtual
+// register, a reference to a global, or a reference to a function.
+type Value interface {
+	Type() Type
+	String() string
+	value() // sealed
+}
+
+// Const is an integer or boolean literal. The null pointer is a Const
+// with a pointer type and Val 0.
+type Const struct {
+	Val int64
+	Typ Type
+}
+
+// ConstInt returns an integer constant.
+func ConstInt(v int64) *Const { return &Const{Val: v, Typ: Int} }
+
+// ConstBool returns a boolean constant.
+func ConstBool(v bool) *Const {
+	n := int64(0)
+	if v {
+		n = 1
+	}
+	return &Const{Val: n, Typ: Bool}
+}
+
+// Null returns the null pointer of the given pointer type.
+func Null(t *PtrType) *Const { return &Const{Val: 0, Typ: t} }
+
+// Type implements Value.
+func (c *Const) Type() Type { return c.Typ }
+
+func (c *Const) String() string {
+	switch c.Typ.Kind() {
+	case KindBool:
+		if c.Val != 0 {
+			return "true"
+		}
+		return "false"
+	case KindPtr:
+		if c.Val == 0 {
+			return "null"
+		}
+		return fmt.Sprintf("ptr:%d", c.Val)
+	default:
+		return fmt.Sprintf("%d", c.Val)
+	}
+}
+
+func (*Const) value() {}
+
+// Reg is a virtual register local to a function. Registers are created
+// by the function builder; Index is the register's slot in the
+// function's frame.
+type Reg struct {
+	Name  string
+	Index int
+	Typ   Type
+}
+
+// Type implements Value.
+func (r *Reg) Type() Type { return r.Typ }
+
+func (r *Reg) String() string { return "%" + r.Name }
+
+func (*Reg) value() {}
+
+// GlobalRef is a reference to a module-level global variable. Its
+// value is the address of the global, so its type is a pointer to the
+// global's declared type.
+type GlobalRef struct {
+	Global *Global
+}
+
+// Type implements Value.
+func (g *GlobalRef) Type() Type { return PtrTo(g.Global.Typ) }
+
+func (g *GlobalRef) String() string { return "@" + g.Global.Name }
+
+func (*GlobalRef) value() {}
+
+// FuncRef is a reference to a module function, used as a call target
+// or stored for indirect calls.
+type FuncRef struct {
+	Func *Func
+}
+
+// Type implements Value.
+func (f *FuncRef) Type() Type { return f.Func.Sig }
+
+func (f *FuncRef) String() string { return f.Func.Name }
+
+func (*FuncRef) value() {}

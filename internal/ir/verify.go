@@ -1,0 +1,218 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Verify checks the structural and type invariants of a module:
+//
+//   - every block is non-empty and ends in exactly one terminator;
+//   - branch targets belong to the same function;
+//   - loads, stores, locks, unlocks and field/index address
+//     computations operate on operands of pointer type;
+//   - lock/unlock pointers point at mutexes;
+//   - direct calls and spawns match the callee's signature;
+//   - return values match the function's return type;
+//   - struct field indices are in range;
+//   - a function named main with no parameters exists.
+//
+// Verify returns an error joining every violation found.
+func Verify(m *Module) error {
+	var errs []error
+	report := func(f *Func, b *Block, format string, args ...any) {
+		where := ""
+		if f != nil {
+			where = f.Name
+			if b != nil {
+				where += ":" + b.Name
+			}
+			where += ": "
+		}
+		errs = append(errs, fmt.Errorf("%s%s", where, fmt.Sprintf(format, args...)))
+	}
+
+	main := m.FuncByName("main")
+	if main == nil {
+		report(nil, nil, "module %s has no main function", m.Name)
+	} else if len(main.Params) != 0 {
+		report(main, nil, "main must take no parameters")
+	}
+
+	for _, st := range m.Structs {
+		if len(st.Fields) == 0 {
+			report(nil, nil, "struct %s has no fields (declared but never defined?)", st.Name)
+		}
+	}
+
+	for _, f := range m.Funcs {
+		if len(f.Blocks) == 0 {
+			report(f, nil, "function has no blocks")
+			continue
+		}
+		for _, b := range f.Blocks {
+			if len(b.Instrs) == 0 {
+				report(f, b, "empty block")
+				continue
+			}
+			if b.Terminator() == nil {
+				report(f, b, "block does not end in a terminator")
+			}
+			for idx, in := range b.Instrs {
+				if IsTerminator(in) && idx != len(b.Instrs)-1 {
+					report(f, b, "terminator %q in middle of block", in)
+				}
+				verifyInstr(f, b, in, report)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func verifyInstr(f *Func, b *Block, in Instr, report func(*Func, *Block, string, ...any)) {
+	switch i := in.(type) {
+	case *LoadInstr:
+		elem := Deref(i.Addr.Type())
+		if elem == nil {
+			report(f, b, "load through non-pointer %s", i.Addr)
+		} else if !isScalar(elem) {
+			report(f, b, "load of aggregate type %s (loads move one word)", elem)
+		} else if !TypesEqual(elem, i.Dst.Typ) {
+			report(f, b, "load type mismatch: %s into %%%s of type %s", elem, i.Dst.Name, i.Dst.Typ)
+		}
+	case *StoreInstr:
+		elem := Deref(i.Addr.Type())
+		if elem == nil {
+			report(f, b, "store through non-pointer %s", i.Addr)
+		} else if !isScalar(elem) {
+			report(f, b, "store of aggregate type %s (stores move one word)", elem)
+		} else if !TypesEqual(elem, i.Val.Type()) {
+			report(f, b, "store type mismatch: %s into *%s", i.Val.Type(), elem)
+		}
+	case *FieldAddrInstr:
+		st := i.StructType()
+		if st == nil {
+			report(f, b, "fieldaddr on non-struct-pointer %s", i.Base)
+		} else if i.Field < 0 || i.Field >= len(st.Fields) {
+			report(f, b, "fieldaddr index %d out of range for %s", i.Field, st.Name)
+		}
+	case *IndexAddrInstr:
+		if _, ok := Deref(i.Base.Type()).(*ArrayType); !ok {
+			report(f, b, "indexaddr on non-array-pointer %s", i.Base)
+		}
+		if i.Index.Type().Kind() != KindInt {
+			report(f, b, "indexaddr with non-int index %s", i.Index)
+		}
+	case *BinInstr:
+		if i.BOp.IsComparison() {
+			if i.Dst.Typ.Kind() != KindBool {
+				report(f, b, "comparison %s must define a bool register", i.BOp)
+			}
+		} else if i.Dst.Typ.Kind() != KindInt {
+			report(f, b, "arithmetic %s must define an int register", i.BOp)
+		}
+	case *CondBrInstr:
+		if i.Cond.Type().Kind() != KindBool {
+			report(f, b, "condbr on non-bool %s", i.Cond)
+		}
+		verifyTarget(f, b, i.Then, report)
+		verifyTarget(f, b, i.Else, report)
+	case *BrInstr:
+		verifyTarget(f, b, i.Target, report)
+	case *CallInstr:
+		verifyCall(f, b, i.Callee, i.Args, i.Dst, report)
+	case *SpawnInstr:
+		verifyCall(f, b, i.Callee, i.Args, nil, report)
+	case *RetInstr:
+		want := f.Sig.Ret
+		if want == nil || want.Kind() == KindVoid {
+			if i.Val != nil {
+				report(f, b, "ret with value in void function")
+			}
+		} else {
+			if i.Val == nil {
+				report(f, b, "ret without value in %s function", want)
+			} else if !TypesEqual(i.Val.Type(), want) {
+				report(f, b, "ret type %s, want %s", i.Val.Type(), want)
+			}
+		}
+	case *LockInstr:
+		verifyMutexPtr(f, b, i.Addr, "lock", report)
+	case *UnlockInstr:
+		verifyMutexPtr(f, b, i.Addr, "unlock", report)
+	case *WaitInstr:
+		verifyMutexPtr(f, b, i.Mu, "wait", report)
+		verifyCondPtr(f, b, i.Cv, "wait", report)
+	case *NotifyInstr:
+		verifyCondPtr(f, b, i.Cv, "notify", report)
+	case *JoinInstr:
+		if i.Tid.Type().Kind() != KindInt {
+			report(f, b, "join on non-int %s", i.Tid)
+		}
+	case *SleepInstr:
+		if i.Dur.Type().Kind() != KindInt {
+			report(f, b, "sleep with non-int duration %s", i.Dur)
+		}
+	case *AssertInstr:
+		if i.Cond.Type().Kind() != KindBool {
+			report(f, b, "assert on non-bool %s", i.Cond)
+		}
+	}
+}
+
+// isScalar reports whether a type occupies one word and may be moved
+// by a single load or store.
+func isScalar(t Type) bool {
+	switch t.Kind() {
+	case KindInt, KindBool, KindPtr, KindMutex, KindFunc:
+		return true
+	}
+	return false
+}
+
+func verifyTarget(f *Func, b *Block, target *Block, report func(*Func, *Block, string, ...any)) {
+	if target == nil {
+		report(f, b, "branch to nil block")
+		return
+	}
+	for _, blk := range f.Blocks {
+		if blk == target {
+			return
+		}
+	}
+	report(f, b, "branch to block %s of another function", target.Name)
+}
+
+func verifyMutexPtr(f *Func, b *Block, addr Value, op string, report func(*Func, *Block, string, ...any)) {
+	elem := Deref(addr.Type())
+	if elem == nil || elem.Kind() != KindMutex {
+		report(f, b, "%s on non-mutex-pointer %s (type %s)", op, addr, addr.Type())
+	}
+}
+
+func verifyCondPtr(f *Func, b *Block, addr Value, op string, report func(*Func, *Block, string, ...any)) {
+	elem := Deref(addr.Type())
+	if elem == nil || elem.Kind() != KindCond {
+		report(f, b, "%s on non-cond-pointer %s (type %s)", op, addr, addr.Type())
+	}
+}
+
+func verifyCall(f *Func, b *Block, callee Value, args []Value, dst *Reg, report func(*Func, *Block, string, ...any)) {
+	ft, ok := callee.Type().(*FuncType)
+	if !ok {
+		report(f, b, "call of non-function %s", callee)
+		return
+	}
+	if len(args) != len(ft.Params) {
+		report(f, b, "call %s with %d args, want %d", callee, len(args), len(ft.Params))
+		return
+	}
+	for i, a := range args {
+		if !TypesEqual(a.Type(), ft.Params[i]) {
+			report(f, b, "call %s arg %d has type %s, want %s", callee, i, a.Type(), ft.Params[i])
+		}
+	}
+	if dst != nil && (ft.Ret == nil || ft.Ret.Kind() == KindVoid) {
+		report(f, b, "call %s assigns result of void function", callee)
+	}
+}

@@ -1,0 +1,91 @@
+// Package kendall implements the normalized Kendall tau distance and
+// the ordering-accuracy metric A_O used to evaluate diagnosis quality
+// (§6.1 of the Snorlax paper, after Kendall 1938).
+//
+// Given the tool's ordered list of target instructions and the
+// manually-verified ground-truth order, A_O = 100 × (1 − K/npairs),
+// where K counts pairwise disagreements between the two lists.
+package kendall
+
+// Distance returns the Kendall tau distance between two orderings of
+// (not necessarily identical) element sets: the number of unordered
+// pairs {x, y} that appear in both lists but in opposite relative
+// order, plus pairs that appear in only one list (maximal
+// disagreement for missing elements).
+func Distance[T comparable](a, b []T) int {
+	posA := indexOf(a)
+	posB := indexOf(b)
+	// Collect the union of elements, preserving a's order then b's
+	// extras, for deterministic iteration.
+	var union []T
+	seen := make(map[T]bool)
+	for _, x := range a {
+		if !seen[x] {
+			seen[x] = true
+			union = append(union, x)
+		}
+	}
+	for _, x := range b {
+		if !seen[x] {
+			seen[x] = true
+			union = append(union, x)
+		}
+	}
+	d := 0
+	for i := 0; i < len(union); i++ {
+		for j := i + 1; j < len(union); j++ {
+			x, y := union[i], union[j]
+			ax, okAX := posA[x]
+			ay, okAY := posA[y]
+			bx, okBX := posB[x]
+			by, okBY := posB[y]
+			inA := okAX && okAY
+			inB := okBX && okBY
+			switch {
+			case inA && inB:
+				if (ax < ay) != (bx < by) {
+					d++
+				}
+			case inA != inB:
+				// The pair is ranked by only one list: count it as a
+				// disagreement so missing elements hurt accuracy.
+				d++
+			}
+		}
+	}
+	return d
+}
+
+func indexOf[T comparable](s []T) map[T]int {
+	m := make(map[T]int, len(s))
+	for i, x := range s {
+		if _, ok := m[x]; !ok {
+			m[x] = i
+		}
+	}
+	return m
+}
+
+// Pairs returns the number of unordered pairs over the union of the
+// two lists' elements.
+func Pairs[T comparable](a, b []T) int {
+	seen := make(map[T]bool)
+	for _, x := range a {
+		seen[x] = true
+	}
+	for _, x := range b {
+		seen[x] = true
+	}
+	n := len(seen)
+	return n * (n - 1) / 2
+}
+
+// OrderingAccuracy returns A_O in percent: 100 × (1 − K/npairs).
+// Two empty lists are in perfect agreement.
+func OrderingAccuracy[T comparable](tool, truth []T) float64 {
+	n := Pairs(tool, truth)
+	if n == 0 {
+		return 100
+	}
+	return 100 * (1 - float64(Distance(tool, truth))/float64(n))
+}

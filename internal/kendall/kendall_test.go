@@ -1,0 +1,99 @@
+package kendall
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceIdentical(t *testing.T) {
+	if d := Distance([]int{1, 2, 3}, []int{1, 2, 3}); d != 0 {
+		t.Errorf("identical lists distance = %d", d)
+	}
+}
+
+func TestDistancePaperExample(t *testing.T) {
+	// From §6.1: [I1, I2, I3] vs [I1, I3, I2] has distance 1.
+	a := []string{"I1", "I2", "I3"}
+	b := []string{"I1", "I3", "I2"}
+	if d := Distance(a, b); d != 1 {
+		t.Errorf("distance = %d, want 1", d)
+	}
+	// A_O = 100*(1 - 1/3) = 66.67.
+	acc := OrderingAccuracy(a, b)
+	if acc < 66.6 || acc > 66.7 {
+		t.Errorf("A_O = %f, want 66.67", acc)
+	}
+}
+
+func TestDistanceReversed(t *testing.T) {
+	a := []int{1, 2, 3, 4}
+	b := []int{4, 3, 2, 1}
+	if d := Distance(a, b); d != 6 {
+		t.Errorf("reversed distance = %d, want 6 (all pairs)", d)
+	}
+	if acc := OrderingAccuracy(a, b); acc != 0 {
+		t.Errorf("A_O = %f, want 0", acc)
+	}
+}
+
+func TestMissingElementsCount(t *testing.T) {
+	a := []int{1, 2}
+	b := []int{1, 2, 3}
+	// Pairs over union {1,2,3} = 3; pair (1,2) agrees; pairs (1,3),
+	// (2,3) exist only in b → 2 disagreements.
+	if d := Distance(a, b); d != 2 {
+		t.Errorf("distance = %d, want 2", d)
+	}
+}
+
+func TestOrderingAccuracyEmpty(t *testing.T) {
+	if acc := OrderingAccuracy[int](nil, nil); acc != 100 {
+		t.Errorf("empty lists A_O = %f", acc)
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	check := func(seedA, seedB uint8) bool {
+		rngA := rand.New(rand.NewSource(int64(seedA)))
+		n := int(seedA%6) + 2
+		a := rngA.Perm(n)
+		b := rand.New(rand.NewSource(int64(seedB))).Perm(n)
+		return Distance(a, b) == Distance(b, a)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccuracyBounds(t *testing.T) {
+	check := func(seedA, seedB uint8) bool {
+		n := int(seedA%7) + 1
+		a := rand.New(rand.NewSource(int64(seedA))).Perm(n)
+		b := rand.New(rand.NewSource(int64(seedB))).Perm(n)
+		acc := OrderingAccuracy(a, b)
+		return acc >= 0 && acc <= 100
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceTriangleZeroSelf(t *testing.T) {
+	check := func(seed uint8) bool {
+		n := int(seed%8) + 1
+		a := rand.New(rand.NewSource(int64(seed))).Perm(n)
+		return Distance(a, a) == 0 && OrderingAccuracy(a, a) == 100
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDuplicatesUseFirstPosition(t *testing.T) {
+	a := []int{1, 2, 1}
+	b := []int{1, 2}
+	if d := Distance(a, b); d != 0 {
+		t.Errorf("distance = %d, want 0 (dup collapses to first index)", d)
+	}
+}

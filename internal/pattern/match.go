@@ -1,0 +1,145 @@
+package pattern
+
+import (
+	"snorlax/internal/ir"
+	"snorlax/internal/traceproc"
+)
+
+// Present reports whether the pattern's static event signature occurs
+// in the given execution trace with the required ordering and thread
+// structure. Statistical diagnosis (§4.5) evaluates Present on every
+// collected trace — failing and successful — to compute each
+// pattern's precision and recall.
+func Present(mod *ir.Module, p *Pattern, tr *traceproc.Trace) bool {
+	switch p.Kind {
+	case KindOrderViolation:
+		return presentOrder(p, tr)
+	case KindAtomicityViolation, KindMultiVarAtomicity:
+		// Multi-variable patterns share the triple structure: first
+		// and third event in one thread, middle in another, ordered.
+		return presentAtomicity(p, tr)
+	case KindDeadlock:
+		return presentDeadlock(mod, p, tr)
+	}
+	return false
+}
+
+// presentOrder: for the forward direction, exists instances x of
+// PCs[0] and f of PCs[1] on different threads with x before f. For an
+// absence pattern, the last instance of PCs[0] (the failing access)
+// has no cross-thread PCs[1] instance before it.
+func presentOrder(p *Pattern, tr *traceproc.Trace) bool {
+	if p.Absence {
+		f, ok := tr.LastInstanceOf(p.PCs[0])
+		if !ok {
+			return false
+		}
+		for _, x := range tr.InstancesOf(p.PCs[1]) {
+			if x.Tid != f.Tid && traceproc.Before(x, f) {
+				return false
+			}
+		}
+		return true
+	}
+	xs := tr.InstancesOf(p.PCs[0])
+	fs := tr.InstancesOf(p.PCs[1])
+	for _, f := range fs {
+		for _, x := range xs {
+			if x.Tid != f.Tid && traceproc.Before(x, f) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// presentAtomicity: exists a of PCs[0], b of PCs[1], f of PCs[2] with
+// a.tid == f.tid != b.tid and a < b < f.
+func presentAtomicity(p *Pattern, tr *traceproc.Trace) bool {
+	as := tr.InstancesOf(p.PCs[0])
+	bs := tr.InstancesOf(p.PCs[1])
+	fs := tr.InstancesOf(p.PCs[2])
+	for _, f := range fs {
+		for _, b := range bs {
+			if b.Tid == f.Tid || !traceproc.Before(b, f) {
+				continue
+			}
+			for _, a := range as {
+				if a.Tid == f.Tid && traceproc.Before(a, b) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// presentDeadlock checks for the cyclic acquisition structure: an
+// assignment of distinct threads to the pattern's (held, attempt)
+// pairs such that each thread performs its pair in order with no
+// intervening unlock, and every hold precedes every attempt (so all
+// threads were inside the window simultaneously).
+func presentDeadlock(mod *ir.Module, p *Pattern, tr *traceproc.Trace) bool {
+	n := len(p.PCs) / 2
+	if n == 0 {
+		return false
+	}
+	type window struct {
+		tid           int
+		hold, attempt traceproc.DynEvent
+	}
+	// For each pair, find candidate windows per thread.
+	perPair := make([][]window, n)
+	for i := 0; i < n; i++ {
+		heldPC, attemptPC := p.PCs[2*i], p.PCs[2*i+1]
+		for _, tid := range tr.Threads() {
+			attempts := tr.Filter(func(ev traceproc.DynEvent) bool {
+				return ev.Tid == tid && ev.PC == attemptPC
+			})
+			for _, att := range attempts {
+				if heldPC == ir.NoPC {
+					perPair[i] = append(perPair[i], window{tid: tid, hold: att, attempt: att})
+					continue
+				}
+				if held, ok := heldLockBefore(mod, tr, tid, att); ok && held.PC == heldPC {
+					perPair[i] = append(perPair[i], window{tid: tid, hold: held, attempt: att})
+				}
+			}
+		}
+		if len(perPair[i]) == 0 {
+			return false
+		}
+	}
+	// Search for a consistent assignment (n is tiny: 2 or 3).
+	var pick func(i int, used map[int]bool, chosen []window) bool
+	pick = func(i int, used map[int]bool, chosen []window) bool {
+		if i == n {
+			// Cross constraint: every hold precedes every other
+			// thread's attempt — all threads held their first lock
+			// before any second acquisition attempt completed.
+			for _, w1 := range chosen {
+				for _, w2 := range chosen {
+					if w1.tid == w2.tid {
+						continue
+					}
+					if !traceproc.Before(w1.hold, w2.attempt) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		for _, w := range perPair[i] {
+			if used[w.tid] {
+				continue
+			}
+			used[w.tid] = true
+			if pick(i+1, used, append(chosen, w)) {
+				return true
+			}
+			delete(used, w.tid)
+		}
+		return false
+	}
+	return pick(0, map[int]bool{}, nil)
+}

@@ -1,0 +1,347 @@
+package pointsto
+
+import (
+	"snorlax/internal/ir"
+)
+
+// Scope selects which instructions generate constraints. A nil Scope
+// means whole-program analysis; otherwise only instructions whose PC
+// is in the set are analyzed — the paper's scope restriction (§4.2),
+// which is what makes the hybrid analysis fast.
+type Scope map[ir.PC]bool
+
+// In reports whether the instruction is inside the scope.
+func (s Scope) In(in ir.Instr) bool { return s == nil || s[in.PC()] }
+
+type nodeID int32
+
+// node is one constraint-graph vertex: a register, a memory object's
+// storage, or a function's return value.
+type node struct {
+	pts ObjSet
+	// copies are inclusion edges: pts(succ) ⊇ pts(this). Rule (2) of
+	// the paper's Figure 3.
+	copies []nodeID
+	// loads are deferred rule-(4) constraints: for each object o in
+	// pts(this), pts(dst) ⊇ pts(mem(o)).
+	loads []nodeID
+	// stores are deferred rule-(3) constraints: for each object o in
+	// pts(this), pts(mem(o)) ⊇ pts(src).
+	stores []nodeID
+	// geps are deferred field-address constraints: for each o in
+	// pts(this), pts(dst) ⊇ {o+delta}.
+	geps []gepEdge
+	// icalls are indirect call sites whose callee is this node.
+	icalls []*icallSite
+}
+
+type gepEdge struct {
+	dst   nodeID
+	delta int64
+}
+
+type icallSite struct {
+	args []ir.Value
+	dst  *ir.Reg
+	// wired records functions already connected at this site.
+	wired map[*ir.Func]bool
+}
+
+// Andersen is the inclusion-based points-to analysis.
+type Andersen struct {
+	mod   *ir.Module
+	scope Scope
+	objs  *objTable
+	nodes []*node
+	// regNode maps registers to their node.
+	regNode map[*ir.Reg]nodeID
+	// memNode maps objects to the node modeling their storage.
+	memNode map[ObjID]nodeID
+	// retNode maps functions to the node holding their return value.
+	retNode map[*ir.Func]nodeID
+
+	work []nodeID
+	// inWork dedupes worklist entries.
+	inWork map[nodeID]bool
+	// copySeen dedupes dynamically-added copy edges.
+	copySeen map[copyKey]bool
+
+	// Stats
+	constraints int
+	iterations  int
+}
+
+// NewAndersen builds and solves the constraint system for mod,
+// restricted to scope (nil for whole-program).
+func NewAndersen(mod *ir.Module, scope Scope) *Andersen {
+	a := &Andersen{
+		mod:     mod,
+		scope:   scope,
+		objs:    newObjTable(),
+		regNode: make(map[*ir.Reg]nodeID),
+		memNode: make(map[ObjID]nodeID),
+		retNode: make(map[*ir.Func]nodeID),
+		inWork:  make(map[nodeID]bool),
+	}
+	a.generate()
+	a.solve()
+	return a
+}
+
+func (a *Andersen) newNode() nodeID {
+	a.nodes = append(a.nodes, &node{pts: make(ObjSet)})
+	return nodeID(len(a.nodes) - 1)
+}
+
+func (a *Andersen) nodeOfReg(r *ir.Reg) nodeID {
+	if id, ok := a.regNode[r]; ok {
+		return id
+	}
+	id := a.newNode()
+	a.regNode[r] = id
+	return id
+}
+
+func (a *Andersen) nodeOfMem(o ObjID) nodeID {
+	if id, ok := a.memNode[o]; ok {
+		return id
+	}
+	id := a.newNode()
+	a.memNode[o] = id
+	return id
+}
+
+func (a *Andersen) nodeOfRet(f *ir.Func) nodeID {
+	if id, ok := a.retNode[f]; ok {
+		return id
+	}
+	id := a.newNode()
+	a.retNode[f] = id
+	return id
+}
+
+func (a *Andersen) enqueue(n nodeID) {
+	if !a.inWork[n] {
+		a.inWork[n] = true
+		a.work = append(a.work, n)
+	}
+}
+
+// addObj seeds an address-of fact: pts(n) ⊇ {o}. Rule (1).
+func (a *Andersen) addObj(n nodeID, o ObjID) {
+	if a.nodes[n].pts.Add(o) {
+		a.enqueue(n)
+	}
+}
+
+// addCopy wires pts(dst) ⊇ pts(src). Rule (2).
+func (a *Andersen) addCopy(dst, src nodeID) {
+	if dst == src {
+		return
+	}
+	a.nodes[src].copies = append(a.nodes[src].copies, dst)
+	a.constraints++
+	if len(a.nodes[src].pts) > 0 {
+		a.enqueue(src)
+	}
+}
+
+// flowValue makes the abstract value of v flow into dst: registers
+// add copy edges, address-carrying operands (globals, functions) add
+// their object directly, constants contribute nothing.
+func (a *Andersen) flowValue(dst nodeID, v ir.Value) {
+	switch x := v.(type) {
+	case *ir.Reg:
+		a.addCopy(dst, a.nodeOfReg(x))
+	case *ir.GlobalRef:
+		a.addObj(dst, a.objs.globalObjs(x.Global))
+	case *ir.FuncRef:
+		a.addObj(dst, a.objs.funcObjOf(x.Func))
+	case *ir.Const:
+		// Null and integers point nowhere.
+	}
+}
+
+// ptrNode returns the node whose pts set enumerates the targets of
+// pointer operand v, materializing a synthetic node for operands
+// whose targets are statically known (globals).
+func (a *Andersen) ptrNode(v ir.Value) nodeID {
+	switch x := v.(type) {
+	case *ir.Reg:
+		return a.nodeOfReg(x)
+	case *ir.GlobalRef:
+		n := a.newNode()
+		a.addObj(n, a.objs.globalObjs(x.Global))
+		return n
+	default:
+		// Null pointers and function refs dereference nowhere.
+		return a.newNode()
+	}
+}
+
+// generate walks the in-scope instructions and builds the constraint
+// graph.
+func (a *Andersen) generate() {
+	a.mod.Instrs(func(in ir.Instr) {
+		if !a.scope.In(in) {
+			return
+		}
+		a.constraints++
+		switch i := in.(type) {
+		case *ir.AllocaInstr:
+			a.addObj(a.nodeOfReg(i.Dst), a.objs.allocObjs(in, i.Elem))
+		case *ir.NewInstr:
+			a.addObj(a.nodeOfReg(i.Dst), a.objs.allocObjs(in, i.Elem))
+		case *ir.LoadInstr:
+			p := a.ptrNode(i.Addr)
+			a.nodes[p].loads = append(a.nodes[p].loads, a.nodeOfReg(i.Dst))
+			a.enqueue(p)
+		case *ir.StoreInstr:
+			p := a.ptrNode(i.Addr)
+			src := a.newNode()
+			a.flowValue(src, i.Val)
+			a.nodes[p].stores = append(a.nodes[p].stores, src)
+			a.enqueue(p)
+		case *ir.FieldAddrInstr:
+			st := i.StructType()
+			delta := st.FieldOffset(i.Field)
+			p := a.ptrNode(i.Base)
+			a.nodes[p].geps = append(a.nodes[p].geps, gepEdge{dst: a.nodeOfReg(i.Dst), delta: delta})
+			a.enqueue(p)
+		case *ir.IndexAddrInstr:
+			// Arrays are smashed: every element aliases the base.
+			p := a.ptrNode(i.Base)
+			a.nodes[p].geps = append(a.nodes[p].geps, gepEdge{dst: a.nodeOfReg(i.Dst), delta: 0})
+			a.enqueue(p)
+		case *ir.CastInstr:
+			a.flowValue(a.nodeOfReg(i.Dst), i.Val)
+		case *ir.CallInstr:
+			a.genCall(i.Callee, i.Args, i.Dst)
+		case *ir.SpawnInstr:
+			a.genCall(i.Callee, i.Args, nil)
+		case *ir.RetInstr:
+			if i.Val != nil {
+				f := in.Block().Parent
+				a.flowValue(a.nodeOfRet(f), i.Val)
+			}
+		}
+	})
+}
+
+func (a *Andersen) genCall(callee ir.Value, args []ir.Value, dst *ir.Reg) {
+	if fr, ok := callee.(*ir.FuncRef); ok {
+		a.wireCall(fr.Func, args, dst)
+		return
+	}
+	// Indirect call: defer until the callee node's points-to set
+	// grows function objects.
+	if r, ok := callee.(*ir.Reg); ok {
+		n := a.nodeOfReg(r)
+		a.nodes[n].icalls = append(a.nodes[n].icalls,
+			&icallSite{args: args, dst: dst, wired: make(map[*ir.Func]bool)})
+		a.enqueue(n)
+	}
+}
+
+func (a *Andersen) wireCall(f *ir.Func, args []ir.Value, dst *ir.Reg) {
+	for i, arg := range args {
+		if i < len(f.Params) {
+			a.flowValue(a.nodeOfReg(f.Params[i]), arg)
+		}
+	}
+	if dst != nil {
+		a.addCopy(a.nodeOfReg(dst), a.nodeOfRet(f))
+	}
+}
+
+// solve runs the worklist to a fixed point.
+func (a *Andersen) solve() {
+	for len(a.work) > 0 {
+		n := a.work[len(a.work)-1]
+		a.work = a.work[:len(a.work)-1]
+		a.inWork[n] = false
+		a.iterations++
+		nd := a.nodes[n]
+		pts := nd.pts
+
+		for _, succ := range nd.copies {
+			if added := a.nodes[succ].pts.Union(pts); len(added) > 0 {
+				a.enqueue(succ)
+			}
+		}
+		// Deferred constraints: connect memory nodes for every object
+		// currently in pts. addCopy self-dedupes only by growth, so
+		// dedupe via the per-edge wired sets below.
+		for o := range pts {
+			for _, dst := range nd.loads {
+				a.addCopyOnce(dst, a.nodeOfMem(o))
+			}
+			for _, src := range nd.stores {
+				a.addCopyOnce(a.nodeOfMem(o), src)
+			}
+			for _, g := range nd.geps {
+				if shifted := a.objs.shift(o, g.delta); shifted != NoObj {
+					a.addObj(g.dst, shifted)
+				}
+			}
+			for _, site := range nd.icalls {
+				if fo := a.objs.objs[o]; fo.Kind == ObjFunc && !site.wired[fo.Func] {
+					site.wired[fo.Func] = true
+					a.wireCall(fo.Func, site.args, site.dst)
+				}
+			}
+		}
+	}
+}
+
+// copyKey identifies a copy edge for deduplication.
+type copyKey struct{ dst, src nodeID }
+
+func (a *Andersen) addCopyOnce(dst, src nodeID) {
+	if a.copySeen == nil {
+		a.copySeen = make(map[copyKey]bool)
+	}
+	k := copyKey{dst, src}
+	if a.copySeen[k] {
+		return
+	}
+	a.copySeen[k] = true
+	a.addCopy(dst, src)
+}
+
+// Objects returns the interned object table.
+func (a *Andersen) Objects() []Object { return a.objs.objs }
+
+// PointsTo returns the points-to set of a pointer-valued operand. The
+// returned set is shared; callers must not mutate it.
+func (a *Andersen) PointsTo(v ir.Value) ObjSet {
+	switch x := v.(type) {
+	case *ir.Reg:
+		if n, ok := a.regNode[x]; ok {
+			return a.nodes[n].pts
+		}
+		return nil
+	case *ir.GlobalRef:
+		return NewObjSet(a.objs.globalObjs(x.Global))
+	case *ir.FuncRef:
+		return NewObjSet(a.objs.funcObjOf(x.Func))
+	}
+	return nil
+}
+
+// MayAlias reports whether two pointer operands may reference the
+// same abstract object.
+func (a *Andersen) MayAlias(p, q ir.Value) bool {
+	sp, sq := a.PointsTo(p), a.PointsTo(q)
+	if len(sp) == 0 || len(sq) == 0 {
+		return false
+	}
+	return sp.Intersects(sq)
+}
+
+// Constraints returns the number of constraints generated; the Table 4
+// experiment compares this between hybrid and whole-program runs.
+func (a *Andersen) Constraints() int { return a.constraints }
+
+// Iterations returns the number of worklist pops during solving.
+func (a *Andersen) Iterations() int { return a.iterations }

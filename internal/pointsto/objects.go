@@ -1,0 +1,216 @@
+// Package pointsto implements the interprocedural pointer analyses of
+// Lazy Diagnosis (§4.2 of the Snorlax paper).
+//
+// The primary analysis is Andersen-style inclusion-based points-to
+// analysis — the constraint rules of the paper's Figure 3 — extended
+// with field sensitivity and with the paper's key twist: scope
+// restriction, which limits constraint generation to the instructions
+// that actually executed according to the control-flow trace. A
+// Steensgaard-style unification-based analysis is included as the
+// faster-but-coarser baseline the paper contrasts against.
+package pointsto
+
+import (
+	"fmt"
+	"sort"
+
+	"snorlax/internal/ir"
+)
+
+// ObjID identifies one abstract memory object: an allocation site (or
+// global, or function) at a specific word offset. Field sensitivity
+// comes from giving each word of a struct its own object.
+type ObjID int32
+
+// NoObj is the zero object; valid ids start at 0.
+const NoObj ObjID = -1
+
+// ObjKind classifies abstract objects.
+type ObjKind int
+
+// The abstract object kinds.
+const (
+	// ObjAlloc is frame or heap storage created by alloca/new.
+	ObjAlloc ObjKind = iota
+	// ObjGlobal is a module global's storage.
+	ObjGlobal
+	// ObjFunc is a function treated as a value (for indirect calls).
+	ObjFunc
+)
+
+// Object describes one abstract memory object.
+type Object struct {
+	Kind ObjKind
+	// Site is the allocating instruction for ObjAlloc.
+	Site ir.Instr
+	// Global is set for ObjGlobal.
+	Global *ir.Global
+	// Func is set for ObjFunc.
+	Func *ir.Func
+	// Offset is the word offset within the allocation.
+	Offset int64
+	// Words is the total word size of the allocation this object
+	// belongs to (used to bounds-check field offsets).
+	Words int64
+	// Base is the ObjID of offset 0 of the same allocation.
+	Base ObjID
+}
+
+func (o Object) String() string {
+	switch o.Kind {
+	case ObjGlobal:
+		if o.Offset == 0 {
+			return "@" + o.Global.Name
+		}
+		return fmt.Sprintf("@%s+%d", o.Global.Name, o.Offset)
+	case ObjFunc:
+		return "func:" + o.Func.Name
+	default:
+		return fmt.Sprintf("alloc@pc%d+%d", o.Site.PC(), o.Offset)
+	}
+}
+
+// ObjSet is a set of abstract objects.
+type ObjSet map[ObjID]struct{}
+
+// NewObjSet returns a set holding ids.
+func NewObjSet(ids ...ObjID) ObjSet {
+	s := make(ObjSet, len(ids))
+	for _, id := range ids {
+		s[id] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts id, reporting whether it was new.
+func (s ObjSet) Add(id ObjID) bool {
+	if _, ok := s[id]; ok {
+		return false
+	}
+	s[id] = struct{}{}
+	return true
+}
+
+// Has reports membership.
+func (s ObjSet) Has(id ObjID) bool {
+	_, ok := s[id]
+	return ok
+}
+
+// Union adds all of other, returning the ids that were new.
+func (s ObjSet) Union(other ObjSet) []ObjID {
+	var added []ObjID
+	for id := range other {
+		if s.Add(id) {
+			added = append(added, id)
+		}
+	}
+	return added
+}
+
+// Intersects reports whether the sets share an element.
+func (s ObjSet) Intersects(other ObjSet) bool {
+	a, b := s, other
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	for id := range a {
+		if b.Has(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// Sorted returns the ids in ascending order.
+func (s ObjSet) Sorted() []ObjID {
+	ids := make([]ObjID, 0, len(s))
+	for id := range s {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// objTable interns abstract objects.
+type objTable struct {
+	objs []Object
+	// allocBase maps an allocation site to the ObjID of its word 0.
+	allocBase map[ir.Instr]ObjID
+	// globalBase maps a global to the ObjID of its word 0.
+	globalBase map[*ir.Global]ObjID
+	funcObj    map[*ir.Func]ObjID
+}
+
+func newObjTable() *objTable {
+	return &objTable{
+		allocBase:  make(map[ir.Instr]ObjID),
+		globalBase: make(map[*ir.Global]ObjID),
+		funcObj:    make(map[*ir.Func]ObjID),
+	}
+}
+
+func wordsOf(t ir.Type) int64 {
+	w := t.Size() / 8
+	if w <= 0 {
+		w = 1
+	}
+	return w
+}
+
+// allocObjs creates (or returns) the per-word objects of an
+// allocation site and returns the base object id.
+func (tb *objTable) allocObjs(site ir.Instr, elem ir.Type) ObjID {
+	if id, ok := tb.allocBase[site]; ok {
+		return id
+	}
+	words := wordsOf(elem)
+	base := ObjID(len(tb.objs))
+	for off := int64(0); off < words; off++ {
+		tb.objs = append(tb.objs, Object{
+			Kind: ObjAlloc, Site: site, Offset: off, Words: words, Base: base,
+		})
+	}
+	tb.allocBase[site] = base
+	return base
+}
+
+// globalObjs creates (or returns) the per-word objects of a global.
+func (tb *objTable) globalObjs(g *ir.Global) ObjID {
+	if id, ok := tb.globalBase[g]; ok {
+		return id
+	}
+	words := wordsOf(g.Typ)
+	base := ObjID(len(tb.objs))
+	for off := int64(0); off < words; off++ {
+		tb.objs = append(tb.objs, Object{
+			Kind: ObjGlobal, Global: g, Offset: off, Words: words, Base: base,
+		})
+	}
+	tb.globalBase[g] = base
+	return base
+}
+
+func (tb *objTable) funcObjOf(f *ir.Func) ObjID {
+	if id, ok := tb.funcObj[f]; ok {
+		return id
+	}
+	id := ObjID(len(tb.objs))
+	tb.objs = append(tb.objs, Object{Kind: ObjFunc, Func: f, Words: 1, Base: id})
+	tb.funcObj[f] = id
+	return id
+}
+
+// shift returns the object delta words past id, or NoObj when the
+// offset leaves the allocation.
+func (tb *objTable) shift(id ObjID, delta int64) ObjID {
+	o := tb.objs[id]
+	if o.Kind == ObjFunc {
+		return NoObj
+	}
+	no := o.Offset + delta
+	if no < 0 || no >= o.Words {
+		return NoObj
+	}
+	return o.Base + ObjID(no)
+}

@@ -1,0 +1,476 @@
+package pointsto
+
+import (
+	"testing"
+
+	"snorlax/internal/ir"
+)
+
+// parse builds a module for analysis tests.
+func parse(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// findInstr returns the nth instruction satisfying pred.
+func findInstr(m *ir.Module, n int, pred func(ir.Instr) bool) ir.Instr {
+	var found ir.Instr
+	count := 0
+	m.Instrs(func(in ir.Instr) {
+		if found == nil && pred(in) {
+			if count == n {
+				found = in
+			}
+			count++
+		}
+	})
+	return found
+}
+
+const aliasSrc = `
+module alias
+struct Node {
+  val: int
+  next: *Node
+}
+global head: *Node
+global other: *Node
+
+func main() {
+entry:
+  %n1 = new Node
+  %n2 = new Node
+  store %n1, @head
+  store %n2, @other
+  %h = load @head
+  %va = fieldaddr %h, val
+  store 7, %va
+  %o = load @other
+  %vb = fieldaddr %o, val
+  store 9, %vb
+  ret
+}
+`
+
+func TestAndersenDistinguishesAllocSites(t *testing.T) {
+	m := parse(t, aliasSrc)
+	a := NewAndersen(m, nil)
+
+	// The two stores through field pointers must not alias: they
+	// derive from distinct allocation sites.
+	var stores []*ir.StoreInstr
+	m.Instrs(func(in ir.Instr) {
+		if s, ok := in.(*ir.StoreInstr); ok {
+			if c, isConst := s.Val.(*ir.Const); isConst && (c.Val == 7 || c.Val == 9) {
+				stores = append(stores, s)
+			}
+		}
+	})
+	if len(stores) != 2 {
+		t.Fatalf("found %d tagged stores", len(stores))
+	}
+	if a.MayAlias(stores[0].Addr, stores[1].Addr) {
+		t.Error("inclusion-based analysis merged distinct allocation sites")
+	}
+	// Each must alias itself and have a non-empty points-to set.
+	for _, s := range stores {
+		pts := a.PointsTo(s.Addr)
+		if len(pts) != 1 {
+			t.Errorf("store %s: points-to size %d, want 1", s, len(pts))
+		}
+	}
+}
+
+func TestAndersenLoadsSeeStores(t *testing.T) {
+	m := parse(t, aliasSrc)
+	a := NewAndersen(m, nil)
+	// %h (loaded from @head) must point to the first Node allocation.
+	load := findInstr(m, 0, func(in ir.Instr) bool { return in.Op() == ir.OpLoad }).(*ir.LoadInstr)
+	pts := a.PointsTo(load.Dst)
+	if len(pts) != 1 {
+		t.Fatalf("pts(%%h) size = %d, want 1", len(pts))
+	}
+	for id := range pts {
+		obj := a.Objects()[id]
+		if obj.Kind != ObjAlloc {
+			t.Errorf("pts(%%h) holds %v, want an allocation", obj)
+		}
+	}
+}
+
+func TestSteensgaardMergesViaSharedStorage(t *testing.T) {
+	// Both nodes flow through the SAME global, so unification must
+	// merge them; Andersen keeps them apart. This is the precision
+	// gap the paper cites for preferring inclusion-based analysis.
+	src := `
+module merge
+struct Node {
+  val: int
+}
+global slot: *Node
+
+func main() {
+entry:
+  %n1 = new Node
+  %n2 = new Node
+  store %n1, @slot
+  %a = load @slot
+  store %n2, @slot
+  %b = load @slot
+  %va = fieldaddr %a, val
+  %vb = fieldaddr %b, val
+  store 1, %va
+  store 2, %vb
+  ret
+}
+`
+	m := parse(t, src)
+	a := NewAndersen(m, nil)
+	s := NewSteensgaard(m, nil)
+
+	loadA := findInstr(m, 0, func(in ir.Instr) bool { return in.Op() == ir.OpLoad }).(*ir.LoadInstr)
+	loadB := findInstr(m, 1, func(in ir.Instr) bool { return in.Op() == ir.OpLoad }).(*ir.LoadInstr)
+
+	// Both analyses: %a and %b alias (both loaded from @slot).
+	if !a.MayAlias(loadA.Dst, loadB.Dst) {
+		t.Error("andersen: loads from same slot must alias")
+	}
+	if !s.MayAlias(loadA.Dst, loadB.Dst) {
+		t.Error("steensgaard: loads from same slot must alias")
+	}
+	// Andersen: pts sets contain both allocs (flow-insensitive), and
+	// Steensgaard must be at least as coarse.
+	pa := a.PointsTo(loadA.Dst)
+	ps := s.PointsTo(loadA.Dst)
+	if len(pa) != 2 {
+		t.Errorf("andersen pts size = %d, want 2", len(pa))
+	}
+	if len(ps) < 2 {
+		t.Errorf("steensgaard pts size = %d, want >= 2", len(ps))
+	}
+}
+
+func TestSteensgaardCoarserThanAndersen(t *testing.T) {
+	// p and q point to different allocations but q is copied from p
+	// in one branch; Andersen keeps r (never aliased) separate, while
+	// Steensgaard's unification of p/q is coarser or equal.
+	src := `
+module coarse
+global gp: *int
+global gq: *int
+global gr: *int
+
+func main() {
+entry:
+  %p = new int
+  %q = new int
+  %r = new int
+  store %p, @gp
+  store %q, @gq
+  store %r, @gr
+  %c = eq 1, 1
+  condbr %c, move, done
+move:
+  store %p, @gq
+  br done
+done:
+  ret
+}
+`
+	m := parse(t, src)
+	a := NewAndersen(m, nil)
+	s := NewSteensgaard(m, nil)
+	gp := &ir.GlobalRef{Global: m.GlobalByName("gp")}
+	if !a.MayAlias(gp, gp) {
+		t.Error("gp must alias itself")
+	}
+	// Precision comparison: for every operand pair, an Andersen alias
+	// implies a Steensgaard alias (Steensgaard over-approximates).
+	var ptrs []ir.Value
+	m.Instrs(func(in ir.Instr) {
+		if p := ir.AccessedPointer(in); p != nil {
+			ptrs = append(ptrs, p)
+		}
+	})
+	for _, p := range ptrs {
+		for _, q := range ptrs {
+			if a.MayAlias(p, q) && !s.MayAlias(p, q) {
+				t.Errorf("andersen aliases %s/%s but steensgaard does not (unsound baseline)", p, q)
+			}
+		}
+	}
+}
+
+func TestScopeRestrictionShrinksAnalysis(t *testing.T) {
+	// Build a module with a large never-executed function; restrict
+	// scope to main only and verify the constraint count drops.
+	src := `
+module scoped
+global g: *int
+
+func cold() {
+entry:
+  %a = new int
+  %b = new int
+  %c = new int
+  store %a, @g
+  store %b, @g
+  store %c, @g
+  %x = load @g
+  %y = load @g
+  %z = load @g
+  ret
+}
+
+func main() {
+entry:
+  %p = new int
+  store %p, @g
+  %v = load @g
+  ret
+}
+`
+	m := parse(t, src)
+	whole := NewAndersen(m, nil)
+
+	scope := make(Scope)
+	mainFn := m.FuncByName("main")
+	for _, b := range mainFn.Blocks {
+		for _, in := range b.Instrs {
+			scope[in.PC()] = true
+		}
+	}
+	hybrid := NewAndersen(m, scope)
+
+	if hybrid.Constraints() >= whole.Constraints() {
+		t.Errorf("scope restriction did not reduce constraints: hybrid %d, whole %d",
+			hybrid.Constraints(), whole.Constraints())
+	}
+	// The hybrid result must still resolve main's pointers.
+	load := findInstr(m, 3, func(in ir.Instr) bool { return in.Op() == ir.OpLoad })
+	if load == nil {
+		load = findInstr(m, 0, func(in ir.Instr) bool {
+			return in.Op() == ir.OpLoad && in.Block().Parent.Name == "main"
+		})
+	}
+	pts := hybrid.PointsTo(load.(*ir.LoadInstr).Dst)
+	if len(pts) != 1 {
+		t.Errorf("hybrid pts size = %d, want 1 (only main's alloc)", len(pts))
+	}
+	// Whole-program analysis sees cold()'s allocations flow into @g.
+	ptsWhole := whole.PointsTo(load.(*ir.LoadInstr).Dst)
+	if len(ptsWhole) != 4 {
+		t.Errorf("whole pts size = %d, want 4", len(ptsWhole))
+	}
+}
+
+func TestIndirectCallResolution(t *testing.T) {
+	src := `
+module icall
+global fp: func() *int
+global sink: *int
+
+func make() *int {
+entry:
+  %p = new int
+  ret %p
+}
+
+func main() {
+entry:
+  store make, @fp
+  %f = load @fp
+  %r = call %f()
+  store %r, @sink
+  ret
+}
+`
+	m := parse(t, src)
+	a := NewAndersen(m, nil)
+	// %r must point to the allocation inside make().
+	call := findInstr(m, 0, func(in ir.Instr) bool {
+		c, ok := in.(*ir.CallInstr)
+		return ok && c.StaticCallee() == nil
+	}).(*ir.CallInstr)
+	pts := a.PointsTo(call.Dst)
+	if len(pts) != 1 {
+		t.Fatalf("pts(%%r) size = %d, want 1", len(pts))
+	}
+	for id := range pts {
+		if a.Objects()[id].Kind != ObjAlloc {
+			t.Errorf("indirect call result points to %v", a.Objects()[id])
+		}
+	}
+}
+
+func TestFieldSensitivity(t *testing.T) {
+	src := `
+module fields
+struct Pair {
+  a: *int
+  b: *int
+}
+
+func main() {
+entry:
+  %p = new Pair
+  %x = new int
+  %y = new int
+  %fa = fieldaddr %p, a
+  %fb = fieldaddr %p, b
+  store %x, %fa
+  store %y, %fb
+  %la = load %fa
+  %lb = load %fb
+  ret
+}
+`
+	m := parse(t, src)
+	a := NewAndersen(m, nil)
+	loadA := findInstr(m, 0, func(in ir.Instr) bool { return in.Op() == ir.OpLoad }).(*ir.LoadInstr)
+	loadB := findInstr(m, 1, func(in ir.Instr) bool { return in.Op() == ir.OpLoad }).(*ir.LoadInstr)
+	if a.MayAlias(loadA.Dst, loadB.Dst) {
+		t.Error("field-sensitive analysis merged distinct fields")
+	}
+	// The field pointers themselves must not alias either.
+	faddrA := findInstr(m, 0, func(in ir.Instr) bool { return in.Op() == ir.OpFieldAddr }).(*ir.FieldAddrInstr)
+	faddrB := findInstr(m, 1, func(in ir.Instr) bool { return in.Op() == ir.OpFieldAddr }).(*ir.FieldAddrInstr)
+	if a.MayAlias(faddrA.Dst, faddrB.Dst) {
+		t.Error("field addresses of distinct fields alias")
+	}
+}
+
+func TestParameterPassing(t *testing.T) {
+	src := `
+module params
+global sink: *int
+
+func keep(p: *int) {
+entry:
+  store %p, @sink
+  ret
+}
+
+func main() {
+entry:
+  %x = new int
+  call keep(%x)
+  %v = load @sink
+  ret
+}
+`
+	m := parse(t, src)
+	a := NewAndersen(m, nil)
+	load := findInstr(m, 0, func(in ir.Instr) bool { return in.Op() == ir.OpLoad }).(*ir.LoadInstr)
+	pts := a.PointsTo(load.Dst)
+	if len(pts) != 1 {
+		t.Fatalf("pts through parameter = %d objs, want 1", len(pts))
+	}
+}
+
+func TestMutexPointsToForDeadlockOperands(t *testing.T) {
+	// Lock operands reached through pointers must resolve to the
+	// global mutex objects — deadlock diagnosis depends on this.
+	src := `
+module locks
+struct Account {
+  mu: mutex
+  bal: int
+}
+global acctA: *Account
+global acctB: *Account
+
+func transfer(from: *Account, to: *Account) {
+entry:
+  %fm = fieldaddr %from, mu
+  lock %fm
+  %tm = fieldaddr %to, mu
+  lock %tm
+  unlock %tm
+  unlock %fm
+  ret
+}
+
+func main() {
+entry:
+  %a = new Account
+  %b = new Account
+  store %a, @acctA
+  store %b, @acctB
+  %pa = load @acctA
+  %pb = load @acctB
+  call transfer(%pa, %pb)
+  call transfer(%pb, %pa)
+  ret
+}
+`
+	m := parse(t, src)
+	a := NewAndersen(m, nil)
+	lock1 := findInstr(m, 0, func(in ir.Instr) bool { return in.Op() == ir.OpLock }).(*ir.LockInstr)
+	lock2 := findInstr(m, 1, func(in ir.Instr) bool { return in.Op() == ir.OpLock }).(*ir.LockInstr)
+	p1 := a.PointsTo(lock1.Addr)
+	p2 := a.PointsTo(lock2.Addr)
+	// Context-insensitive analysis: both locks may guard either
+	// account (transfer is called with both orders).
+	if len(p1) != 2 || len(p2) != 2 {
+		t.Errorf("lock pts sizes = %d, %d; want 2, 2", len(p1), len(p2))
+	}
+	if !a.MayAlias(lock1.Addr, lock2.Addr) {
+		t.Error("lock operands must may-alias across call sites")
+	}
+}
+
+func TestObjSetOps(t *testing.T) {
+	s := NewObjSet(1, 2, 3)
+	if !s.Has(2) || s.Has(9) {
+		t.Error("Has broken")
+	}
+	if s.Add(2) {
+		t.Error("Add of existing returned true")
+	}
+	if !s.Add(9) {
+		t.Error("Add of new returned false")
+	}
+	other := NewObjSet(9, 10)
+	added := s.Union(other)
+	if len(added) != 1 || added[0] != 10 {
+		t.Errorf("Union added %v", added)
+	}
+	if !s.Intersects(other) {
+		t.Error("Intersects broken")
+	}
+	if s.Intersects(NewObjSet(42)) {
+		t.Error("Intersects false positive")
+	}
+	sorted := s.Sorted()
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1] >= sorted[i] {
+			t.Errorf("Sorted not sorted: %v", sorted)
+		}
+	}
+}
+
+func TestNullPointsToNothing(t *testing.T) {
+	src := `
+module nul
+struct S {
+  x: int
+}
+global g: *S
+func main() {
+entry:
+  store null:*S, @g
+  ret
+}
+`
+	m := parse(t, src)
+	a := NewAndersen(m, nil)
+	store := findInstr(m, 0, func(in ir.Instr) bool { return in.Op() == ir.OpStore }).(*ir.StoreInstr)
+	if pts := a.PointsTo(store.Val); len(pts) != 0 {
+		t.Errorf("null points to %d objects", len(pts))
+	}
+}

@@ -1,0 +1,261 @@
+package pointsto
+
+import (
+	"snorlax/internal/ir"
+)
+
+// Steensgaard is the unification-based points-to analysis the paper
+// contrasts with inclusion-based analysis (§4.2): near-linear time,
+// but coarser, because assignment unifies rather than includes.
+//
+// It is field-insensitive (each allocation is one blob), which is the
+// classical formulation and makes the precision gap measurable in the
+// ablation benchmarks.
+type Steensgaard struct {
+	mod   *ir.Module
+	scope Scope
+	objs  *objTable
+
+	parent  []int32 // union-find forest over cells
+	pointee []int32 // each class's pointee cell (-1 = none yet)
+
+	// cells
+	regCell  map[*ir.Reg]int32
+	objCell  map[ObjID]int32 // cell of the object's storage
+	retCell  map[*ir.Func]int32
+	objOf    map[int32][]ObjID // representative object list per object cell
+	allFuncs []*ir.Func
+}
+
+// NewSteensgaard builds and solves the unification system.
+func NewSteensgaard(mod *ir.Module, scope Scope) *Steensgaard {
+	s := &Steensgaard{
+		mod:     mod,
+		scope:   scope,
+		objs:    newObjTable(),
+		regCell: make(map[*ir.Reg]int32),
+		objCell: make(map[ObjID]int32),
+		retCell: make(map[*ir.Func]int32),
+		objOf:   make(map[int32][]ObjID),
+	}
+	s.run()
+	return s
+}
+
+func (s *Steensgaard) newCell() int32 {
+	id := int32(len(s.parent))
+	s.parent = append(s.parent, id)
+	s.pointee = append(s.pointee, -1)
+	return id
+}
+
+func (s *Steensgaard) find(c int32) int32 {
+	for s.parent[c] != c {
+		s.parent[c] = s.parent[s.parent[c]]
+		c = s.parent[c]
+	}
+	return c
+}
+
+// union merges two cells and recursively unifies their pointees.
+func (s *Steensgaard) union(a, b int32) int32 {
+	ra, rb := s.find(a), s.find(b)
+	if ra == rb {
+		return ra
+	}
+	s.parent[rb] = ra
+	// Merge attached objects.
+	if objs := s.objOf[rb]; len(objs) > 0 {
+		s.objOf[ra] = append(s.objOf[ra], objs...)
+		delete(s.objOf, rb)
+	}
+	pa, pb := s.pointee[ra], s.pointee[rb]
+	switch {
+	case pa < 0:
+		s.pointee[ra] = pb
+	case pb >= 0:
+		s.pointee[ra] = s.union(pa, pb)
+	}
+	return s.find(ra)
+}
+
+// pointeeOf returns (creating if needed) the pointee cell of c.
+func (s *Steensgaard) pointeeOf(c int32) int32 {
+	r := s.find(c)
+	if s.pointee[r] < 0 {
+		s.pointee[r] = s.newCell()
+	}
+	return s.find(s.pointee[r])
+}
+
+func (s *Steensgaard) cellOfReg(r *ir.Reg) int32 {
+	if c, ok := s.regCell[r]; ok {
+		return s.find(c)
+	}
+	c := s.newCell()
+	s.regCell[r] = c
+	return c
+}
+
+// cellOfObj returns the cell of an object's storage, registering the
+// object with its class (field-insensitive: always the base object).
+func (s *Steensgaard) cellOfObj(o ObjID) int32 {
+	o = s.objs.objs[o].Base
+	if c, ok := s.objCell[o]; ok {
+		return s.find(c)
+	}
+	c := s.newCell()
+	s.objCell[o] = c
+	s.objOf[c] = append(s.objOf[c], o)
+	return c
+}
+
+func (s *Steensgaard) cellOfRet(f *ir.Func) int32 {
+	if c, ok := s.retCell[f]; ok {
+		return s.find(c)
+	}
+	c := s.newCell()
+	s.retCell[f] = c
+	return c
+}
+
+// valueCell returns the cell describing value v, creating address-of
+// structure for globals and functions.
+func (s *Steensgaard) valueCell(v ir.Value) (int32, bool) {
+	switch x := v.(type) {
+	case *ir.Reg:
+		return s.cellOfReg(x), true
+	case *ir.GlobalRef:
+		// A synthetic cell whose pointee is the global's storage.
+		c := s.newCell()
+		obj := s.objs.globalObjs(x.Global)
+		s.pointee[s.find(c)] = s.cellOfObj(obj)
+		return c, true
+	case *ir.FuncRef:
+		c := s.newCell()
+		s.pointee[s.find(c)] = s.cellOfObj(s.objs.funcObjOf(x.Func))
+		s.allFuncs = append(s.allFuncs, x.Func)
+		return c, true
+	}
+	return 0, false
+}
+
+// assign implements v := w by unifying cells.
+func (s *Steensgaard) assign(dst int32, src ir.Value) {
+	c, ok := s.valueCell(src)
+	if !ok {
+		return
+	}
+	s.union(dst, c)
+}
+
+func (s *Steensgaard) run() {
+	s.mod.Instrs(func(in ir.Instr) {
+		if !s.scope.In(in) {
+			return
+		}
+		switch i := in.(type) {
+		case *ir.AllocaInstr:
+			obj := s.objs.allocObjs(in, i.Elem)
+			s.union(s.pointeeOf(s.cellOfReg(i.Dst)), s.cellOfObj(obj))
+		case *ir.NewInstr:
+			obj := s.objs.allocObjs(in, i.Elem)
+			s.union(s.pointeeOf(s.cellOfReg(i.Dst)), s.cellOfObj(obj))
+		case *ir.LoadInstr:
+			// x = *p: x stores what the location p points to stores.
+			if p, ok := s.valueCell(i.Addr); ok {
+				mem := s.pointeeOf(p)
+				s.union(s.pointeeOf(s.cellOfReg(i.Dst)), s.pointeeOf(mem))
+			}
+		case *ir.StoreInstr:
+			p, ok := s.valueCell(i.Addr)
+			if !ok {
+				return
+			}
+			mem := s.pointeeOf(p)
+			if vc, ok := s.valueCell(i.Val); ok {
+				s.union(s.pointeeOf(mem), s.pointeeOf(vc))
+			}
+		case *ir.FieldAddrInstr:
+			// Field-insensitive: the field aliases the whole object.
+			if p, ok := s.valueCell(i.Base); ok {
+				s.union(s.pointeeOf(s.cellOfReg(i.Dst)), s.pointeeOf(p))
+			}
+		case *ir.IndexAddrInstr:
+			if p, ok := s.valueCell(i.Base); ok {
+				s.union(s.pointeeOf(s.cellOfReg(i.Dst)), s.pointeeOf(p))
+			}
+		case *ir.CastInstr:
+			s.assign(s.cellOfReg(i.Dst), i.Val)
+		case *ir.CallInstr:
+			s.genCall(i.Callee, i.Args, i.Dst)
+		case *ir.SpawnInstr:
+			s.genCall(i.Callee, i.Args, nil)
+		case *ir.RetInstr:
+			if i.Val != nil {
+				f := in.Block().Parent
+				s.assign(s.cellOfRet(f), i.Val)
+			}
+		}
+	})
+}
+
+func (s *Steensgaard) genCall(callee ir.Value, args []ir.Value, dst *ir.Reg) {
+	var targets []*ir.Func
+	if fr, ok := callee.(*ir.FuncRef); ok {
+		targets = []*ir.Func{fr.Func}
+	} else {
+		// Indirect call: conservatively unify with every
+		// address-taken function of matching arity.
+		for _, f := range s.allFuncs {
+			if len(f.Params) == len(args) {
+				targets = append(targets, f)
+			}
+		}
+	}
+	for _, f := range targets {
+		for i, arg := range args {
+			if i < len(f.Params) {
+				s.assign(s.cellOfReg(f.Params[i]), arg)
+			}
+		}
+		if dst != nil {
+			s.union(s.cellOfReg(dst), s.cellOfRet(f))
+		}
+	}
+}
+
+// PointsTo returns the objects in the pointee class of operand v.
+func (s *Steensgaard) PointsTo(v ir.Value) ObjSet {
+	c, ok := s.valueCell(v)
+	if !ok {
+		return nil
+	}
+	r := s.find(c)
+	if s.pointee[r] < 0 {
+		return nil
+	}
+	mem := s.find(s.pointee[r])
+	out := make(ObjSet)
+	for _, o := range s.objOf[mem] {
+		out.Add(o)
+	}
+	return out
+}
+
+// MayAlias reports whether two operands may point at the same class.
+func (s *Steensgaard) MayAlias(p, q ir.Value) bool {
+	cp, ok1 := s.valueCell(p)
+	cq, ok2 := s.valueCell(q)
+	if !ok1 || !ok2 {
+		return false
+	}
+	rp, rq := s.find(cp), s.find(cq)
+	if s.pointee[rp] < 0 || s.pointee[rq] < 0 {
+		return false
+	}
+	return s.find(s.pointee[rp]) == s.find(s.pointee[rq])
+}
+
+// Objects returns the interned object table.
+func (s *Steensgaard) Objects() []Object { return s.objs.objs }

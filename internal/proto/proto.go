@@ -1,0 +1,194 @@
+// Package proto implements the client↔server protocol of the deployed
+// system (Figure 2): production clients stream failure reports and
+// trace snapshots to an analysis server; the server arms trace
+// triggers for successful executions and returns diagnoses.
+//
+// Messages are gob-encoded over any net.Conn. The server is
+// stateless across connections but stateful within one: a connection
+// carries one failure, its successful traces, and one diagnosis
+// request.
+package proto
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+
+	"snorlax/internal/core"
+	"snorlax/internal/ir"
+	"snorlax/internal/pt"
+)
+
+// Request is a client→server message.
+type Request struct {
+	// Kind is "failure", "success" or "diagnose".
+	Kind string
+	// Failure accompanies "failure" requests.
+	Failure *core.FailureReport
+	// Snapshot accompanies "failure" and "success" requests.
+	Snapshot *pt.Snapshot
+}
+
+// Response is a server→client message.
+type Response struct {
+	// Kind is "armed", "ack", "diagnosis" or "error".
+	Kind string
+	// TriggerPC tells the client where to snapshot successful
+	// executions ("armed" responses).
+	TriggerPC ir.PC
+	// Diagnosis accompanies "diagnosis" responses.
+	Diagnosis *core.Diagnosis
+	// Err describes "error" responses.
+	Err string
+}
+
+// Server serves diagnosis requests for one module.
+type Server struct {
+	Core *core.Server
+}
+
+// NewServer wraps a core analysis server.
+func NewServer(c *core.Server) *Server { return &Server{Core: c} }
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+
+	var failing *core.RunReport
+	var successes []*core.RunReport
+
+	reply := func(r Response) bool { return enc.Encode(r) == nil }
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // client went away
+		}
+		switch req.Kind {
+		case "failure":
+			if req.Failure == nil || req.Snapshot == nil {
+				reply(Response{Kind: "error", Err: "failure request missing report or snapshot"})
+				return
+			}
+			failing = &core.RunReport{Failure: req.Failure, Snapshot: req.Snapshot}
+			if !reply(Response{Kind: "armed", TriggerPC: req.Failure.PC}) {
+				return
+			}
+		case "success":
+			if req.Snapshot != nil {
+				successes = append(successes, &core.RunReport{Snapshot: req.Snapshot})
+			}
+			if !reply(Response{Kind: "ack"}) {
+				return
+			}
+		case "diagnose":
+			if failing == nil {
+				reply(Response{Kind: "error", Err: "diagnose before failure report"})
+				return
+			}
+			d, err := s.Core.Diagnose(failing, successes)
+			if err != nil {
+				reply(Response{Kind: "error", Err: err.Error()})
+				return
+			}
+			if !reply(Response{Kind: "diagnosis", Diagnosis: d}) {
+				return
+			}
+		default:
+			reply(Response{Kind: "error", Err: fmt.Sprintf("unknown request %q", req.Kind)})
+			return
+		}
+	}
+}
+
+// Conn is the client side of one diagnosis conversation.
+type Conn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a diagnosis server.
+func Dial(network, addr string) (*Conn, error) {
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(c), nil
+}
+
+// NewConn wraps an established connection (e.g. one side of
+// net.Pipe in tests).
+func NewConn(c net.Conn) *Conn {
+	return &Conn{conn: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.conn.Close() }
+
+func (c *Conn) roundTrip(req Request) (Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, err
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, err
+	}
+	if resp.Kind == "error" {
+		return resp, fmt.Errorf("proto: server: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// ReportFailure uploads a failure and returns the trigger PC the
+// server wants successful executions traced at.
+func (c *Conn) ReportFailure(f *core.FailureReport, snap *pt.Snapshot) (ir.PC, error) {
+	resp, err := c.roundTrip(Request{Kind: "failure", Failure: f, Snapshot: snap})
+	if err != nil {
+		return ir.NoPC, err
+	}
+	if resp.Kind != "armed" {
+		return ir.NoPC, fmt.Errorf("proto: unexpected response %q", resp.Kind)
+	}
+	return resp.TriggerPC, nil
+}
+
+// SendSuccess uploads one successful execution's trace.
+func (c *Conn) SendSuccess(snap *pt.Snapshot) error {
+	resp, err := c.roundTrip(Request{Kind: "success", Snapshot: snap})
+	if err != nil {
+		return err
+	}
+	if resp.Kind != "ack" {
+		return fmt.Errorf("proto: unexpected response %q", resp.Kind)
+	}
+	return nil
+}
+
+// RequestDiagnosis asks the server to run Lazy Diagnosis on what it
+// has received.
+func (c *Conn) RequestDiagnosis() (*core.Diagnosis, error) {
+	resp, err := c.roundTrip(Request{Kind: "diagnose"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Kind != "diagnosis" || resp.Diagnosis == nil {
+		return nil, fmt.Errorf("proto: unexpected response %q", resp.Kind)
+	}
+	return resp.Diagnosis, nil
+}

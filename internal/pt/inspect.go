@@ -1,0 +1,36 @@
+package pt
+
+import "bytes"
+
+// CountPackets scans one captured thread stream and tallies its
+// packets by kind, plus the control events they represent (each TNT
+// bit is one conditional branch; each TIP one indirect transfer).
+// Wrapped streams are scanned from their first sync point.
+func CountPackets(st SnapshotThread) (counts map[PacketKind]int64, controlEvents int64, err error) {
+	data := st.Data
+	if st.Wrapped {
+		if idx := bytes.Index(data, psbMagic); idx >= 0 {
+			data = data[idx:]
+		} else {
+			return map[PacketKind]int64{}, 0, nil
+		}
+	}
+	counts = make(map[PacketKind]int64)
+	r := &packetReader{data: data}
+	for {
+		p, ok, perr := r.next()
+		if perr != nil {
+			return counts, controlEvents, perr
+		}
+		if !ok {
+			return counts, controlEvents, nil
+		}
+		counts[p.kind]++
+		switch p.kind {
+		case KindTNT:
+			controlEvents += int64(p.n)
+		case KindTIP:
+			controlEvents++
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package pt simulates a hardware control-flow tracer with timing
+// information — the Intel Processor Trace analogue the Snorlax paper
+// relies on (§5).
+//
+// The simulation is faithful to the properties Lazy Diagnosis
+// depends on:
+//
+//   - per-thread packet streams held in bounded overwriting ring
+//     buffers (64 KB by default), so history is limited and decoding
+//     must recover from a wrapped buffer;
+//   - control flow is recorded compactly: conditional branches cost
+//     one TNT bit, unconditional direct transfers cost nothing (the
+//     decoder re-derives them from the program), indirect transfers
+//     and returns cost a TIP packet carrying the target PC;
+//   - timing is coarse: MTC packets carry a wrapping coarse clock and
+//     CYC packets carry bounded-resolution deltas, so decoded
+//     timestamps have an uncertainty window and yield only a partial
+//     order of instructions (§4.1, step 3);
+//   - periodic PSB sync packets carry a full PC and timestamp so the
+//     decoder can start from the middle of a stream.
+//
+// Tracing overhead emerges from a bandwidth cost model (picoseconds
+// per trace byte plus per-thread buffer-switch costs) rather than
+// being asserted, which is what the Figure 8/9 experiments measure.
+package pt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PacketKind identifies a trace packet type.
+type PacketKind byte
+
+// The packet kinds. Values double as the on-wire header byte.
+const (
+	// KindTNT packs up to 7 taken/not-taken bits.
+	KindTNT PacketKind = 0x01
+	// KindPSB is a synchronization point with a full PC and time.
+	KindPSB PacketKind = 0x02
+	// KindTIP carries the target PC of an indirect transfer.
+	KindTIP PacketKind = 0x03
+	// KindMTC carries the low 16 bits of the coarse wall clock.
+	KindMTC PacketKind = 0x04
+	// KindCYC carries a time delta in CYC resolution units.
+	KindCYC PacketKind = 0x05
+)
+
+func (k PacketKind) String() string {
+	switch k {
+	case KindTNT:
+		return "TNT"
+	case KindPSB:
+		return "PSB"
+	case KindTIP:
+		return "TIP"
+	case KindMTC:
+		return "MTC"
+	case KindCYC:
+		return "CYC"
+	}
+	return fmt.Sprintf("packet(0x%02x)", byte(k))
+}
+
+// psbMagic is the PSB preamble the decoder scans for when a ring
+// buffer has wrapped; it is long enough that false positives inside
+// other packets' payloads are negligible.
+var psbMagic = []byte{byte(KindPSB), 0x82, byte(KindPSB), 0x82, byte(KindPSB), 0x82}
+
+// appendTNT encodes n (1..7) branch bits. The payload byte is
+// (1<<n)|bits: the leading one marks how many bits are valid, exactly
+// like Intel PT's short TNT.
+func appendTNT(buf []byte, bits byte, n int) []byte {
+	if n < 1 || n > 7 {
+		panic(fmt.Sprintf("pt: TNT with %d bits", n))
+	}
+	payload := byte(1<<uint(n)) | (bits & (1<<uint(n) - 1))
+	return append(buf, byte(KindTNT), payload)
+}
+
+// appendPSB encodes a sync packet with a full PC and timestamp.
+func appendPSB(buf []byte, pc int64, time int64) []byte {
+	buf = append(buf, psbMagic...)
+	buf = binary.AppendUvarint(buf, uint64(pc+1)) // +1 so NoPC (-1) encodes
+	buf = binary.AppendUvarint(buf, uint64(time))
+	return buf
+}
+
+// appendTIP encodes an indirect-transfer target.
+func appendTIP(buf []byte, pc int64) []byte {
+	buf = append(buf, byte(KindTIP))
+	return binary.AppendUvarint(buf, uint64(pc+1))
+}
+
+// appendMTC encodes the low 16 bits of the coarse clock.
+func appendMTC(buf []byte, coarse uint16) []byte {
+	return append(buf, byte(KindMTC), byte(coarse), byte(coarse>>8))
+}
+
+// appendCYC encodes a delta in resolution units.
+func appendCYC(buf []byte, units uint64) []byte {
+	buf = append(buf, byte(KindCYC))
+	return binary.AppendUvarint(buf, units)
+}
+
+// packetReader iterates packets in a linear byte stream.
+type packetReader struct {
+	data []byte
+	pos  int
+}
+
+// packet is one decoded packet.
+type packet struct {
+	kind PacketKind
+	// TNT fields.
+	bits byte
+	n    int
+	// PSB/TIP fields.
+	pc int64
+	// PSB/MTC/CYC fields.
+	time   int64 // PSB full time
+	coarse uint16
+	units  uint64
+}
+
+var errTruncated = fmt.Errorf("pt: truncated packet")
+
+// next returns the next packet. ok is false at end of stream; err is
+// non-nil for malformed/truncated data.
+func (r *packetReader) next() (p packet, ok bool, err error) {
+	if r.pos >= len(r.data) {
+		return packet{}, false, nil
+	}
+	kind := PacketKind(r.data[r.pos])
+	switch kind {
+	case KindTNT:
+		if r.pos+2 > len(r.data) {
+			return packet{}, false, errTruncated
+		}
+		payload := r.data[r.pos+1]
+		if payload == 0 {
+			return packet{}, false, fmt.Errorf("pt: empty TNT payload")
+		}
+		n := 7
+		for payload>>uint(n) == 0 {
+			n--
+		}
+		r.pos += 2
+		return packet{kind: KindTNT, bits: payload & (1<<uint(n) - 1), n: n}, true, nil
+	case KindPSB:
+		if r.pos+len(psbMagic) > len(r.data) || !hasPrefix(r.data[r.pos:], psbMagic) {
+			return packet{}, false, fmt.Errorf("pt: bad PSB preamble at %d", r.pos)
+		}
+		r.pos += len(psbMagic)
+		pc, n := binary.Uvarint(r.data[r.pos:])
+		if n <= 0 {
+			return packet{}, false, errTruncated
+		}
+		r.pos += n
+		t, n := binary.Uvarint(r.data[r.pos:])
+		if n <= 0 {
+			return packet{}, false, errTruncated
+		}
+		r.pos += n
+		return packet{kind: KindPSB, pc: int64(pc) - 1, time: int64(t)}, true, nil
+	case KindTIP:
+		r.pos++
+		pc, n := binary.Uvarint(r.data[r.pos:])
+		if n <= 0 {
+			return packet{}, false, errTruncated
+		}
+		r.pos += n
+		return packet{kind: KindTIP, pc: int64(pc) - 1}, true, nil
+	case KindMTC:
+		if r.pos+3 > len(r.data) {
+			return packet{}, false, errTruncated
+		}
+		c := uint16(r.data[r.pos+1]) | uint16(r.data[r.pos+2])<<8
+		r.pos += 3
+		return packet{kind: KindMTC, coarse: c}, true, nil
+	case KindCYC:
+		r.pos++
+		u, n := binary.Uvarint(r.data[r.pos:])
+		if n <= 0 {
+			return packet{}, false, errTruncated
+		}
+		r.pos += n
+		return packet{kind: KindCYC, units: u}, true, nil
+	default:
+		return packet{}, false, fmt.Errorf("pt: unknown packet 0x%02x at offset %d", byte(kind), r.pos)
+	}
+}
+
+func hasPrefix(b, prefix []byte) bool {
+	if len(b) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if b[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,55 @@
+package pt
+
+// ring is a byte ring buffer that overwrites its oldest contents when
+// full, like the in-memory trace buffer of the paper's Intel PT
+// driver (§5). It never allocates after construction.
+type ring struct {
+	buf     []byte
+	w       int   // next write index
+	wrapped bool  // true once the buffer has overwritten old data
+	total   int64 // total bytes ever written
+}
+
+func newRing(capacity int) *ring {
+	if capacity <= 0 {
+		capacity = 64 * 1024
+	}
+	return &ring{buf: make([]byte, capacity)}
+}
+
+// write appends p, overwriting the oldest bytes on wrap.
+func (r *ring) write(p []byte) {
+	r.total += int64(len(p))
+	if len(p) >= len(r.buf) {
+		copy(r.buf, p[len(p)-len(r.buf):])
+		r.w = 0
+		r.wrapped = true
+		return
+	}
+	n := copy(r.buf[r.w:], p)
+	if n < len(p) {
+		copy(r.buf, p[n:])
+		r.w = len(p) - n
+		r.wrapped = true
+	} else {
+		r.w += n
+		if r.w == len(r.buf) {
+			r.w = 0
+			r.wrapped = true
+		}
+	}
+}
+
+// snapshot returns the buffered bytes oldest-first, plus whether the
+// ring has wrapped (meaning the prefix may start mid-packet).
+func (r *ring) snapshot() (data []byte, wrapped bool) {
+	if !r.wrapped {
+		out := make([]byte, r.w)
+		copy(out, r.buf[:r.w])
+		return out, false
+	}
+	out := make([]byte, len(r.buf))
+	n := copy(out, r.buf[r.w:])
+	copy(out[n:], r.buf[:r.w])
+	return out, true
+}

@@ -1,0 +1,211 @@
+// Package racedet is an Eraser-style lockset data-race detector over
+// the simulated machine.
+//
+// The paper leans on race detection twice: order and atomicity
+// violations "are in many cases caused by one or more data races"
+// (§3.1), and §3.3 argues that the coarse interleaving hypothesis
+// lets record/replay engines "efficiently record the order of racing
+// accesses" — which presumes something identifies the racing
+// accesses. This detector is that something: its reports drive the
+// replay engine's monitored set (replay.SharedPCs is the static
+// approximation; RacyPCs is the dynamic one) and cross-check the
+// corpus ground truth.
+//
+// The algorithm is the classic lockset refinement (Savage et al.,
+// Eraser, SOSP'97): each shared location's candidate lockset starts
+// as "all locks" and is intersected with the accessing thread's held
+// locks on every access; an empty lockset on a shared-modified
+// location is a race. Per-location state machines suppress the
+// initialization and read-only false positives.
+package racedet
+
+import (
+	"fmt"
+	"sort"
+
+	"snorlax/internal/ir"
+	"snorlax/internal/vm"
+)
+
+// state is the per-location Eraser state machine.
+type state int
+
+const (
+	stVirgin state = iota
+	stExclusive
+	stShared
+	stSharedModified
+)
+
+// locInfo tracks one memory word.
+type locInfo struct {
+	st state
+	// owner is the owning thread while Exclusive.
+	owner int
+	// lockset is the candidate lockset (nil = still "all locks").
+	lockset map[int64]bool
+	// lastPC and lastTid identify the previous access, for reports.
+	lastPC  ir.PC
+	lastTid int
+	// reported suppresses duplicate reports per static access pair.
+	reported map[[2]ir.PC]bool
+}
+
+// Race is one detected data race: two accesses to the same location
+// with no common lock, at least one a write.
+type Race struct {
+	// Addr is the racy memory word.
+	Addr int64
+	// First and Second are the static instructions of the two
+	// conflicting accesses (the earlier one first).
+	First, Second ir.PC
+	// SecondTid performed the access that emptied the lockset.
+	SecondTid int
+	// Time is the virtual time of the detection.
+	Time int64
+}
+
+func (r Race) String() string {
+	return fmt.Sprintf("race @%d: pc %d vs pc %d (thread %d)", r.Addr, r.First, r.Second, r.SecondTid)
+}
+
+// Detector implements vm.AccessHook.
+type Detector struct {
+	// held tracks each thread's current lockset.
+	held map[int]map[int64]bool
+	locs map[int64]*locInfo
+	// Races collects the reports in detection order.
+	Races []Race
+}
+
+// New returns an empty detector; attach it as vm.Config.Access.
+func New() *Detector {
+	return &Detector{
+		held: map[int]map[int64]bool{},
+		locs: map[int64]*locInfo{},
+	}
+}
+
+var _ vm.AccessHook = (*Detector)(nil)
+
+// OnLock implements vm.AccessHook.
+func (d *Detector) OnLock(tid int, in ir.Instr, addr int64, acquired bool, time int64) {
+	hs := d.held[tid]
+	if hs == nil {
+		hs = map[int64]bool{}
+		d.held[tid] = hs
+	}
+	if acquired {
+		hs[addr] = true
+	} else {
+		delete(hs, addr)
+	}
+}
+
+// OnAccess implements vm.AccessHook: the Eraser state machine.
+func (d *Detector) OnAccess(tid int, in ir.Instr, addr int64, write bool, time int64) {
+	li := d.locs[addr]
+	if li == nil {
+		li = &locInfo{st: stVirgin}
+		d.locs[addr] = li
+	}
+	defer func() {
+		li.lastPC = in.PC()
+		li.lastTid = tid
+	}()
+
+	switch li.st {
+	case stVirgin:
+		li.st = stExclusive
+		li.owner = tid
+		return
+	case stExclusive:
+		if tid == li.owner {
+			return
+		}
+		// First access by a second thread: start lockset refinement.
+		if write {
+			li.st = stSharedModified
+		} else {
+			li.st = stShared
+		}
+		li.lockset = d.copyHeld(tid)
+	case stShared:
+		li.intersect(d.held[tid])
+		if write {
+			li.st = stSharedModified
+		}
+	case stSharedModified:
+		li.intersect(d.held[tid])
+	}
+	if li.st == stSharedModified && len(li.lockset) == 0 {
+		// Classic Eraser reports the first unprotected
+		// shared-modified access; we additionally report each new
+		// cross-thread static pair so every racing partner surfaces
+		// (the replay engine and the corpus ground truth need the
+		// pairs, not just the location).
+		crossThread := tid != li.lastTid
+		if len(li.reported) == 0 || crossThread {
+			pair := [2]ir.PC{li.lastPC, in.PC()}
+			if li.reported == nil {
+				li.reported = map[[2]ir.PC]bool{}
+			}
+			if !li.reported[pair] {
+				li.reported[pair] = true
+				d.Races = append(d.Races, Race{
+					Addr:      addr,
+					First:     li.lastPC,
+					Second:    in.PC(),
+					SecondTid: tid,
+					Time:      time,
+				})
+			}
+		}
+	}
+}
+
+func (d *Detector) copyHeld(tid int) map[int64]bool {
+	out := map[int64]bool{}
+	for l := range d.held[tid] {
+		out[l] = true
+	}
+	return out
+}
+
+func (li *locInfo) intersect(held map[int64]bool) {
+	for l := range li.lockset {
+		if !held[l] {
+			delete(li.lockset, l)
+		}
+	}
+}
+
+// RacyPCs returns the static instructions involved in any detected
+// race — the dynamic selection of "the racing accesses" that §3.3
+// says a record/replay engine should monitor.
+func (d *Detector) RacyPCs() map[ir.PC]bool {
+	out := map[ir.PC]bool{}
+	for _, r := range d.Races {
+		if r.First != ir.NoPC {
+			out[r.First] = true
+		}
+		out[r.Second] = true
+	}
+	return out
+}
+
+// Detect runs the module once under the detector and returns the
+// races found, sorted by address for determinism, plus the run result.
+func Detect(mod *ir.Module, cfg vm.Config) ([]Race, *vm.Result) {
+	d := New()
+	cfg.Access = d
+	res := vm.Run(mod, cfg)
+	races := append([]Race(nil), d.Races...)
+	sort.Slice(races, func(i, j int) bool {
+		if races[i].Addr != races[j].Addr {
+			return races[i].Addr < races[j].Addr
+		}
+		return races[i].Second < races[j].Second
+	})
+	return races, res
+}

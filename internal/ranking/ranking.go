@@ -1,0 +1,277 @@
+// Package ranking implements type-based ranking — step 5 of Lazy
+// Diagnosis (§4.3 of the Snorlax paper).
+//
+// Given the instruction where a failure occurred, ranking collects
+// every in-scope instruction whose accessed pointer may alias the
+// failing instruction's pointer operand (per the hybrid points-to
+// analysis) and orders them by how well their operand's static type
+// matches the failing operand's type. Instructions operating on the
+// exact type rank first; type-mismatched candidates (reachable only
+// through casts) are kept at a lower rank — ranking prioritizes, it
+// never discards (§4.3).
+package ranking
+
+import (
+	"sort"
+
+	"snorlax/internal/ir"
+	"snorlax/internal/pointsto"
+)
+
+// Analysis is the points-to interface ranking needs; both Andersen
+// and Steensgaard satisfy it.
+type Analysis interface {
+	PointsTo(v ir.Value) pointsto.ObjSet
+	MayAlias(p, q ir.Value) bool
+}
+
+// Candidate is one ranked instruction.
+type Candidate struct {
+	Instr ir.Instr
+	// Rank is 1 for exact type matches, 2 for mismatches; lower is
+	// analyzed first.
+	Rank int
+}
+
+// FailingPointer returns the pointer operand implicated by the
+// failing instruction: the accessed pointer for memory and lock
+// operations, or the base pointer for address computations (a crash
+// on a null base faults there).
+func FailingPointer(in ir.Instr) ir.Value {
+	if p := ir.AccessedPointer(in); p != nil {
+		return p
+	}
+	switch i := in.(type) {
+	case *ir.FieldAddrInstr:
+		return i.Base
+	case *ir.IndexAddrInstr:
+		return i.Base
+	}
+	return nil
+}
+
+// Anchor maps a faulting instruction back to the instruction whose
+// operand's points-to set should seed the analysis — the paper's
+// Figure 4, where the failing instruction I_f is the load of the
+// corrupt Queue* pointer, not the downstream dereference that trapped.
+//
+// The walk follows the corrupt pointer's provenance backwards through
+// address computations and casts: if the pointer was produced by a
+// load, that load is the anchor (its address operand names the memory
+// slot whose writers are the candidates). If provenance bottoms out
+// at a parameter, allocation or call, the faulting instruction itself
+// is the anchor. This mirrors RETracer's backward data-flow from a
+// corrupt pointer, which the paper builds on (§1, §2).
+func Anchor(failing ir.Instr) (anchor ir.Instr, operand ir.Value) {
+	in := failing
+	v := FailingPointer(in)
+	if a, ok := failing.(*ir.AssertInstr); ok {
+		// Custom failure mode (§7): the asserted condition's data
+		// provenance leads to the load whose value violated the
+		// invariant.
+		if load := assertedLoad(a); load != nil {
+			return load, load.Addr
+		}
+		return failing, nil
+	}
+	for {
+		r, ok := v.(*ir.Reg)
+		if !ok {
+			return in, v
+		}
+		def := singleDef(in.Block().Parent, r)
+		if def == nil {
+			return in, v
+		}
+		switch d := def.(type) {
+		case *ir.LoadInstr:
+			return d, d.Addr
+		case *ir.FieldAddrInstr:
+			in, v = d, d.Base
+		case *ir.IndexAddrInstr:
+			in, v = d, d.Base
+		case *ir.CastInstr:
+			in, v = d, d.Val
+		default:
+			return in, v
+		}
+	}
+}
+
+// assertedLoad walks an assertion's condition back through comparison
+// and arithmetic operands to the most recent load feeding it.
+func assertedLoad(a *ir.AssertInstr) *ir.LoadInstr {
+	loads := AssertedLoads(a)
+	if len(loads) == 0 {
+		return nil
+	}
+	return loads[0]
+}
+
+// AssertedLoads walks an assertion's condition back through
+// comparisons, arithmetic and casts and returns every load feeding
+// it, in discovery order. A violated invariant over several memory
+// locations (a multi-variable atomicity violation, §7) anchors at
+// several loads; single-location invariants anchor at one.
+func AssertedLoads(a *ir.AssertInstr) []*ir.LoadInstr {
+	fn := a.Block().Parent
+	var loads []*ir.LoadInstr
+	seen := map[*ir.LoadInstr]bool{}
+	work := []ir.Value{a.Cond}
+	for depth := 0; depth < 8 && len(work) > 0; depth++ {
+		var next []ir.Value
+		for _, v := range work {
+			r, ok := v.(*ir.Reg)
+			if !ok {
+				continue
+			}
+			def := singleDef(fn, r)
+			if def == nil {
+				continue
+			}
+			switch d := def.(type) {
+			case *ir.LoadInstr:
+				if !seen[d] {
+					seen[d] = true
+					loads = append(loads, d)
+				}
+			case *ir.BinInstr:
+				next = append(next, d.X, d.Y)
+			case *ir.CastInstr:
+				next = append(next, d.Val)
+			}
+		}
+		work = next
+	}
+	return loads
+}
+
+// ValueLoads returns the loads feeding value v inside fn, walking
+// unique-definition chains through arithmetic, casts and address
+// computations (depth-bounded). Deep anchoring (§7: the failing
+// instruction may not be part of the bug pattern) uses this to chase
+// a corrupt value's provenance through a store's operand.
+func ValueLoads(fn *ir.Func, v ir.Value) []*ir.LoadInstr {
+	var loads []*ir.LoadInstr
+	seen := map[*ir.LoadInstr]bool{}
+	work := []ir.Value{v}
+	for depth := 0; depth < 8 && len(work) > 0; depth++ {
+		var next []ir.Value
+		for _, x := range work {
+			r, ok := x.(*ir.Reg)
+			if !ok {
+				continue
+			}
+			def := singleDef(fn, r)
+			if def == nil {
+				continue
+			}
+			switch d := def.(type) {
+			case *ir.LoadInstr:
+				if !seen[d] {
+					seen[d] = true
+					loads = append(loads, d)
+				}
+			case *ir.BinInstr:
+				next = append(next, d.X, d.Y)
+			case *ir.CastInstr:
+				next = append(next, d.Val)
+			case *ir.FieldAddrInstr:
+				next = append(next, d.Base)
+			case *ir.IndexAddrInstr:
+				next = append(next, d.Base)
+			}
+		}
+		work = next
+	}
+	return loads
+}
+
+// singleDef returns the unique instruction in fn defining r, or nil
+// when r has zero or several static definitions (parameters have
+// none; multiply-defined registers are ambiguous, so the walk stops).
+func singleDef(fn *ir.Func, r *ir.Reg) ir.Instr {
+	var def ir.Instr
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Def() == r {
+				if def != nil {
+					return nil
+				}
+				def = in
+			}
+		}
+	}
+	return def
+}
+
+// CandidateClass selects which instructions can participate in a bug
+// pattern for the observed failure kind.
+type CandidateClass int
+
+// The candidate classes.
+const (
+	// MemAccesses selects loads and stores (crashes: order and
+	// atomicity violations).
+	MemAccesses CandidateClass = iota
+	// SyncOps selects lock and unlock operations (deadlocks).
+	SyncOps
+)
+
+func classMatch(class CandidateClass, in ir.Instr) bool {
+	switch class {
+	case MemAccesses:
+		return ir.IsMemAccess(in)
+	case SyncOps:
+		return ir.IsSyncOp(in)
+	}
+	return false
+}
+
+// Rank returns the candidate instructions for the failure at failing,
+// sorted by rank (exact type matches first) and then by PC for
+// determinism. Only instructions inside scope are considered; the
+// failing instruction itself is excluded.
+func Rank(mod *ir.Module, failing ir.Instr, class CandidateClass, pts Analysis, scope pointsto.Scope) []Candidate {
+	anchor := failing
+	failOperand := FailingPointer(failing)
+	if class == MemAccesses {
+		anchor, failOperand = Anchor(failing)
+	}
+	if failOperand == nil {
+		return nil
+	}
+	failType := failOperand.Type()
+	var out []Candidate
+	mod.Instrs(func(in ir.Instr) {
+		if in == anchor || in == failing || !scope.In(in) || !classMatch(class, in) {
+			return
+		}
+		p := ir.AccessedPointer(in)
+		if p == nil || !pts.MayAlias(p, failOperand) {
+			return
+		}
+		rank := 2
+		if ir.TypesEqual(p.Type(), failType) {
+			rank = 1
+		}
+		out = append(out, Candidate{Instr: in, Rank: rank})
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Instr.PC() < out[j].Instr.PC()
+	})
+	return out
+}
+
+// CountByRank returns how many candidates hold each rank; the
+// Figure 7 experiment reports the reduction from rank filtering.
+func CountByRank(cands []Candidate) map[int]int {
+	out := make(map[int]int)
+	for _, c := range cands {
+		out[c.Rank]++
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package ranking
+
+import (
+	"testing"
+
+	"snorlax/internal/ir"
+	"snorlax/internal/pointsto"
+)
+
+// rankSrc models the paper's Figure 4: a failing load of a Queue*
+// plus one store operating on Queue* (rank 1) and one store operating
+// on an int* that aliases it through a cast (rank 2).
+const rankSrc = `
+module fig4
+struct Queue {
+  size: int
+}
+global fifo: *Queue
+
+func main() {
+entry:
+  %q = new Queue
+  store %q, @fifo
+  %i1 = load @fifo
+  store null:*Queue, @fifo
+  %slotint = cast @fifo to **int
+  %asint = cast %q to *int
+  store %asint, %slotint
+  %f = load @fifo
+  %sz = fieldaddr %f, size
+  %v = load %sz
+  ret
+}
+`
+
+func setup(t *testing.T) (*ir.Module, *pointsto.Andersen) {
+	t.Helper()
+	m, err := ir.Parse(rankSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, pointsto.NewAndersen(m, nil)
+}
+
+func failingFieldAddr(m *ir.Module) ir.Instr {
+	var f ir.Instr
+	m.Instrs(func(in ir.Instr) {
+		if in.Op() == ir.OpFieldAddr {
+			f = in
+		}
+	})
+	return f
+}
+
+func TestFailingPointer(t *testing.T) {
+	m, _ := setup(t)
+	f := failingFieldAddr(m)
+	p := FailingPointer(f)
+	if p == nil {
+		t.Fatal("no failing pointer for fieldaddr")
+	}
+	if p.Type().String() != "*Queue" {
+		t.Errorf("failing pointer type = %s", p.Type())
+	}
+	var binInstr ir.Instr
+	m.Instrs(func(in ir.Instr) {
+		if in.Op() == ir.OpBin {
+			binInstr = in
+		}
+	})
+	if binInstr != nil && FailingPointer(binInstr) != nil {
+		t.Error("bin instruction should have no failing pointer")
+	}
+}
+
+func TestTypeBasedRanking(t *testing.T) {
+	m, a := setup(t)
+	f := failingFieldAddr(m)
+	cands := Rank(m, f, MemAccesses, a, nil)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	// Expect both rank-1 (Queue* accesses) and rank-2 (int* accesses
+	// reached via the cast) candidates.
+	counts := CountByRank(cands)
+	if counts[1] == 0 {
+		t.Error("no rank-1 candidates (exact Queue* matches)")
+	}
+	if counts[2] == 0 {
+		t.Error("no rank-2 candidates (cast-aliased int* accesses)")
+	}
+	// Rank-1 candidates must all sort before rank-2.
+	lastRank := 0
+	for _, c := range cands {
+		if c.Rank < lastRank {
+			t.Fatalf("candidates not sorted by rank: %v", cands)
+		}
+		lastRank = c.Rank
+	}
+	// The store through the **int-typed cast of the slot must be
+	// rank 2; stores through the **Queue slot must be rank 1.
+	for _, c := range cands {
+		s, ok := c.Instr.(*ir.StoreInstr)
+		if !ok {
+			continue
+		}
+		wantRank := 1
+		if s.Addr.Type().String() == "**int" {
+			wantRank = 2
+		}
+		if c.Rank != wantRank {
+			t.Errorf("store %s: rank = %d, want %d", s, c.Rank, wantRank)
+		}
+	}
+}
+
+func TestAnchorWalksToLoad(t *testing.T) {
+	m, _ := setup(t)
+	f := failingFieldAddr(m)
+	anchor, operand := Anchor(f)
+	load, ok := anchor.(*ir.LoadInstr)
+	if !ok {
+		t.Fatalf("anchor = %s, want the load of @fifo", anchor)
+	}
+	if _, isGlobal := load.Addr.(*ir.GlobalRef); !isGlobal {
+		t.Errorf("anchor load address = %s, want @fifo", load.Addr)
+	}
+	if operand.Type().String() != "**Queue" {
+		t.Errorf("anchor operand type = %s, want **Queue", operand.Type())
+	}
+}
+
+func TestRankingExcludesFailingInstr(t *testing.T) {
+	m, a := setup(t)
+	f := failingFieldAddr(m)
+	for _, c := range Rank(m, f, MemAccesses, a, nil) {
+		if c.Instr == f {
+			t.Error("failing instruction ranked as its own candidate")
+		}
+	}
+}
+
+func TestRankingHonorsScope(t *testing.T) {
+	m, a := setup(t)
+	f := failingFieldAddr(m)
+	all := Rank(m, f, MemAccesses, a, nil)
+	// Empty (non-nil) scope excludes everything.
+	none := Rank(m, f, MemAccesses, a, pointsto.Scope{})
+	if len(none) != 0 {
+		t.Errorf("empty scope produced %d candidates", len(none))
+	}
+	if len(all) == 0 {
+		t.Error("nil scope produced no candidates")
+	}
+}
+
+func TestRankingSyncClass(t *testing.T) {
+	src := `
+module locks
+global mu: mutex
+global mv: mutex
+func main() {
+entry:
+  lock @mu
+  lock @mv
+  unlock @mv
+  unlock @mu
+  lock @mu
+  unlock @mu
+  ret
+}
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pointsto.NewAndersen(m, nil)
+	var firstLock ir.Instr
+	m.Instrs(func(in ir.Instr) {
+		if firstLock == nil && in.Op() == ir.OpLock {
+			firstLock = in
+		}
+	})
+	cands := Rank(m, firstLock, SyncOps, a, nil)
+	// Candidates must be lock/unlock ops on @mu only (2 more lock/unlock
+	// pairs on mu = 3 ops excluding the failing one).
+	if len(cands) != 3 {
+		t.Fatalf("sync candidates = %d, want 3", len(cands))
+	}
+	for _, c := range cands {
+		if !ir.IsSyncOp(c.Instr) {
+			t.Errorf("non-sync candidate %s", c.Instr)
+		}
+	}
+	// Mem class must not include lock ops.
+	mem := Rank(m, firstLock, MemAccesses, a, nil)
+	if len(mem) != 0 {
+		t.Errorf("mem class candidates on a lock failure = %d, want 0", len(mem))
+	}
+}

@@ -1,0 +1,220 @@
+// Package replay is the record/replay engine the paper's §3.3 argues
+// the coarse interleaving hypothesis enables: because the accesses
+// whose order decides a concurrency bug are separated by large time
+// gaps, recording just the ORDER of shared memory accesses and lock
+// acquisitions — no fine-grained timestamps, no memory contents — is
+// enough to steer a re-execution back onto the recorded interleaving,
+// even in the presence of data races (the case the paper cites Castor
+// for).
+//
+// Recording observes completed operations through the VM's access
+// hook: monitored loads and stores, plus every lock acquisition (lock
+// order must be reproduced too, or the gate and the mutexes can wait
+// on each other). Replaying attaches a gate that defers any thread
+// about to perform a logged operation out of turn; the VM backs it
+// off and runs the thread whose operation is next.
+package replay
+
+import (
+	"fmt"
+
+	"snorlax/internal/ir"
+	"snorlax/internal/vm"
+)
+
+// Event is one recorded operation.
+type Event struct {
+	Tid int
+	PC  ir.PC
+}
+
+// Log is a recorded total order of shared accesses and lock
+// acquisitions.
+type Log struct {
+	// PCs is the monitored instruction set: the configured loads and
+	// stores plus every lock instruction observed during recording.
+	PCs map[ir.PC]bool
+	// Events is the operation order.
+	Events []Event
+}
+
+// DefaultPCs returns the exhaustive monitored set for a module: every
+// load and store. Enforcing a total order over all memory accesses is
+// sufficient (if far stronger than necessary) to reproduce any
+// data-race outcome; use SharedPCs for the production-overhead
+// profile the paper argues for.
+func DefaultPCs(mod *ir.Module) map[ir.PC]bool {
+	out := map[ir.PC]bool{}
+	mod.Instrs(func(in ir.Instr) {
+		if ir.IsMemAccess(in) {
+			out[in.PC()] = true
+		}
+	})
+	return out
+}
+
+// SharedPCs returns the accesses that touch module globals directly —
+// a cheap static approximation of "the racing accesses" (§3.3: in
+// deployment, a race detector's reports would select this set).
+// Thread-local loop counters and spilled temporaries stay unmonitored,
+// which is where the recording cost disappears.
+func SharedPCs(mod *ir.Module) map[ir.PC]bool {
+	out := map[ir.PC]bool{}
+	mod.Instrs(func(in ir.Instr) {
+		if !ir.IsMemAccess(in) {
+			return
+		}
+		if _, ok := ir.AccessedPointer(in).(*ir.GlobalRef); ok {
+			out[in.PC()] = true
+		}
+	})
+	return out
+}
+
+// Recorder captures the operation order of one execution. It
+// implements vm.AccessHook (the semantic log) and vm.InstrHook (the
+// per-operation virtual cost); attach it as both Access and Hook.
+type Recorder struct {
+	log *Log
+	// CostNS is the per-logged-operation recording cost (default
+	// 30ns: an append to a per-thread buffer; merging happens offline
+	// using the coarse timestamps the hypothesis provides).
+	CostNS int64
+}
+
+// NewRecorder returns a Recorder monitoring pcs (plus all locks).
+func NewRecorder(pcs map[ir.PC]bool) *Recorder {
+	monitored := make(map[ir.PC]bool, len(pcs))
+	for pc := range pcs {
+		monitored[pc] = true
+	}
+	return &Recorder{log: &Log{PCs: monitored}, CostNS: 30}
+}
+
+var (
+	_ vm.AccessHook = (*Recorder)(nil)
+	_ vm.InstrHook  = (*Recorder)(nil)
+)
+
+// OnAccess implements vm.AccessHook.
+func (r *Recorder) OnAccess(tid int, in ir.Instr, addr int64, write bool, time int64) {
+	if !r.log.PCs[in.PC()] {
+		return
+	}
+	r.log.Events = append(r.log.Events, Event{Tid: tid, PC: in.PC()})
+}
+
+// OnLock implements vm.AccessHook: completed acquisitions enter the
+// log (releases need not — their order is induced).
+func (r *Recorder) OnLock(tid int, in ir.Instr, addr int64, acquired bool, time int64) {
+	if !acquired {
+		return
+	}
+	r.log.PCs[in.PC()] = true
+	r.log.Events = append(r.log.Events, Event{Tid: tid, PC: in.PC()})
+}
+
+// Before implements vm.InstrHook: the recording cost of a monitored
+// operation.
+func (r *Recorder) Before(tid int, in ir.Instr, live int, time int64) int64 {
+	if r.log.PCs[in.PC()] || in.Op() == ir.OpLock {
+		return r.CostNS
+	}
+	return 0
+}
+
+// Log returns the recorded order.
+func (r *Recorder) Log() *Log { return r.log }
+
+// Replayer enforces a recorded order. It implements vm.GateHook and
+// vm.AccessHook; attach it as both Gate and Access.
+type Replayer struct {
+	log    *Log
+	cursor int
+	// granted remembers a lock acquisition already consumed from the
+	// log but not yet completed (the thread may retry the blocked
+	// lock instruction many times before it succeeds).
+	granted map[int]ir.PC
+}
+
+// NewReplayer returns a Replayer for the log.
+func NewReplayer(log *Log) *Replayer {
+	return &Replayer{log: log, granted: map[int]ir.PC{}}
+}
+
+var (
+	_ vm.GateHook   = (*Replayer)(nil)
+	_ vm.AccessHook = (*Replayer)(nil)
+)
+
+// Allow implements vm.GateHook: a logged operation may proceed only
+// when it is next in the recorded order.
+func (r *Replayer) Allow(tid int, in ir.Instr, time int64) bool {
+	pc := in.PC()
+	if !r.log.PCs[pc] {
+		return true
+	}
+	if r.granted[tid] == pc {
+		return true // retrying an already-granted blocked lock
+	}
+	if r.cursor >= len(r.log.Events) {
+		return true // past the recorded window
+	}
+	next := r.log.Events[r.cursor]
+	if next.Tid == tid && next.PC == pc {
+		r.cursor++
+		if in.Op() == ir.OpLock {
+			r.granted[tid] = pc
+		}
+		return true
+	}
+	return false
+}
+
+// OnAccess implements vm.AccessHook (no bookkeeping needed for plain
+// accesses).
+func (r *Replayer) OnAccess(tid int, in ir.Instr, addr int64, write bool, time int64) {}
+
+// OnLock implements vm.AccessHook: a completed acquisition clears the
+// thread's grant.
+func (r *Replayer) OnLock(tid int, in ir.Instr, addr int64, acquired bool, time int64) {
+	if acquired && r.granted[tid] == in.PC() {
+		delete(r.granted, tid)
+	}
+}
+
+// Replayed reports how much of the log was consumed.
+func (r *Replayer) Replayed() (consumed, total int) {
+	return r.cursor, len(r.log.Events)
+}
+
+// Record runs the module once under the recorder and returns the
+// result and the log.
+func Record(mod *ir.Module, cfg vm.Config, pcs map[ir.PC]bool) (*vm.Result, *Log) {
+	if pcs == nil {
+		pcs = DefaultPCs(mod)
+	}
+	rec := NewRecorder(pcs)
+	cfg.Access = rec
+	cfg.Hook = rec
+	res := vm.Run(mod, cfg)
+	return res, rec.Log()
+}
+
+// Replay re-executes the module under the log's order. The scheduler
+// seed may differ from the recording's — that is the point: the gate,
+// not the scheduler, decides every racing access. It returns an error
+// if the recorded order could not be fully enforced.
+func Replay(mod *ir.Module, cfg vm.Config, log *Log) (*vm.Result, error) {
+	rep := NewReplayer(log)
+	cfg.Gate = rep
+	cfg.Access = rep
+	res := vm.Run(mod, cfg)
+	consumed, total := rep.Replayed()
+	// A failing recording legitimately ends mid-log (the crash cuts
+	// the execution short at the same point).
+	if consumed < total && !res.Failed() {
+		return res, fmt.Errorf("replay: enforced only %d/%d recorded operations", consumed, total)
+	}
+	return res, nil
+}

@@ -1,0 +1,111 @@
+// Package statdiag implements statistical diagnosis — step 7 of Lazy
+// Diagnosis (§4.5 of the Snorlax paper).
+//
+// Each candidate pattern is scored by the F1 measure (harmonic mean
+// of precision and recall) of "pattern present" as a predictor of
+// "execution failed", over the set of collected traces: the failing
+// trace(s) plus up to 10× as many traces from successful executions
+// collected at the failure PC (step 8). The pattern with the highest
+// F1 is reported as the root cause.
+package statdiag
+
+import (
+	"fmt"
+	"sort"
+
+	"snorlax/internal/pattern"
+)
+
+// Observation is one execution's view of the candidate patterns.
+type Observation struct {
+	// Failed reports whether this execution failed.
+	Failed bool
+	// Present maps pattern keys to whether the pattern occurred.
+	Present map[string]bool
+}
+
+// Score is the statistical verdict for one pattern.
+type Score struct {
+	Pattern   *pattern.Pattern
+	Precision float64
+	Recall    float64
+	F1        float64
+	// Counts behind the ratios.
+	PresentFailed, PresentOK, AbsentFailed int
+}
+
+func (s Score) String() string {
+	return fmt.Sprintf("%s F1=%.3f (P=%.3f R=%.3f)", s.Pattern.Key(), s.F1, s.Precision, s.Recall)
+}
+
+// Rank scores every pattern over the observations and returns the
+// scores sorted by descending F1 (ties broken by the pattern's type
+// rank, then key, for determinism).
+func Rank(patterns []*pattern.Pattern, obs []Observation) []Score {
+	scores := make([]Score, 0, len(patterns))
+	for _, p := range patterns {
+		key := p.Key()
+		var presentFailed, presentOK, absentFailed int
+		for _, o := range obs {
+			present := o.Present[key]
+			switch {
+			case present && o.Failed:
+				presentFailed++
+			case present && !o.Failed:
+				presentOK++
+			case !present && o.Failed:
+				absentFailed++
+			}
+		}
+		s := Score{
+			Pattern:       p,
+			PresentFailed: presentFailed,
+			PresentOK:     presentOK,
+			AbsentFailed:  absentFailed,
+		}
+		if presentFailed+presentOK > 0 {
+			s.Precision = float64(presentFailed) / float64(presentFailed+presentOK)
+		}
+		if presentFailed+absentFailed > 0 {
+			s.Recall = float64(presentFailed) / float64(presentFailed+absentFailed)
+		}
+		if s.Precision+s.Recall > 0 {
+			s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+		}
+		scores = append(scores, s)
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		si, sj := scores[i], scores[j]
+		if si.F1 != sj.F1 {
+			return si.F1 > sj.F1
+		}
+		// Specificity: a pattern constraining more events (an
+		// atomicity triple) subsumes a coarser one (the order pair it
+		// contains) when both predict the failure equally well.
+		if len(si.Pattern.PCs) != len(sj.Pattern.PCs) {
+			return len(si.Pattern.PCs) > len(sj.Pattern.PCs)
+		}
+		if si.Pattern.Rank != sj.Pattern.Rank {
+			return si.Pattern.Rank < sj.Pattern.Rank
+		}
+		return si.Pattern.Key() < sj.Pattern.Key()
+	})
+	return scores
+}
+
+// Best returns the top-scored pattern, plus whether it is uniquely
+// best: strictly higher F1 than the runner-up, or equal F1 but
+// strictly more specific (more constrained events). The paper notes
+// developers must disambiguate manually on exact ties; its evaluation
+// — and ours — never hits that case.
+func Best(scores []Score) (Score, bool) {
+	if len(scores) == 0 {
+		return Score{}, false
+	}
+	if len(scores) == 1 {
+		return scores[0], true
+	}
+	a, b := scores[0], scores[1]
+	unique := a.F1 > b.F1 || (a.F1 == b.F1 && len(a.Pattern.PCs) > len(b.Pattern.PCs))
+	return a, unique
+}

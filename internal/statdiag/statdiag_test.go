@@ -1,0 +1,133 @@
+package statdiag
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"snorlax/internal/ir"
+	"snorlax/internal/pattern"
+)
+
+func pat(kind pattern.Kind, sub string, pcs ...ir.PC) *pattern.Pattern {
+	return &pattern.Pattern{Kind: kind, Sub: sub, PCs: pcs}
+}
+
+func obs(failed bool, present ...string) Observation {
+	o := Observation{Failed: failed, Present: map[string]bool{}}
+	for _, k := range present {
+		o.Present[k] = true
+	}
+	return o
+}
+
+func TestPerfectPredictorScoresOne(t *testing.T) {
+	p := pat(pattern.KindOrderViolation, "WR", 1, 2)
+	observations := []Observation{
+		obs(true, p.Key()),
+		obs(false), obs(false), obs(false),
+	}
+	scores := Rank([]*pattern.Pattern{p}, observations)
+	if len(scores) != 1 {
+		t.Fatal("missing score")
+	}
+	s := scores[0]
+	if s.F1 != 1 || s.Precision != 1 || s.Recall != 1 {
+		t.Errorf("score = %+v", s)
+	}
+	if s.PresentFailed != 1 || s.PresentOK != 0 || s.AbsentFailed != 0 {
+		t.Errorf("counts = %+v", s)
+	}
+}
+
+func TestAlwaysPresentPatternScoresLow(t *testing.T) {
+	root := pat(pattern.KindOrderViolation, "WR", 1, 2)
+	noisy := pat(pattern.KindOrderViolation, "WR", 3, 2)
+	observations := []Observation{obs(true, root.Key(), noisy.Key())}
+	for i := 0; i < 10; i++ {
+		observations = append(observations, obs(false, noisy.Key()))
+	}
+	scores := Rank([]*pattern.Pattern{noisy, root}, observations)
+	best, unique := Best(scores)
+	if !unique {
+		t.Fatal("expected unique best")
+	}
+	if best.Pattern != root {
+		t.Errorf("best = %s", best.Pattern.Key())
+	}
+	// Noisy pattern: precision 1/11, recall 1 → F1 = 2/12.
+	var noisyScore Score
+	for _, s := range scores {
+		if s.Pattern == noisy {
+			noisyScore = s
+		}
+	}
+	want := 2.0 / 12.0
+	if math.Abs(noisyScore.F1-want) > 1e-9 {
+		t.Errorf("noisy F1 = %f, want %f", noisyScore.F1, want)
+	}
+}
+
+func TestPatternMissingFromFailureHasZeroRecallF1(t *testing.T) {
+	p := pat(pattern.KindAtomicityViolation, "RWR", 1, 2, 3)
+	observations := []Observation{
+		obs(true), // failed but pattern absent
+		obs(false, p.Key()),
+	}
+	scores := Rank([]*pattern.Pattern{p}, observations)
+	if scores[0].F1 != 0 {
+		t.Errorf("F1 = %f, want 0", scores[0].F1)
+	}
+}
+
+func TestTieIsReported(t *testing.T) {
+	a := pat(pattern.KindOrderViolation, "WR", 1, 9)
+	b := pat(pattern.KindOrderViolation, "WR", 2, 9)
+	observations := []Observation{
+		obs(true, a.Key(), b.Key()),
+		obs(false),
+	}
+	scores := Rank([]*pattern.Pattern{a, b}, observations)
+	if _, unique := Best(scores); unique {
+		t.Error("tie not detected")
+	}
+}
+
+func TestBestEmpty(t *testing.T) {
+	if _, ok := Best(nil); ok {
+		t.Error("Best(nil) should not be unique")
+	}
+}
+
+func TestRankDeterministicOrder(t *testing.T) {
+	a := pat(pattern.KindOrderViolation, "WR", 5, 9)
+	b := pat(pattern.KindOrderViolation, "WR", 2, 9)
+	observations := []Observation{obs(true, a.Key(), b.Key()), obs(false)}
+	s1 := Rank([]*pattern.Pattern{a, b}, observations)
+	s2 := Rank([]*pattern.Pattern{b, a}, observations)
+	if s1[0].Pattern.Key() != s2[0].Pattern.Key() || s1[1].Pattern.Key() != s2[1].Pattern.Key() {
+		t.Error("Rank order depends on input order")
+	}
+}
+
+func TestF1Bounds(t *testing.T) {
+	// Property: F1, precision, recall always in [0,1] for arbitrary
+	// presence bitmaps.
+	check := func(bits uint16, failMask uint16) bool {
+		p := pat(pattern.KindOrderViolation, "WR", 1, 2)
+		var observations []Observation
+		for i := 0; i < 16; i++ {
+			o := Observation{Failed: failMask&(1<<i) != 0, Present: map[string]bool{}}
+			if bits&(1<<i) != 0 {
+				o.Present[p.Key()] = true
+			}
+			observations = append(observations, o)
+		}
+		s := Rank([]*pattern.Pattern{p}, observations)[0]
+		return s.F1 >= 0 && s.F1 <= 1 && s.Precision >= 0 && s.Precision <= 1 &&
+			s.Recall >= 0 && s.Recall <= 1
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+// Package traceproc implements trace processing — steps 2 and 3 of
+// Lazy Diagnosis (Figure 2 of the Snorlax paper).
+//
+// Step 2 turns decoded control-flow traces into the set of executed
+// static instructions, which scope-restricts the hybrid points-to
+// analysis (§4.2). Step 3 turns the same traces plus their coarse
+// timing into a partially-ordered dynamic instruction trace: dynamic
+// instruction instances across threads are ordered only when their
+// timestamp uncertainty windows do not overlap. Per the coarse
+// interleaving hypothesis, that partial order is enough to order the
+// target events of real concurrency bugs.
+package traceproc
+
+import (
+	"sort"
+
+	"snorlax/internal/ir"
+	"snorlax/internal/pointsto"
+	"snorlax/internal/pt"
+)
+
+// DynEvent is one dynamic instruction instance in the merged trace.
+type DynEvent struct {
+	// Tid is the executing thread.
+	Tid int
+	// Seq is the instance's position within its thread's decoded
+	// stream (program order).
+	Seq int
+	// PC identifies the static instruction.
+	PC ir.PC
+	// Time and Uncert are the reconstructed timestamp window
+	// [Time, Time+Uncert].
+	Time   int64
+	Uncert int64
+}
+
+// Trace is the partially-ordered dynamic instruction trace.
+type Trace struct {
+	// Events holds all threads' events sorted by Time (ties broken
+	// by thread then sequence, for determinism).
+	Events []DynEvent
+}
+
+// Process runs steps 2 and 3 on decoded thread traces, returning the
+// executed-instruction scope and the merged dynamic trace.
+func Process(traces []*pt.ThreadTrace) (pointsto.Scope, *Trace) {
+	scope := make(pointsto.Scope)
+	var events []DynEvent
+	for _, tt := range traces {
+		for seq, di := range tt.Instrs {
+			scope[di.PC] = true
+			events = append(events, DynEvent{
+				Tid:    tt.Tid,
+				Seq:    seq,
+				PC:     di.PC,
+				Time:   di.Time,
+				Uncert: di.Uncert,
+			})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		return a.Seq < b.Seq
+	})
+	return scope, &Trace{Events: events}
+}
+
+// Before reports whether a is ordered before b in the partial order:
+// within a thread, decoded program order; across threads, only when
+// a's uncertainty window ends before b's begins. This conservative
+// cross-thread rule is what makes the order partial — and per the
+// coarse interleaving hypothesis, target events of real bugs are
+// separated by far more than the window width.
+func Before(a, b DynEvent) bool {
+	if a.Tid == b.Tid {
+		return a.Seq < b.Seq
+	}
+	return a.Time+a.Uncert < b.Time
+}
+
+// Ordered reports whether a and b are comparable in the partial order.
+func Ordered(a, b DynEvent) bool {
+	return Before(a, b) || Before(b, a)
+}
+
+// InstancesOf returns the dynamic instances of the given static
+// instruction, in merged-trace order.
+func (t *Trace) InstancesOf(pc ir.PC) []DynEvent {
+	var out []DynEvent
+	for _, ev := range t.Events {
+		if ev.PC == pc {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// LastInstanceOf returns the latest dynamic instance of pc, or false.
+func (t *Trace) LastInstanceOf(pc ir.PC) (DynEvent, bool) {
+	for i := len(t.Events) - 1; i >= 0; i-- {
+		if t.Events[i].PC == pc {
+			return t.Events[i], true
+		}
+	}
+	return DynEvent{}, false
+}
+
+// LastInstanceOfIn returns the latest instance of pc executed by tid.
+func (t *Trace) LastInstanceOfIn(pc ir.PC, tid int) (DynEvent, bool) {
+	for i := len(t.Events) - 1; i >= 0; i-- {
+		if t.Events[i].PC == pc && t.Events[i].Tid == tid {
+			return t.Events[i], true
+		}
+	}
+	return DynEvent{}, false
+}
+
+// Filter returns the events satisfying keep, preserving order.
+func (t *Trace) Filter(keep func(DynEvent) bool) []DynEvent {
+	var out []DynEvent
+	for _, ev := range t.Events {
+		if keep(ev) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Threads returns the distinct thread ids present, ascending.
+func (t *Trace) Threads() []int {
+	seen := map[int]bool{}
+	for _, ev := range t.Events {
+		seen[ev.Tid] = true
+	}
+	out := make([]int, 0, len(seen))
+	for tid := range seen {
+		out = append(out, tid)
+	}
+	sort.Ints(out)
+	return out
+}

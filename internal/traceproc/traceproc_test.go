@@ -1,0 +1,172 @@
+package traceproc
+
+import (
+	"math/rand"
+	"testing"
+
+	"snorlax/internal/ir"
+	"snorlax/internal/pt"
+)
+
+func ev(tid, seq int, pc ir.PC, time, uncert int64) DynEvent {
+	return DynEvent{Tid: tid, Seq: seq, PC: pc, Time: time, Uncert: uncert}
+}
+
+func TestBeforeSameThreadUsesSequence(t *testing.T) {
+	a := ev(1, 0, 10, 100, 1000)
+	b := ev(1, 1, 11, 100, 1000) // identical times, later seq
+	if !Before(a, b) || Before(b, a) {
+		t.Error("same-thread order must follow sequence numbers")
+	}
+}
+
+func TestBeforeCrossThreadNeedsDisjointWindows(t *testing.T) {
+	a := ev(1, 0, 10, 100, 50)
+	b := ev(2, 0, 11, 200, 50)
+	if !Before(a, b) {
+		t.Error("disjoint windows must order")
+	}
+	// Overlapping windows: unordered.
+	c := ev(2, 0, 11, 120, 50)
+	if Before(a, c) || Before(c, a) {
+		t.Error("overlapping windows must be unordered")
+	}
+	if Ordered(a, c) {
+		t.Error("Ordered must be false for overlap")
+	}
+	if !Ordered(a, b) {
+		t.Error("Ordered must be true for disjoint")
+	}
+}
+
+func TestBeforeBoundary(t *testing.T) {
+	// Window [100,150] vs time 150: touching → unordered (conservative).
+	a := ev(1, 0, 10, 100, 50)
+	b := ev(2, 0, 11, 150, 50)
+	if Before(a, b) {
+		t.Error("touching windows must not order")
+	}
+	b2 := ev(2, 0, 11, 151, 50)
+	if !Before(a, b2) {
+		t.Error("just-disjoint windows must order")
+	}
+}
+
+func TestProcessMergesAndSorts(t *testing.T) {
+	t1 := &pt.ThreadTrace{Tid: 0, Instrs: []pt.DynInstr{
+		{PC: 5, Time: 100, Uncert: 10},
+		{PC: 6, Time: 300, Uncert: 10},
+	}}
+	t2 := &pt.ThreadTrace{Tid: 1, Instrs: []pt.DynInstr{
+		{PC: 7, Time: 200, Uncert: 10},
+	}}
+	scope, tr := Process([]*pt.ThreadTrace{t1, t2})
+	if len(scope) != 3 {
+		t.Fatalf("scope size = %d", len(scope))
+	}
+	if !scope[5] || !scope[6] || !scope[7] {
+		t.Error("scope missing PCs")
+	}
+	if len(tr.Events) != 3 {
+		t.Fatalf("events = %d", len(tr.Events))
+	}
+	wantOrder := []ir.PC{5, 7, 6}
+	for i, want := range wantOrder {
+		if tr.Events[i].PC != want {
+			t.Errorf("event %d PC = %d, want %d", i, tr.Events[i].PC, want)
+		}
+	}
+}
+
+func TestInstancesQueries(t *testing.T) {
+	t1 := &pt.ThreadTrace{Tid: 0, Instrs: []pt.DynInstr{
+		{PC: 5, Time: 100}, {PC: 5, Time: 200}, {PC: 9, Time: 300},
+	}}
+	t2 := &pt.ThreadTrace{Tid: 1, Instrs: []pt.DynInstr{
+		{PC: 5, Time: 250},
+	}}
+	_, tr := Process([]*pt.ThreadTrace{t1, t2})
+	if got := len(tr.InstancesOf(5)); got != 3 {
+		t.Errorf("InstancesOf(5) = %d, want 3", got)
+	}
+	last, ok := tr.LastInstanceOf(5)
+	if !ok || last.Time != 250 || last.Tid != 1 {
+		t.Errorf("LastInstanceOf(5) = %+v", last)
+	}
+	lastIn, ok := tr.LastInstanceOfIn(5, 0)
+	if !ok || lastIn.Time != 200 {
+		t.Errorf("LastInstanceOfIn(5, 0) = %+v", lastIn)
+	}
+	if _, ok := tr.LastInstanceOf(99); ok {
+		t.Error("LastInstanceOf(99) should miss")
+	}
+	threads := tr.Threads()
+	if len(threads) != 2 || threads[0] != 0 || threads[1] != 1 {
+		t.Errorf("Threads() = %v", threads)
+	}
+	mem := tr.Filter(func(e DynEvent) bool { return e.PC == 9 })
+	if len(mem) != 1 {
+		t.Errorf("Filter = %v", mem)
+	}
+}
+
+func TestSeqAssignedPerThread(t *testing.T) {
+	t1 := &pt.ThreadTrace{Tid: 4, Instrs: []pt.DynInstr{
+		{PC: 1, Time: 100}, {PC: 2, Time: 50}, // decoder order wins per thread
+	}}
+	_, tr := Process([]*pt.ThreadTrace{t1})
+	// Event sorted by time puts PC2 first, but Seq keeps program order.
+	a := tr.Events[0]
+	b := tr.Events[1]
+	if a.PC != 2 || b.PC != 1 {
+		t.Fatalf("sort order wrong: %v %v", a, b)
+	}
+	if !Before(b, a) {
+		// b has Seq 0, a has Seq 1 → b before a despite timestamps.
+		t.Error("same-thread sequence must dominate timestamps")
+	}
+}
+
+func TestBeforeIsStrictPartialOrder(t *testing.T) {
+	// Property: Before is irreflexive and asymmetric over arbitrary
+	// events (the partial order's soundness requirements).
+	rng := rand.New(rand.NewSource(42))
+	events := make([]DynEvent, 60)
+	for i := range events {
+		events[i] = DynEvent{
+			Tid:    rng.Intn(4),
+			Seq:    rng.Intn(20),
+			PC:     ir.PC(rng.Intn(10)),
+			Time:   int64(rng.Intn(1000)),
+			Uncert: int64(rng.Intn(200)),
+		}
+	}
+	for _, a := range events {
+		if a.Tid >= 0 && Before(a, a) {
+			t.Fatalf("Before reflexive for %+v", a)
+		}
+		for _, b := range events {
+			if a == b {
+				continue
+			}
+			if Before(a, b) && Before(b, a) {
+				t.Fatalf("Before symmetric for %+v / %+v", a, b)
+			}
+		}
+	}
+}
+
+func TestBeforeTransitiveCrossThread(t *testing.T) {
+	// Cross-thread Before is transitive when uncertainty windows are
+	// nonnegative: disjointness chains.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		mk := func(tid int) DynEvent {
+			return DynEvent{Tid: tid, Time: int64(rng.Intn(500)), Uncert: int64(rng.Intn(100))}
+		}
+		a, b, c := mk(0), mk(1), mk(2)
+		if Before(a, b) && Before(b, c) && !Before(a, c) {
+			t.Fatalf("cross-thread transitivity broken: %+v %+v %+v", a, b, c)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package vm
+
+import (
+	"testing"
+
+	"snorlax/internal/ir"
+)
+
+const condSrc = `
+module cv
+global mu: mutex
+global work: cond
+global pending: int
+global consumed: int
+
+func producer() {
+entry:
+  sleep 50000
+  lock @mu
+  store 1, @pending
+  notify @work
+  unlock @mu
+  ret
+}
+
+func consumer() {
+entry:
+  lock @mu
+  wait @mu, @work
+  %p = load @pending
+  store %p, @consumed
+  unlock @mu
+  ret
+}
+
+func main() {
+entry:
+  %c = spawn consumer()
+  %p = spawn producer()
+  join %c
+  join %p
+  ret
+}
+`
+
+func TestCondWaitNotify(t *testing.T) {
+	m, err := ir.Parse(condSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		v := New(m, Config{Seed: seed})
+		res := v.Run()
+		if res.Failed() {
+			t.Fatalf("seed %d: %v", seed, res.Failure)
+		}
+		if got := v.LoadWord(v.GlobalAddr("consumed")); got != 1 {
+			t.Errorf("seed %d: consumed = %d, want 1 (wait must see the store)", seed, got)
+		}
+	}
+}
+
+func TestCondLostWakeupHangs(t *testing.T) {
+	// Producer notifies long before the consumer waits: the signal is
+	// lost and the program hangs at the wait.
+	src := `
+module lost
+global mu: mutex
+global work: cond
+
+func consumer() {
+entry:
+  sleep 300000
+  lock @mu
+  wait @mu, @work
+  unlock @mu
+  ret
+}
+
+func main() {
+entry:
+  %c = spawn consumer()
+  sleep 50000
+  notify @work
+  join %c
+  ret
+}
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(m, Config{Seed: 1})
+	if !res.Failed() || res.Failure.Kind != FailDeadlock {
+		t.Fatalf("want hang, got %v", res.Failure)
+	}
+	if m.InstrAt(res.Failure.PC).Op() != ir.OpWait {
+		t.Errorf("hang anchored at %s, want the wait", m.InstrAt(res.Failure.PC))
+	}
+}
+
+func TestWaitWithoutMutexHeldCrashes(t *testing.T) {
+	src := `
+module bad
+global mu: mutex
+global cv: cond
+func main() {
+entry:
+  wait @mu, @cv
+  ret
+}
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(m, Config{})
+	if !res.Failed() || res.Failure.Kind != FailCrash {
+		t.Fatalf("want crash, got %v", res.Failure)
+	}
+	if !contains(res.Failure.Msg, "not held") {
+		t.Errorf("msg = %q", res.Failure.Msg)
+	}
+}
+
+func TestNotifyWithoutWaitersIsLost(t *testing.T) {
+	src := `
+module noop
+global cv: cond
+func main() {
+entry:
+  notify @cv
+  notify @cv
+  ret
+}
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := Run(m, Config{}); res.Failed() {
+		t.Fatalf("notify without waiters must be a no-op: %v", res.Failure)
+	}
+}
+
+func TestBroadcastWakesAllWaiters(t *testing.T) {
+	src := `
+module bc
+global mu: mutex
+global cv: cond
+global woken: int
+
+func waiter() {
+entry:
+  lock @mu
+  wait @mu, @cv
+  %w = load @woken
+  %w2 = add %w, 1
+  store %w2, @woken
+  unlock @mu
+  ret
+}
+
+func main() {
+entry:
+  %a = spawn waiter()
+  %b = spawn waiter()
+  %c = spawn waiter()
+  sleep 400000
+  notify @cv
+  join %a
+  join %b
+  join %c
+  %final = load @woken
+  print %final
+  ret
+}
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		res := Run(m, Config{Seed: seed})
+		if res.Failed() {
+			t.Fatalf("seed %d: %v", seed, res.Failure)
+		}
+		if len(res.Output) != 1 || res.Output[0] != "3" {
+			t.Errorf("seed %d: woken = %v, want 3", seed, res.Output)
+		}
+	}
+}
+
+func TestWaitReacquiresMutex(t *testing.T) {
+	// After a notify, the waiter must hold the mutex again: the
+	// notifier's post-notify critical section and the waiter's
+	// post-wait section must not interleave on @shared.
+	src := `
+module reacq
+global mu: mutex
+global cv: cond
+global shared: int
+
+func waiter() {
+entry:
+  lock @mu
+  wait @mu, @cv
+  %v = load @shared
+  %ok = eq %v, 42
+  assert %ok, "post-wait read interleaved with notifier critical section"
+  unlock @mu
+  ret
+}
+
+func main() {
+entry:
+  %w = spawn waiter()
+  sleep 300000
+  lock @mu
+  notify @cv
+  store 41, @shared
+  sleep 50000
+  store 42, @shared
+  unlock @mu
+  join %w
+  ret
+}
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		res := Run(m, Config{Seed: seed})
+		if res.Failed() {
+			t.Fatalf("seed %d: %v", seed, res.Failure)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package vm executes IR modules on a simulated multithreaded machine.
+//
+// The VM stands in for the production hardware in the Snorlax paper:
+// it provides threads, a preemptive scheduler with seeded randomness,
+// a virtual nanosecond clock (the invariant-TSC analogue), mutexes
+// with waits-for deadlock detection, fail-stop crash semantics, and
+// hook points where the simulated processor-trace encoder
+// (internal/pt) and the Gist baseline's instrumentation attach.
+//
+// Virtual time is the foundation of the coarse interleaving study
+// (§3 of the paper): every instruction costs a configurable number of
+// nanoseconds, sleeps model I/O and computation, and the clock is
+// global across threads, so the time elapsed between two events in
+// different threads is well defined exactly like the paper's
+// cross-core invariant TSC.
+package vm
+
+import (
+	"fmt"
+
+	"snorlax/internal/ir"
+)
+
+// FailureKind classifies how an execution failed.
+type FailureKind int
+
+// The failure kinds the VM can report.
+const (
+	// FailNone means the execution completed without failure.
+	FailNone FailureKind = iota
+	// FailCrash is a fail-stop fault: null/invalid dereference,
+	// division by zero, or an explicit assertion failure.
+	FailCrash
+	// FailDeadlock means every live thread is blocked and at least
+	// one waits-for cycle exists among lock waiters.
+	FailDeadlock
+	// FailStep means the execution exceeded Config.MaxSteps; it
+	// usually indicates a livelock or a runaway corpus program.
+	FailStep
+)
+
+func (k FailureKind) String() string {
+	switch k {
+	case FailNone:
+		return "none"
+	case FailCrash:
+		return "crash"
+	case FailDeadlock:
+		return "deadlock"
+	case FailStep:
+		return "step-limit"
+	}
+	return fmt.Sprintf("failure(%d)", int(k))
+}
+
+// Failure describes a failed execution. It is the analogue of the
+// crash report Snorlax clients obtain from the OS error tracker: it
+// carries the failure kind and the failing program counter, which seed
+// the server-side analysis.
+type Failure struct {
+	Kind FailureKind
+	// PC is the program counter of the failing instruction: the
+	// faulting access for a crash, or the lock attempt that closed
+	// the waits-for cycle for a deadlock.
+	PC ir.PC
+	// Thread is the id of the failing thread.
+	Thread int
+	// Time is the virtual time of the failure in nanoseconds.
+	Time int64
+	// Msg is a human-readable description.
+	Msg string
+	// DeadlockPCs holds, for deadlocks, the lock-attempt PC of every
+	// thread participating in the cycle (including PC itself).
+	DeadlockPCs []ir.PC
+	// DeadlockTids holds the thread ids parallel to DeadlockPCs.
+	DeadlockTids []int
+}
+
+func (f *Failure) Error() string {
+	return fmt.Sprintf("%s at pc=%d thread=%d t=%dns: %s", f.Kind, f.PC, f.Thread, f.Time, f.Msg)
+}
+
+// WatchEvent records one execution of a watched instruction. Watch
+// events implement the paper's §3.2 methodology: timestamps taken
+// immediately before target instructions to measure the time elapsed
+// between the events leading to a concurrency bug.
+type WatchEvent struct {
+	PC     ir.PC
+	Thread int
+	Time   int64
+}
+
+// Result summarizes one execution.
+type Result struct {
+	// Failure is nil for successful executions.
+	Failure *Failure
+	// Output collects the operands of print instructions, in order.
+	Output []string
+	// Time is the final virtual time in nanoseconds.
+	Time int64
+	// Steps is the number of instructions executed.
+	Steps int64
+	// Watch holds events for PCs registered in Config.WatchPCs, in
+	// execution order.
+	Watch []WatchEvent
+	// Branches counts taken control-flow edges (the events a
+	// processor-trace encoder sees).
+	Branches int64
+	// MaxThreads is the peak number of live threads.
+	MaxThreads int
+}
+
+// Failed reports whether the execution failed.
+func (r *Result) Failed() bool { return r.Failure != nil }

@@ -1,0 +1,58 @@
+package vm
+
+// memory is a word-addressed flat address space backed by sparse
+// pages. Addresses are in words (one word = one IR scalar slot);
+// address 0 is the null pointer and is never allocated.
+//
+// Allocation is bump-only: objects are never freed during an
+// execution, so an address is valid iff it lies inside [1, next).
+// This matches what the analyses need — a stable address per
+// allocation for the whole execution — and makes invalid-pointer
+// detection trivial.
+type memory struct {
+	pages map[int64]*page
+	next  int64 // next free word address
+}
+
+const pageWords = 1024
+
+type page [pageWords]int64
+
+func newMemory() *memory {
+	return &memory{pages: make(map[int64]*page), next: 1}
+}
+
+// alloc reserves n words and returns the address of the first.
+func (m *memory) alloc(n int64) int64 {
+	if n <= 0 {
+		n = 1
+	}
+	addr := m.next
+	m.next += n
+	return addr
+}
+
+// valid reports whether addr points into allocated storage.
+func (m *memory) valid(addr int64) bool {
+	return addr > 0 && addr < m.next
+}
+
+// load reads the word at addr. The caller must have checked validity.
+func (m *memory) load(addr int64) int64 {
+	p, ok := m.pages[addr/pageWords]
+	if !ok {
+		return 0
+	}
+	return p[addr%pageWords]
+}
+
+// store writes the word at addr. The caller must have checked validity.
+func (m *memory) store(addr, val int64) {
+	idx := addr / pageWords
+	p, ok := m.pages[idx]
+	if !ok {
+		p = new(page)
+		m.pages[idx] = p
+	}
+	p[addr%pageWords] = val
+}

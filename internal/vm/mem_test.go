@@ -1,0 +1,91 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryBasics(t *testing.T) {
+	m := newMemory()
+	if m.valid(0) {
+		t.Error("null address valid")
+	}
+	a := m.alloc(4)
+	b := m.alloc(1)
+	if a == 0 || b == 0 || a == b {
+		t.Fatalf("alloc returned %d, %d", a, b)
+	}
+	if b != a+4 {
+		t.Errorf("bump allocation gap: %d then %d", a, b)
+	}
+	m.store(a+3, 77)
+	if got := m.load(a + 3); got != 77 {
+		t.Errorf("load = %d", got)
+	}
+	if got := m.load(a); got != 0 {
+		t.Errorf("fresh word = %d, want 0", got)
+	}
+	if !m.valid(a) || !m.valid(b) || m.valid(b+1) {
+		t.Error("validity bounds wrong")
+	}
+}
+
+func TestMemoryZeroSizeAlloc(t *testing.T) {
+	m := newMemory()
+	a := m.alloc(0)
+	bAddr := m.alloc(-3)
+	if a == bAddr {
+		t.Error("degenerate allocations must still get distinct words")
+	}
+	if !m.valid(a) || !m.valid(bAddr) {
+		t.Error("degenerate allocations must be valid")
+	}
+}
+
+func TestMemoryPageBoundaries(t *testing.T) {
+	m := newMemory()
+	base := m.alloc(3 * pageWords)
+	// Write across page boundaries and read back.
+	for _, off := range []int64{0, pageWords - 1, pageWords, 2*pageWords - 1, 2 * pageWords, 3*pageWords - 1} {
+		m.store(base+off, off*7+1)
+	}
+	for _, off := range []int64{0, pageWords - 1, pageWords, 2*pageWords - 1, 2 * pageWords, 3*pageWords - 1} {
+		if got := m.load(base + off); got != off*7+1 {
+			t.Errorf("offset %d: load = %d, want %d", off, got, off*7+1)
+		}
+	}
+}
+
+func TestMemoryStoreLoadProperty(t *testing.T) {
+	// Property: after a sequence of stores, every address holds its
+	// most recent value and untouched addresses hold zero.
+	check := func(writes []uint16, vals []int64) bool {
+		m := newMemory()
+		base := m.alloc(1 << 16)
+		want := map[int64]int64{}
+		for i, w := range writes {
+			if i >= len(vals) {
+				break
+			}
+			addr := base + int64(w)
+			m.store(addr, vals[i])
+			want[addr] = vals[i]
+		}
+		for addr, v := range want {
+			if m.load(addr) != v {
+				return false
+			}
+		}
+		// Spot-check some untouched addresses.
+		for probe := int64(0); probe < 1<<16; probe += 4099 {
+			addr := base + probe
+			if _, written := want[addr]; !written && m.load(addr) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

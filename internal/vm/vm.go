@@ -1,0 +1,482 @@
+package vm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"snorlax/internal/ir"
+)
+
+// Config controls one execution.
+type Config struct {
+	// Seed drives every scheduling decision; the same seed, module
+	// and config produce a bit-identical execution.
+	Seed int64
+	// MaxSteps bounds the number of executed instructions
+	// (default 20e6). Exceeding it reports a FailStep failure.
+	MaxSteps int64
+	// InstrCost is the virtual time per instruction in nanoseconds
+	// (default 10).
+	InstrCost int64
+	// QuantumMin/QuantumMax bound the scheduler timeslice in
+	// nanoseconds (defaults 20_000 and 100_000). A thread runs until
+	// it blocks, sleeps, or its quantum expires.
+	QuantumMin, QuantumMax int64
+	// CtxSwitchCost is the virtual time per context switch in
+	// nanoseconds (default 1000).
+	CtxSwitchCost int64
+	// MaxThreads bounds concurrently live threads (default 4096).
+	MaxThreads int
+	// WatchPCs registers instructions whose executions are recorded
+	// as WatchEvents with pre-execution timestamps (the paper's §3.2
+	// clock_gettime instrumentation).
+	WatchPCs map[ir.PC]bool
+	// Sink, when non-nil, receives control-flow trace events.
+	Sink TraceSink
+	// Hook, when non-nil, observes every instruction.
+	Hook InstrHook
+	// Gate, when non-nil, may defer instructions (replay enforcement).
+	Gate GateHook
+	// Access, when non-nil, observes memory and lock operations with
+	// resolved addresses.
+	Access AccessHook
+	// GateBackoffNS is how long a vetoed thread sleeps before
+	// retrying (default 500).
+	GateBackoffNS int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 20_000_000
+	}
+	if c.InstrCost == 0 {
+		c.InstrCost = 10
+	}
+	if c.QuantumMin == 0 {
+		c.QuantumMin = 20_000
+	}
+	if c.QuantumMax == 0 {
+		c.QuantumMax = 100_000
+	}
+	if c.QuantumMax < c.QuantumMin {
+		c.QuantumMax = c.QuantumMin
+	}
+	if c.CtxSwitchCost == 0 {
+		c.CtxSwitchCost = 1000
+	}
+	if c.MaxThreads == 0 {
+		c.MaxThreads = 4096
+	}
+	if c.GateBackoffNS == 0 {
+		c.GateBackoffNS = 500
+	}
+	return c
+}
+
+type tstate int
+
+const (
+	tRunnable tstate = iota
+	tSleeping
+	tBlockedLock
+	tBlockedJoin
+	tBlockedCond
+	tExited
+)
+
+type frame struct {
+	fn    *ir.Func
+	block *ir.Block
+	idx   int
+	regs  []int64
+	// retDst is the caller-frame register receiving the return
+	// value, or nil.
+	retDst *ir.Reg
+}
+
+type thread struct {
+	id         int
+	stack      []*frame
+	state      tstate
+	wakeAt     int64
+	waitLock   int64
+	waitTid    int
+	quantumEnd int64
+	// condPhase tracks a wait instruction's progress: 0 = not
+	// waiting, 1 = released the mutex and waiting for a notify,
+	// 2 = notified, reacquiring the mutex.
+	condPhase int
+	waitCond  int64
+}
+
+func (t *thread) top() *frame { return t.stack[len(t.stack)-1] }
+
+// curInstr returns the instruction the thread will execute next.
+func (t *thread) curInstr() ir.Instr {
+	f := t.top()
+	return f.block.Instrs[f.idx]
+}
+
+// VM executes one module once. Create a fresh VM (or call Run) per
+// execution.
+type VM struct {
+	mod     *ir.Module
+	cfg     Config
+	mem     *memory
+	clock   int64
+	rng     *rand.Rand
+	threads []*thread
+	// globalAddr maps each global to its allocated address.
+	globalAddr map[*ir.Global]int64
+	// lockWaiters maps mutex address to blocked thread ids.
+	lockWaiters map[int64][]int
+	// condWaiters maps condition-variable address to waiting threads.
+	condWaiters map[int64][]int
+	// lockOwner maps mutex address to owning thread id.
+	lockOwner map[int64]int
+	cur       int
+	steps     int64
+	branches  int64
+	maxLive   int
+	output    []string
+	watch     []WatchEvent
+	failure   *Failure
+}
+
+// New prepares a VM for one execution of mod. The module must be
+// finalized and have a main function.
+func New(mod *ir.Module, cfg Config) *VM {
+	if !mod.Finalized() {
+		mod.Finalize()
+	}
+	cfg = cfg.withDefaults()
+	v := &VM{
+		mod:         mod,
+		cfg:         cfg,
+		mem:         newMemory(),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		globalAddr:  make(map[*ir.Global]int64),
+		lockWaiters: make(map[int64][]int),
+		condWaiters: make(map[int64][]int),
+		lockOwner:   make(map[int64]int),
+	}
+	for _, g := range mod.Globals {
+		addr := v.mem.alloc(wordsOf(g.Typ))
+		v.globalAddr[g] = addr
+		if g.Init != nil {
+			v.mem.store(addr, g.Init.Val)
+		}
+	}
+	main := mod.FuncByName("main")
+	if main == nil {
+		panic("vm: module has no main")
+	}
+	v.spawnThread(main, nil)
+	return v
+}
+
+// Run executes mod to completion under cfg and returns the result.
+func Run(mod *ir.Module, cfg Config) *Result {
+	return New(mod, cfg).Run()
+}
+
+func wordsOf(t ir.Type) int64 {
+	w := t.Size() / 8
+	if w <= 0 {
+		w = 1
+	}
+	return w
+}
+
+// GlobalAddr returns the address of a global; it exists for tests.
+func (v *VM) GlobalAddr(name string) int64 {
+	g := v.mod.GlobalByName(name)
+	if g == nil {
+		return 0
+	}
+	return v.globalAddr[g]
+}
+
+// LoadWord reads a word of VM memory; it exists for tests.
+func (v *VM) LoadWord(addr int64) int64 { return v.mem.load(addr) }
+
+func (v *VM) spawnThread(fn *ir.Func, args []int64) int {
+	id := len(v.threads)
+	fr := &frame{fn: fn, block: fn.Entry(), regs: make([]int64, len(fn.Regs))}
+	for i, a := range args {
+		fr.regs[fn.Params[i].Index] = a
+	}
+	t := &thread{id: id, stack: []*frame{fr}, state: tRunnable}
+	v.threads = append(v.threads, t)
+	if live := v.liveCount(); live > v.maxLive {
+		v.maxLive = live
+	}
+	v.emit(TraceEvent{Kind: EvThreadStart, Tid: id, Time: v.clock,
+		From: ir.NoPC, To: fn.Entry().FirstPC(), Live: v.liveCount()})
+	return id
+}
+
+func (v *VM) liveCount() int {
+	n := 0
+	for _, t := range v.threads {
+		if t.state != tExited {
+			n++
+		}
+	}
+	return n
+}
+
+func (v *VM) emit(ev TraceEvent) {
+	if v.cfg.Sink != nil {
+		if cost := v.cfg.Sink.Event(ev); cost > 0 {
+			v.clock += cost
+		}
+	}
+	switch ev.Kind {
+	case EvCondBranch, EvUncondBranch, EvCall, EvIndirectCall, EvRet:
+		v.branches++
+	}
+}
+
+func (v *VM) fail(kind FailureKind, pc ir.PC, tid int, format string, args ...any) {
+	if v.failure != nil {
+		return
+	}
+	v.failure = &Failure{
+		Kind:   kind,
+		PC:     pc,
+		Thread: tid,
+		Time:   v.clock,
+		Msg:    fmt.Sprintf(format, args...),
+	}
+}
+
+// Run executes the program until completion, failure, or step limit.
+func (v *VM) Run() *Result {
+	for v.failure == nil {
+		if v.steps >= v.cfg.MaxSteps {
+			pc := ir.NoPC
+			if t := v.threads[v.cur]; t.state == tRunnable {
+				pc = t.curInstr().PC()
+			}
+			v.fail(FailStep, pc, v.cur, "exceeded %d steps", v.cfg.MaxSteps)
+			break
+		}
+		v.wakeSleepers()
+		runnable := v.runnableIDs()
+		if len(runnable) == 0 {
+			if wake, ok := v.earliestWake(); ok {
+				v.clock = wake
+				continue
+			}
+			if v.liveCount() == 0 {
+				break // clean exit
+			}
+			v.reportHang()
+			break
+		}
+		v.schedule(runnable)
+		v.step(v.threads[v.cur])
+	}
+	return &Result{
+		Failure:    v.failure,
+		Output:     v.output,
+		Time:       v.clock,
+		Steps:      v.steps,
+		Watch:      v.watch,
+		Branches:   v.branches,
+		MaxThreads: v.maxLive,
+	}
+}
+
+func (v *VM) wakeSleepers() {
+	for _, t := range v.threads {
+		if t.state == tSleeping && t.wakeAt <= v.clock {
+			t.state = tRunnable
+			// A wake is a resume point even when no thread switch
+			// happens (the sleeper may be the only runnable thread),
+			// so tracers sync here too.
+			v.emit(TraceEvent{Kind: EvContextSwitch, Tid: t.id, Time: t.wakeAt,
+				From: ir.NoPC, To: t.curInstr().PC(), Switched: false, Live: v.liveCount()})
+		}
+	}
+}
+
+func (v *VM) runnableIDs() []int {
+	ids := make([]int, 0, len(v.threads))
+	for _, t := range v.threads {
+		if t.state == tRunnable {
+			ids = append(ids, t.id)
+		}
+	}
+	return ids
+}
+
+func (v *VM) earliestWake() (int64, bool) {
+	var best int64
+	found := false
+	for _, t := range v.threads {
+		if t.state == tSleeping && (!found || t.wakeAt < best) {
+			best = t.wakeAt
+			found = true
+		}
+	}
+	return best, found
+}
+
+// schedule decides which thread executes the next instruction,
+// preempting at quantum expiry.
+func (v *VM) schedule(runnable []int) {
+	curT := v.threads[v.cur]
+	if curT.state == tRunnable && v.clock < curT.quantumEnd {
+		return
+	}
+	next := runnable[v.rng.Intn(len(runnable))]
+	t := v.threads[next]
+	span := v.cfg.QuantumMax - v.cfg.QuantumMin
+	q := v.cfg.QuantumMin
+	if span > 0 {
+		q += v.rng.Int63n(span + 1)
+	}
+	t.quantumEnd = v.clock + q
+	switched := next != v.cur
+	if switched {
+		// A preempted (still-runnable) thread is descheduled here;
+		// blocking and sleeping threads were paused in step().
+		if prev := v.threads[v.cur]; prev.state == tRunnable {
+			v.pauseThread(prev)
+		}
+		v.clock += v.cfg.CtxSwitchCost
+	}
+	// Every scheduling decision is a resume point: tracers sync the
+	// resumed thread's stream here (PC + timestamp), matching the
+	// PGE packets hardware tracers emit when tracing resumes.
+	v.emit(TraceEvent{Kind: EvContextSwitch, Tid: next, Time: v.clock,
+		From: ir.NoPC, To: t.curInstr().PC(), Switched: switched, Live: v.liveCount()})
+	v.cur = next
+}
+
+// pauseThread closes a thread's trace timing window at the moment it
+// stops executing (block, sleep, or preemption) — the PGD analogue.
+func (v *VM) pauseThread(t *thread) {
+	if t.state == tExited || len(t.stack) == 0 {
+		return
+	}
+	v.emit(TraceEvent{Kind: EvPause, Tid: t.id, Time: v.clock,
+		From: ir.NoPC, To: t.curInstr().PC(), Live: v.liveCount()})
+}
+
+// reportHang fires when no thread can make progress. If a waits-for
+// cycle among lock waiters exists, the failure is reported as a
+// deadlock anchored at a lock attempt inside the cycle.
+func (v *VM) reportHang() {
+	// Build waits-for edges: blocked thread -> thread it waits on.
+	// Threads waiting on a condition variable wait on no specific
+	// thread, so they form no edge; a hang dominated by them is a
+	// lost wakeup, not a lock cycle.
+	waitsFor := make(map[int]int)
+	for _, t := range v.threads {
+		switch t.state {
+		case tBlockedLock:
+			if owner, ok := v.lockOwner[t.waitLock]; ok {
+				waitsFor[t.id] = owner
+			}
+		case tBlockedJoin:
+			waitsFor[t.id] = t.waitTid
+		}
+	}
+	if cycle := findCycle(waitsFor); len(cycle) > 0 {
+		pcs := make([]ir.PC, 0, len(cycle))
+		for _, tid := range cycle {
+			pcs = append(pcs, v.threads[tid].curInstr().PC())
+		}
+		head := cycle[0]
+		v.fail(FailDeadlock, v.threads[head].curInstr().PC(), head,
+			"deadlock among %d threads", len(cycle))
+		v.failure.DeadlockPCs = pcs
+		v.failure.DeadlockTids = append([]int(nil), cycle...)
+		return
+	}
+	// A thread stuck in a condition wait with no lock cycle is the
+	// classic lost wakeup: anchor the failure at the wait so the
+	// diagnosis can find the mis-ordered notify.
+	for _, t := range v.threads {
+		if t.state == tBlockedCond {
+			v.fail(FailDeadlock, t.curInstr().PC(), t.id,
+				"hang: thread %d waits on a condition that is never notified", t.id)
+			return
+		}
+	}
+	// Hang without a lock cycle (e.g. join on a blocked thread or a
+	// lock whose owner exited).
+	for _, t := range v.threads {
+		if t.state == tBlockedLock || t.state == tBlockedJoin {
+			v.fail(FailDeadlock, t.curInstr().PC(), t.id, "hang: no runnable threads")
+			return
+		}
+	}
+	v.fail(FailDeadlock, ir.NoPC, 0, "hang: no runnable threads")
+}
+
+// findCycle returns the thread ids along one cycle of the waits-for
+// graph, or nil.
+func findCycle(waitsFor map[int]int) []int {
+	for start := range waitsFor {
+		seen := map[int]int{start: 0}
+		path := []int{start}
+		cur := start
+		for {
+			next, ok := waitsFor[cur]
+			if !ok {
+				break
+			}
+			if at, visited := seen[next]; visited {
+				return path[at:]
+			}
+			seen[next] = len(path)
+			path = append(path, next)
+			cur = next
+		}
+	}
+	return nil
+}
+
+// checkDeadlockFrom detects a waits-for cycle as soon as a thread
+// blocks on a lock, mirroring an OS deadlock detector; the failing PC
+// is the lock attempt that closed the cycle.
+func (v *VM) checkDeadlockFrom(tid int) {
+	waitsFor := make(map[int]int)
+	for _, t := range v.threads {
+		if t.state == tBlockedLock {
+			if owner, ok := v.lockOwner[t.waitLock]; ok {
+				waitsFor[t.id] = owner
+			}
+		}
+	}
+	seen := map[int]bool{tid: true}
+	path := []int{tid}
+	cur := tid
+	for {
+		next, ok := waitsFor[cur]
+		if !ok {
+			return
+		}
+		if next == tid {
+			pcs := make([]ir.PC, 0, len(path))
+			for _, id := range path {
+				pcs = append(pcs, v.threads[id].curInstr().PC())
+			}
+			v.fail(FailDeadlock, v.threads[tid].curInstr().PC(), tid,
+				"deadlock among %d threads", len(path))
+			v.failure.DeadlockPCs = pcs
+			v.failure.DeadlockTids = append([]int(nil), path...)
+			return
+		}
+		if seen[next] || v.threads[next].state != tBlockedLock {
+			return
+		}
+		seen[next] = true
+		path = append(path, next)
+		cur = next
+	}
+}

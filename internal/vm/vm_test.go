@@ -1,0 +1,501 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"snorlax/internal/ir"
+)
+
+// buildLockedCounter returns a module where two threads each add n to
+// a shared counter under a lock; the final value must be 2n.
+func buildLockedCounter(t testing.TB, n int64, locked bool) *ir.Module {
+	t.Helper()
+	b := ir.NewBuilder("counter")
+	mu := b.Global("mu", ir.Mutex)
+	ctr := b.Global("count", ir.Int)
+
+	inc := b.Func("inc", ir.Void)
+	limit := inc.Param("n", ir.Int)
+	entry := inc.Block("entry")
+	loop := inc.Block("loop")
+	body := inc.Block("body")
+	done := inc.Block("done")
+
+	iAddr := entry.Alloca(ir.Int)
+	entry.Store(ir.ConstInt(0), iAddr)
+	entry.Br(loop)
+	i := loop.Load(iAddr)
+	loop.CondBr(loop.Lt(i, limit), body, done)
+	if locked {
+		body.Lock(mu)
+	}
+	c := body.Load(ctr)
+	body.Store(body.Add(c, ir.ConstInt(1)), ctr)
+	if locked {
+		body.Unlock(mu)
+	}
+	body.Store(body.Add(body.Load(iAddr), ir.ConstInt(1)), iAddr)
+	body.Br(loop)
+	done.RetVoid()
+
+	main := b.Func("main", ir.Void)
+	me := main.Block("entry")
+	t1 := me.Spawn(inc.Ref(), ir.ConstInt(n))
+	t2 := me.Spawn(inc.Ref(), ir.ConstInt(n))
+	me.Join(t1)
+	me.Join(t2)
+	me.RetVoid()
+	return b.MustBuild()
+}
+
+func TestLockedCounterIsExact(t *testing.T) {
+	m := buildLockedCounter(t, 200, true)
+	for seed := int64(0); seed < 5; seed++ {
+		v := New(m, Config{Seed: seed, QuantumMin: 100, QuantumMax: 500})
+		res := v.Run()
+		if res.Failed() {
+			t.Fatalf("seed %d: unexpected failure: %v", seed, res.Failure)
+		}
+		got := v.LoadWord(v.GlobalAddr("count"))
+		if got != 400 {
+			t.Errorf("seed %d: count = %d, want 400", seed, got)
+		}
+	}
+}
+
+func TestUnlockedCounterLosesUpdates(t *testing.T) {
+	// With tiny quanta the unsynchronized read-modify-write loses
+	// updates under at least one seed; this proves the scheduler
+	// actually interleaves threads mid-critical-section.
+	m := buildLockedCounter(t, 300, false)
+	lost := false
+	for seed := int64(0); seed < 20; seed++ {
+		v := New(m, Config{Seed: seed, QuantumMin: 50, QuantumMax: 200})
+		res := v.Run()
+		if res.Failed() {
+			t.Fatalf("seed %d: unexpected failure: %v", seed, res.Failure)
+		}
+		if v.LoadWord(v.GlobalAddr("count")) < 600 {
+			lost = true
+			break
+		}
+	}
+	if !lost {
+		t.Error("no seed lost updates; scheduler may not be preempting")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	m := buildLockedCounter(t, 100, true)
+	r1 := Run(m, Config{Seed: 42})
+	r2 := Run(m, Config{Seed: 42})
+	if r1.Steps != r2.Steps || r1.Time != r2.Time || r1.Branches != r2.Branches {
+		t.Errorf("same seed diverged: steps %d/%d time %d/%d branches %d/%d",
+			r1.Steps, r2.Steps, r1.Time, r2.Time, r1.Branches, r2.Branches)
+	}
+}
+
+func TestSeedsProduceDifferentSchedules(t *testing.T) {
+	m := buildLockedCounter(t, 100, true)
+	r1 := Run(m, Config{Seed: 1})
+	r2 := Run(m, Config{Seed: 2})
+	// Virtual end times depend on context-switch patterns; two seeds
+	// matching exactly would suggest the seed is ignored.
+	if r1.Time == r2.Time && r1.Steps == r2.Steps {
+		t.Logf("warning: seeds 1 and 2 gave identical executions (time=%d steps=%d)", r1.Time, r1.Steps)
+	}
+}
+
+func buildDeadlock(t testing.TB) *ir.Module {
+	t.Helper()
+	b := ir.NewBuilder("dl")
+	muA := b.Global("A", ir.Mutex)
+	muB := b.Global("B", ir.Mutex)
+
+	mk := func(name string, first, second *ir.GlobalRef) *ir.FuncBuilder {
+		f := b.Func(name, ir.Void)
+		e := f.Block("entry")
+		e.Lock(first)
+		e.SleepNS(200_000)
+		e.Lock(second)
+		e.Unlock(second)
+		e.Unlock(first)
+		e.RetVoid()
+		return f
+	}
+	t1 := mk("left", muA, muB)
+	t2 := mk("right", muB, muA)
+
+	main := b.Func("main", ir.Void)
+	me := main.Block("entry")
+	a := me.Spawn(t1.Ref())
+	c := me.Spawn(t2.Ref())
+	me.Join(a)
+	me.Join(c)
+	me.RetVoid()
+	return b.MustBuild()
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	m := buildDeadlock(t)
+	for seed := int64(0); seed < 5; seed++ {
+		res := Run(m, Config{Seed: seed})
+		if !res.Failed() || res.Failure.Kind != FailDeadlock {
+			t.Fatalf("seed %d: want deadlock, got %v", seed, res.Failure)
+		}
+		if len(res.Failure.DeadlockPCs) != 2 {
+			t.Errorf("seed %d: cycle has %d PCs, want 2", seed, len(res.Failure.DeadlockPCs))
+		}
+		// The failing PC must be a lock instruction.
+		in := m.InstrAt(res.Failure.PC)
+		if in.Op() != ir.OpLock {
+			t.Errorf("seed %d: failing instruction is %s, want lock", seed, in)
+		}
+	}
+}
+
+func TestSelfDeadlock(t *testing.T) {
+	b := ir.NewBuilder("self")
+	mu := b.Global("mu", ir.Mutex)
+	main := b.Func("main", ir.Void)
+	e := main.Block("entry")
+	e.Lock(mu)
+	e.Lock(mu)
+	e.Unlock(mu)
+	e.RetVoid()
+	res := Run(b.MustBuild(), Config{})
+	if !res.Failed() || res.Failure.Kind != FailDeadlock {
+		t.Fatalf("want self-deadlock, got %v", res.Failure)
+	}
+}
+
+func TestJoinSelfDeadlock(t *testing.T) {
+	src := `
+module js
+func main() {
+entry:
+  %x = alloca int
+  store 0, %x
+  %tid = load %x
+  join %tid
+  ret
+}
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(m, Config{})
+	if !res.Failed() || res.Failure.Kind != FailDeadlock {
+		t.Fatalf("want join-self deadlock, got %v", res.Failure)
+	}
+}
+
+func TestNullDerefCrash(t *testing.T) {
+	src := `
+module nd
+struct S {
+  x: int
+}
+global p: *S
+func main() {
+entry:
+  %s = load @p
+  %xa = fieldaddr %s, x
+  %v = load %xa
+  ret
+}
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(m, Config{})
+	if !res.Failed() || res.Failure.Kind != FailCrash {
+		t.Fatalf("want crash, got %v", res.Failure)
+	}
+	in := m.InstrAt(res.Failure.PC)
+	if in.Op() != ir.OpFieldAddr {
+		t.Errorf("failing instruction = %s, want fieldaddr", in)
+	}
+}
+
+func TestAssertionFailure(t *testing.T) {
+	src := `
+module af
+func main() {
+entry:
+  %c = eq 1, 2
+  assert %c, "one is not two"
+  ret
+}
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(m, Config{})
+	if !res.Failed() || res.Failure.Kind != FailCrash {
+		t.Fatalf("want crash, got %v", res.Failure)
+	}
+	if want := "one is not two"; !contains(res.Failure.Msg, want) {
+		t.Errorf("failure msg %q missing %q", res.Failure.Msg, want)
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	src := `
+module dz
+func main() {
+entry:
+  %z = sub 1, 1
+  %q = div 10, %z
+  ret
+}
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(m, Config{})
+	if !res.Failed() || !contains(res.Failure.Msg, "division by zero") {
+		t.Fatalf("want division by zero, got %v", res.Failure)
+	}
+}
+
+func TestUnlockNotHeld(t *testing.T) {
+	src := `
+module unh
+global mu: mutex
+func main() {
+entry:
+  unlock @mu
+  ret
+}
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(m, Config{})
+	if !res.Failed() || !contains(res.Failure.Msg, "not held") {
+		t.Fatalf("want unlock-not-held crash, got %v", res.Failure)
+	}
+}
+
+func TestIndexOutOfRange(t *testing.T) {
+	src := `
+module ioor
+global tab: [3]int
+func main() {
+entry:
+  %e = indexaddr @tab, 7
+  store 1, %e
+  ret
+}
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(m, Config{})
+	if !res.Failed() || !contains(res.Failure.Msg, "out of range") {
+		t.Fatalf("want out-of-range crash, got %v", res.Failure)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	src := `
+module spin
+func main() {
+entry:
+  br entry
+}
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(m, Config{MaxSteps: 1000})
+	if !res.Failed() || res.Failure.Kind != FailStep {
+		t.Fatalf("want step-limit failure, got %v", res.Failure)
+	}
+}
+
+func TestSleepAdvancesClock(t *testing.T) {
+	src := `
+module sl
+func main() {
+entry:
+  sleep 5000000
+  ret
+}
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(m, Config{})
+	if res.Failed() {
+		t.Fatal(res.Failure)
+	}
+	if res.Time < 5_000_000 {
+		t.Errorf("final time %d < sleep duration", res.Time)
+	}
+}
+
+func TestPrintOutput(t *testing.T) {
+	src := `
+module po
+func main() {
+entry:
+  %x = add 40, 2
+  print %x
+  print 1, 2, 3
+  ret
+}
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(m, Config{})
+	if res.Failed() {
+		t.Fatal(res.Failure)
+	}
+	if len(res.Output) != 2 || res.Output[0] != "42" || res.Output[1] != "1 2 3" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestCallReturnValues(t *testing.T) {
+	src := `
+module crv
+func fib(n: int) int {
+entry:
+  %c = lt %n, 2
+  condbr %c, base, rec
+base:
+  ret %n
+rec:
+  %n1 = sub %n, 1
+  %n2 = sub %n, 2
+  %a = call fib(%n1)
+  %b = call fib(%n2)
+  %r = add %a, %b
+  ret %r
+}
+func main() {
+entry:
+  %r = call fib(12)
+  print %r
+  ret
+}
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(m, Config{})
+	if res.Failed() {
+		t.Fatal(res.Failure)
+	}
+	if len(res.Output) != 1 || res.Output[0] != "144" {
+		t.Errorf("fib(12) output = %q, want 144", res.Output)
+	}
+}
+
+func TestIndirectCallExecution(t *testing.T) {
+	src := `
+module ice
+global fp: func(int) int
+func triple(x: int) int {
+entry:
+  %r = mul %x, 3
+  ret %r
+}
+func main() {
+entry:
+  store triple, @fp
+  %f = load @fp
+  %r = call %f(14)
+  print %r
+  ret
+}
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(m, Config{})
+	if res.Failed() {
+		t.Fatal(res.Failure)
+	}
+	if res.Output[0] != "42" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestWatchEventsRecordTimes(t *testing.T) {
+	m := buildDeadlock(t)
+	// Watch the two second-lock attempts.
+	var watch []ir.PC
+	m.Instrs(func(in ir.Instr) {
+		if in.Op() == ir.OpLock {
+			watch = append(watch, in.PC())
+		}
+	})
+	wp := map[ir.PC]bool{}
+	for _, pc := range watch {
+		wp[pc] = true
+	}
+	res := Run(m, Config{Seed: 3, WatchPCs: wp})
+	if !res.Failed() {
+		t.Fatal("expected deadlock")
+	}
+	if len(res.Watch) < 3 {
+		t.Fatalf("watch events = %d, want >= 3", len(res.Watch))
+	}
+	last := int64(-1)
+	for _, ev := range res.Watch {
+		if ev.Time < last {
+			t.Errorf("watch events out of order: %d after %d", ev.Time, last)
+		}
+		last = ev.Time
+	}
+}
+
+func TestGlobalInitialValue(t *testing.T) {
+	src := `
+module gi
+global start: int = 99
+func main() {
+entry:
+  %v = load @start
+  print %v
+  ret
+}
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(m, Config{})
+	if res.Output[0] != "99" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestBranchesCounted(t *testing.T) {
+	m := buildLockedCounter(t, 50, true)
+	res := Run(m, Config{Seed: 0})
+	if res.Branches == 0 {
+		t.Error("no branches counted")
+	}
+	if res.MaxThreads != 3 {
+		t.Errorf("MaxThreads = %d, want 3", res.MaxThreads)
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -1,0 +1,54 @@
+package snorlax
+
+import (
+	"net"
+
+	"snorlax/internal/core"
+	"snorlax/internal/proto"
+)
+
+// Serve runs a diagnosis server for prog on the listener, blocking
+// until the listener closes. Production clients connect with Dial,
+// upload failures and successful traces, and request diagnoses — the
+// deployment model of the paper's Figure 2.
+func Serve(ln net.Listener, prog *Program) error {
+	return proto.NewServer(core.NewServer(prog.mod)).Serve(ln)
+}
+
+// RemoteDiagnoser is a client connection to a diagnosis server.
+type RemoteDiagnoser struct {
+	prog *Program
+	conn *proto.Conn
+}
+
+// Dial connects to a diagnosis server for prog.
+func Dial(network, addr string, prog *Program) (*RemoteDiagnoser, error) {
+	c, err := proto.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteDiagnoser{prog: prog, conn: c}, nil
+}
+
+// Close releases the connection.
+func (r *RemoteDiagnoser) Close() error { return r.conn.Close() }
+
+// ReportFailure uploads a failing execution; the returned PC is where
+// the server wants successful executions traced.
+func (r *RemoteDiagnoser) ReportFailure(failing *Execution) (PC, error) {
+	return r.conn.ReportFailure(failing.report.Failure, failing.Snapshot())
+}
+
+// SendSuccess uploads one successful triggered execution.
+func (r *RemoteDiagnoser) SendSuccess(ok *Execution) error {
+	return r.conn.SendSuccess(ok.Snapshot())
+}
+
+// Diagnose asks the server for the verdict on what was uploaded.
+func (r *RemoteDiagnoser) Diagnose() (*Report, error) {
+	d, err := r.conn.RequestDiagnosis()
+	if err != nil {
+		return nil, err
+	}
+	return newReport(r.prog, d), nil
+}

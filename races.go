@@ -1,0 +1,42 @@
+package snorlax
+
+import (
+	"fmt"
+
+	"snorlax/internal/racedet"
+	"snorlax/internal/vm"
+)
+
+// RaceReport is one detected data race: two program points that
+// accessed the same memory word without a common lock, at least one
+// writing.
+type RaceReport struct {
+	// First and Second render the two racing instructions.
+	First, Second string
+	// FirstPC and SecondPC are their program counters.
+	FirstPC, SecondPC PC
+}
+
+func (r RaceReport) String() string {
+	return fmt.Sprintf("race: %s  vs  %s", r.First, r.Second)
+}
+
+// DetectRaces runs the program once under an Eraser-style lockset
+// race detector and returns the races observed on that schedule.
+// Order and atomicity violations are in many cases caused by data
+// races (§3.1 of the paper), so this is the screening step that
+// precedes diagnosis — and its reports select the accesses a
+// record/replay engine needs to monitor (§3.3).
+func (p *Program) DetectRaces(opts RunOptions) []RaceReport {
+	races, _ := racedet.Detect(p.mod, vm.Config{Seed: opts.Seed, MaxSteps: opts.MaxSteps})
+	out := make([]RaceReport, 0, len(races))
+	for _, r := range races {
+		out = append(out, RaceReport{
+			First:    p.InstrString(r.First),
+			Second:   p.InstrString(r.Second),
+			FirstPC:  r.First,
+			SecondPC: r.Second,
+		})
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+package snorlax
+
+import (
+	"snorlax/internal/core"
+	"snorlax/internal/replay"
+	"snorlax/internal/vm"
+)
+
+// ReplayLog is a recorded total order of shared memory accesses — the
+// §3.3 corollary of the coarse interleaving hypothesis: order alone,
+// no fine-grained timestamps, steers a re-execution back onto the
+// recorded interleaving even in the presence of data races.
+type ReplayLog struct {
+	log *replay.Log
+}
+
+// Accesses returns the number of recorded shared accesses.
+func (l *ReplayLog) Accesses() int { return len(l.log.Events) }
+
+// RunRecorded executes the program once while recording the order of
+// its shared (global-touching) memory accesses.
+func (p *Program) RunRecorded(opts RunOptions) (*Execution, *ReplayLog) {
+	cfg := vm.Config{Seed: opts.Seed, MaxSteps: opts.MaxSteps}
+	res, log := replay.Record(p.mod, cfg, replay.SharedPCs(p.mod))
+	return &Execution{prog: p, report: core.ReportFromResult(res)}, &ReplayLog{log: log}
+}
+
+// RunReplay re-executes the program under a recorded access order.
+// The scheduler seed may differ from the recording's — the log, not
+// the scheduler, decides every racing access, so racy outcomes
+// (including crashes) reproduce deterministically.
+func (p *Program) RunReplay(opts RunOptions, log *ReplayLog) (*Execution, error) {
+	cfg := vm.Config{Seed: opts.Seed, MaxSteps: opts.MaxSteps}
+	res, err := replay.Replay(p.mod, cfg, log.log)
+	if err != nil {
+		return nil, err
+	}
+	return &Execution{prog: p, report: core.ReportFromResult(res)}, nil
+}

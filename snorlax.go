@@ -1,0 +1,184 @@
+// Package snorlax is a from-scratch reproduction of "Lazy Diagnosis
+// of In-Production Concurrency Bugs" (SOSP 2017): a system that
+// diagnoses the root causes of concurrency failures — deadlocks,
+// order violations and atomicity violations — from coarse-grained
+// hardware control-flow traces, with production-grade overhead.
+//
+// The package is a facade over the full pipeline:
+//
+//   - programs are written in a small typed IR (see ParseProgram for
+//     the textual syntax) and executed on a deterministic simulated
+//     multithreaded machine with a virtual-time clock;
+//   - executions are traced by a simulated processor tracer (the
+//     Intel PT analogue): per-thread 64 KB ring buffers of branch and
+//     coarse-timing packets;
+//   - a failing execution plus traces from successful executions feed
+//     Lazy Diagnosis: trace processing, scope-restricted
+//     inclusion-based points-to analysis, type-based ranking,
+//     bug-pattern computation and statistical (F1) diagnosis.
+//
+// Quick start:
+//
+//	prog, _ := snorlax.ParseProgram(src)
+//	failing := prog.Run(snorlax.RunOptions{Seed: 1})
+//	var successes []*snorlax.Execution
+//	for seed := int64(2); len(successes) < 10; seed++ {
+//	    e := okProg.Run(snorlax.RunOptions{Seed: seed, TriggerPC: failing.FailurePC()})
+//	    if !e.Failed() && e.Triggered() {
+//	        successes = append(successes, e)
+//	    }
+//	}
+//	report, _ := snorlax.NewDiagnoser(prog).Diagnose(failing, successes)
+//	fmt.Println(report.Format())
+package snorlax
+
+import (
+	"fmt"
+
+	"snorlax/internal/core"
+	"snorlax/internal/ir"
+	"snorlax/internal/pt"
+	"snorlax/internal/vm"
+)
+
+// Program is an executable IR module.
+type Program struct {
+	mod *ir.Module
+}
+
+// ParseProgram parses the textual IR format. The format is line
+// oriented; see the repository README for the full grammar. A short
+// example:
+//
+//	module counter
+//	global total: int
+//	global mu: mutex
+//
+//	func worker(n: int) {
+//	entry:
+//	  lock @mu
+//	  %v = load @total
+//	  %v2 = add %v, %n
+//	  store %v2, @total
+//	  unlock @mu
+//	  ret
+//	}
+//
+//	func main() {
+//	entry:
+//	  %t = spawn worker(5)
+//	  call worker(7)
+//	  join %t
+//	  ret
+//	}
+func ParseProgram(src string) (*Program, error) {
+	mod, err := ir.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{mod: mod}, nil
+}
+
+// MustParseProgram is ParseProgram that panics on error; convenient
+// for programs embedded as constants.
+func MustParseProgram(src string) *Program {
+	p, err := ParseProgram(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Text renders the program back in parseable form.
+func (p *Program) Text() string { return ir.Print(p.mod) }
+
+// NumInstrs returns the static instruction count.
+func (p *Program) NumInstrs() int { return p.mod.NumInstrs() }
+
+// Module exposes the underlying IR module for advanced use (the
+// experiment harnesses use it; typical clients never need it).
+func (p *Program) Module() *ir.Module { return p.mod }
+
+// PC identifies a static instruction of a Program.
+type PC = ir.PC
+
+// NoPC is the invalid PC.
+const NoPC = ir.NoPC
+
+// RunOptions configures one traced execution.
+type RunOptions struct {
+	// Seed drives scheduling; same seed, same execution.
+	Seed int64
+	// TriggerPC, when not NoPC (zero value runs untriggered), arms a
+	// trace snapshot at that instruction — how successful production
+	// executions are captured at a previous failure's location.
+	TriggerPC PC
+	// MaxSteps bounds the execution (default 20M instructions).
+	MaxSteps int64
+}
+
+// Execution is one traced run.
+type Execution struct {
+	prog   *Program
+	report *core.RunReport
+}
+
+// Run executes the program once under the hardware tracer.
+func (p *Program) Run(opts RunOptions) *Execution {
+	client := core.NewClient(p.mod)
+	client.VM = vm.Config{MaxSteps: opts.MaxSteps}
+	trigger := opts.TriggerPC
+	if trigger == 0 {
+		trigger = ir.NoPC
+	}
+	rep := client.Run(opts.Seed, trigger)
+	return &Execution{prog: p, report: rep}
+}
+
+// Failed reports whether the execution crashed, deadlocked or hit the
+// step limit.
+func (e *Execution) Failed() bool { return e.report.Failed() }
+
+// Triggered reports whether the armed trigger fired.
+func (e *Execution) Triggered() bool { return e.report.Triggered }
+
+// FailurePC returns the failing instruction's PC, or NoPC.
+func (e *Execution) FailurePC() PC {
+	if !e.Failed() {
+		return NoPC
+	}
+	return e.report.Failure.PC
+}
+
+// FailureMessage describes the failure, or "" for successful runs.
+func (e *Execution) FailureMessage() string {
+	if !e.Failed() {
+		return ""
+	}
+	return e.report.Failure.Msg
+}
+
+// Deadlocked reports whether the failure was a deadlock.
+func (e *Execution) Deadlocked() bool {
+	return e.Failed() && e.report.Failure.Deadlock
+}
+
+// Output returns the program's print output.
+func (e *Execution) Output() []string { return e.report.Result.Output }
+
+// VirtualTime returns the execution's final virtual clock in
+// nanoseconds.
+func (e *Execution) VirtualTime() int64 { return e.report.Result.Time }
+
+// Snapshot exposes the captured trace rings (nil when neither a
+// failure nor a trigger produced one).
+func (e *Execution) Snapshot() *pt.Snapshot { return e.report.Snapshot }
+
+// InstrString renders the instruction at pc, with its location.
+func (p *Program) InstrString(pc PC) string {
+	if int(pc) < 0 || int(pc) >= p.mod.NumInstrs() {
+		return fmt.Sprintf("pc(%d)", pc)
+	}
+	in := p.mod.InstrAt(pc)
+	return fmt.Sprintf("%s [%s]", in, in.Block())
+}

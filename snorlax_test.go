@@ -1,0 +1,284 @@
+package snorlax_test
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	snorlax "snorlax"
+)
+
+// uafProgram returns the use-after-free demo in both delay variants.
+func uafProgram(failing bool) *snorlax.Program {
+	consumerDelay, mainDelay := int64(300_000), int64(100_000)
+	if !failing {
+		consumerDelay, mainDelay = 50_000, 400_000
+	}
+	return snorlax.MustParseProgram(fmt.Sprintf(`
+module demo
+struct Job {
+  payload: int
+}
+global queue: *Job
+
+func consumer() {
+entry:
+  sleep %d
+  %%j = load @queue
+  %%p = fieldaddr %%j, payload
+  %%v = load %%p
+  ret
+}
+
+func main() {
+entry:
+  %%j = new Job
+  store %%j, @queue
+  %%t = spawn consumer()
+  sleep %d
+  store null:*Job, @queue
+  join %%t
+  ret
+}
+`, consumerDelay, mainDelay))
+}
+
+// collectSuccesses gathers n triggered successful runs.
+func collectSuccesses(t *testing.T, prog *snorlax.Program, trigger snorlax.PC, n int) []*snorlax.Execution {
+	t.Helper()
+	var out []*snorlax.Execution
+	for seed := int64(1); len(out) < n && seed < int64(n*5); seed++ {
+		e := prog.Run(snorlax.RunOptions{Seed: seed, TriggerPC: trigger})
+		if !e.Failed() && e.Triggered() {
+			out = append(out, e)
+		}
+	}
+	if len(out) != n {
+		t.Fatalf("collected %d/%d successful runs", len(out), n)
+	}
+	return out
+}
+
+func TestPublicAPIWorkflow(t *testing.T) {
+	failProg := uafProgram(true)
+	okProg := uafProgram(false)
+
+	failing := failProg.Run(snorlax.RunOptions{Seed: 1})
+	if !failing.Failed() {
+		t.Fatal("expected failure")
+	}
+	if failing.Deadlocked() {
+		t.Fatal("crash misreported as deadlock")
+	}
+	if !strings.Contains(failing.FailureMessage(), "null") {
+		t.Errorf("failure message = %q", failing.FailureMessage())
+	}
+
+	successes := collectSuccesses(t, okProg, failing.FailurePC(), 10)
+	report, err := snorlax.NewDiagnoser(failProg).Diagnose(failing, successes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Kind != snorlax.OrderViolation || report.Pattern != "WR" {
+		t.Errorf("diagnosed %v/%s", report.Kind, report.Pattern)
+	}
+	if report.F1 != 1.0 || !report.Unique {
+		t.Errorf("F1 = %f unique = %v", report.F1, report.Unique)
+	}
+	if len(report.Events) != 2 {
+		t.Fatalf("events = %+v", report.Events)
+	}
+	if !strings.Contains(report.Events[0].Instr, "store null") {
+		t.Errorf("event 1 = %q, want the null store", report.Events[0].Instr)
+	}
+	if report.ScopeReduction <= 1 {
+		t.Errorf("scope reduction = %f", report.ScopeReduction)
+	}
+	text := report.Format()
+	if !strings.Contains(text, "root cause: order-violation") {
+		t.Errorf("Format() = %q", text)
+	}
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	p := uafProgram(true)
+	if p.NumInstrs() == 0 {
+		t.Fatal("no instructions")
+	}
+	p2, err := snorlax.ParseProgram(p.Text())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if p2.NumInstrs() != p.NumInstrs() {
+		t.Error("text round trip changed the program")
+	}
+}
+
+func TestParseError(t *testing.T) {
+	if _, err := snorlax.ParseProgram("not a program"); err == nil {
+		t.Error("bad source accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseProgram did not panic")
+		}
+	}()
+	snorlax.MustParseProgram("nope")
+}
+
+func TestExecutionAccessors(t *testing.T) {
+	p := snorlax.MustParseProgram(`
+module out
+func main() {
+entry:
+  print 41, 1
+  ret
+}
+`)
+	e := p.Run(snorlax.RunOptions{Seed: 1})
+	if e.Failed() {
+		t.Fatal(e.FailureMessage())
+	}
+	if len(e.Output()) != 1 || e.Output()[0] != "41 1" {
+		t.Errorf("output = %v", e.Output())
+	}
+	if e.VirtualTime() <= 0 {
+		t.Error("no virtual time")
+	}
+	if e.FailurePC() != snorlax.NoPC || e.FailureMessage() != "" {
+		t.Error("successful run reports failure state")
+	}
+}
+
+func TestDiagnoseRejectsSuccessfulRun(t *testing.T) {
+	p := uafProgram(false)
+	e := p.Run(snorlax.RunOptions{Seed: 1})
+	if e.Failed() {
+		t.Fatal("unexpected failure")
+	}
+	if _, err := snorlax.NewDiagnoser(p).Diagnose(e, nil); err == nil {
+		t.Error("Diagnose accepted a successful execution")
+	}
+}
+
+func TestRemoteDiagnosisOverTCP(t *testing.T) {
+	failProg := uafProgram(true)
+	okProg := uafProgram(false)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go snorlax.Serve(ln, failProg)
+
+	rd, err := snorlax.Dial("tcp", ln.Addr().String(), failProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+
+	failing := failProg.Run(snorlax.RunOptions{Seed: 1})
+	trigger, err := rd.ReportFailure(failing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ok := range collectSuccesses(t, okProg, trigger, 10) {
+		if err := rd.SendSuccess(ok); err != nil {
+			t.Fatal(err)
+		}
+	}
+	report, err := rd.Diagnose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Kind != snorlax.OrderViolation || report.F1 != 1.0 {
+		t.Errorf("remote report = %+v", report)
+	}
+}
+
+func TestBugKindStrings(t *testing.T) {
+	if snorlax.Deadlock.String() != "deadlock" ||
+		snorlax.OrderViolation.String() != "order violation" ||
+		snorlax.AtomicityViolation.String() != "atomicity violation" {
+		t.Error("BugKind strings wrong")
+	}
+}
+
+func TestDetectRaces(t *testing.T) {
+	racy := snorlax.MustParseProgram(`
+module racy
+global total: int
+func bump() {
+entry:
+  %v = load @total
+  %v2 = add %v, 1
+  store %v2, @total
+  ret
+}
+func main() {
+entry:
+  %a = spawn bump()
+  %b = spawn bump()
+  join %a
+  join %b
+  ret
+}
+`)
+	races := racy.DetectRaces(snorlax.RunOptions{Seed: 1})
+	if len(races) == 0 {
+		t.Fatal("no races on the unsynchronized counter")
+	}
+	for _, r := range races {
+		if r.First == "" || r.Second == "" || r.String() == "" {
+			t.Errorf("incomplete report: %+v", r)
+		}
+	}
+
+	clean := snorlax.MustParseProgram(`
+module clean
+global mu: mutex
+global total: int
+func bump() {
+entry:
+  lock @mu
+  %v = load @total
+  %v2 = add %v, 1
+  store %v2, @total
+  unlock @mu
+  ret
+}
+func main() {
+entry:
+  %a = spawn bump()
+  %b = spawn bump()
+  join %a
+  join %b
+  ret
+}
+`)
+	if races := clean.DetectRaces(snorlax.RunOptions{Seed: 1}); len(races) != 0 {
+		t.Fatalf("false positives on the locked counter: %v", races)
+	}
+}
+
+func TestRecordReplayFacade(t *testing.T) {
+	prog := uafProgram(true)
+	recorded, log := prog.RunRecorded(snorlax.RunOptions{Seed: 1})
+	if !recorded.Failed() {
+		t.Fatal("recording should capture the failure")
+	}
+	if log.Accesses() == 0 {
+		t.Fatal("empty log")
+	}
+	for seed := int64(9); seed < 12; seed++ {
+		e, err := prog.RunReplay(snorlax.RunOptions{Seed: seed}, log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e.Failed() || e.FailurePC() != recorded.FailurePC() {
+			t.Errorf("seed %d: replay failure pc %d, recorded %d", seed, e.FailurePC(), recorded.FailurePC())
+		}
+	}
+}

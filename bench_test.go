@@ -8,7 +8,9 @@
 package snorlax_test
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"snorlax/internal/core"
 	"snorlax/internal/corpus"
@@ -197,6 +199,124 @@ func BenchmarkVMExecution(b *testing.B) {
 		steps = res.Steps
 	}
 	b.ReportMetric(float64(steps), "steps/run")
+}
+
+// --- Parallel diagnosis pipeline -------------------------------------------
+
+// manySuccessReports reproduces httpd-4 once and gathers 12 successful
+// triggered traces — the 10+-trace diagnosis the parallel pipeline is
+// built for.
+func manySuccessReports(b *testing.B) (*corpus.Instance, *core.RunReport, []*core.RunReport) {
+	b.Helper()
+	bug := corpus.ByID("httpd-4")
+	failInst := bug.Build(corpus.Variant{Failing: true})
+	okInst := bug.Build(corpus.Variant{Failing: false})
+	rep := core.NewClient(failInst.Mod).Run(1, ir.NoPC)
+	if !rep.Failed() {
+		b.Fatal("expected failure")
+	}
+	okClient := core.NewClient(okInst.Mod)
+	var oks []*core.RunReport
+	for seed := int64(1); len(oks) < 12 && seed < 100; seed++ {
+		r := okClient.Run(seed, rep.Failure.PC)
+		if !r.Failed() && r.Triggered {
+			oks = append(oks, r)
+		}
+	}
+	if len(oks) < 12 {
+		b.Fatalf("gathered %d/12 successful traces", len(oks))
+	}
+	return failInst, rep, oks
+}
+
+// BenchmarkDiagnoseManySuccesses measures a 12-success-trace diagnosis
+// across the pipeline's operating points: serial, GOMAXPROCS-wide
+// fan-out (cache off, isolating the decode+observe fan-out), and the
+// cached steady state the network server settles into.
+func BenchmarkDiagnoseManySuccesses(b *testing.B) {
+	failInst, rep, oks := manySuccessReports(b)
+	run := func(workers int, cache bool) func(*testing.B) {
+		return func(b *testing.B) {
+			srv := core.NewServer(failInst.Mod)
+			srv.Workers = workers
+			srv.MaxSuccessTraces = len(oks)
+			srv.DisableCache = !cache
+			if cache {
+				if _, err := srv.Diagnose(rep, oks); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := srv.Diagnose(rep, oks); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("serial", run(1, false))
+	b.Run("parallel", run(0, false))
+	b.Run("parallel-cached", run(0, true))
+}
+
+// BenchmarkParallelPipelineSpeedup reports the serial/parallel
+// wall-clock ratio for the same 12-trace diagnosis — the acceptance
+// metric for the fan-out (≥2x with 10+ traces on ≥4 cores; on fewer
+// cores the ratio degrades toward 1x by construction).
+func BenchmarkParallelPipelineSpeedup(b *testing.B) {
+	failInst, rep, oks := manySuccessReports(b)
+	measure := func(workers int) time.Duration {
+		srv := core.NewServer(failInst.Mod)
+		srv.Workers = workers
+		srv.MaxSuccessTraces = len(oks)
+		srv.DisableCache = true
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if _, err := srv.Diagnose(rep, oks); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	b.ResetTimer()
+	serial := measure(1)
+	parallel := measure(0)
+	b.ReportMetric(float64(serial)/float64(parallel), "speedup-x")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+}
+
+// BenchmarkAnalysisCacheSteadyState isolates the points-to cache: the
+// same failure diagnosed repeatedly on one server, the network
+// server's steady state, where step 4 collapses to a map lookup.
+func BenchmarkAnalysisCacheSteadyState(b *testing.B) {
+	inst := corpus.ByID("mysql-3").Build(corpus.Variant{Failing: true})
+	rep := core.NewClient(inst.Mod).Run(1, ir.NoPC)
+	if !rep.Failed() {
+		b.Fatal("expected failure")
+	}
+	for _, cached := range []bool{false, true} {
+		name := "cache-off"
+		if cached {
+			name = "cache-on"
+		}
+		b.Run(name, func(b *testing.B) {
+			srv := core.NewServer(inst.Mod)
+			srv.DisableCache = !cached
+			if _, err := srv.Diagnose(rep, nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var ptNS float64
+			for i := 0; i < b.N; i++ {
+				d, err := srv.Diagnose(rep, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ptNS = float64(d.Stats.PointsToTime)
+			}
+			b.ReportMetric(ptNS, "pts-ns")
+		})
+	}
 }
 
 // --- Ablations (design choices called out in DESIGN.md) -------------------

@@ -28,6 +28,8 @@ var (
 	all     = flag.Bool("all", false, "diagnose every corpus bug")
 	serve   = flag.String("serve", "", "run an analysis server for -bug on this address (e.g. :7007)")
 	remote  = flag.String("remote", "", "diagnose -bug against a remote analysis server at this address")
+	workers = flag.Int("workers", 0, "success-trace pool size for -serve (0 = GOMAXPROCS)")
+	maxDiag = flag.Int("max-diagnoses", 0, "concurrent diagnosis bound for -serve (0 = GOMAXPROCS)")
 )
 
 func main() {
@@ -90,7 +92,11 @@ func runServer(addr string, b *corpus.Bug) {
 		os.Exit(1)
 	}
 	fmt.Printf("analysis server for %s listening on %s\n", b.ID, ln.Addr())
-	if err := proto.NewServer(core.NewServer(inst.Mod)).Serve(ln); err != nil {
+	cs := core.NewServer(inst.Mod)
+	cs.Workers = *workers
+	ps := proto.NewServer(cs)
+	ps.MaxConcurrent = *maxDiag
+	if err := ps.Serve(ln); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -19,6 +19,11 @@ func NewDiagnoser(p *Program) *Diagnoser {
 	return &Diagnoser{prog: p, srv: core.NewServer(p.mod)}
 }
 
+// SetWorkers bounds the success-trace decode/observe pool used by
+// Diagnose; 0 (the default) uses runtime.GOMAXPROCS(0), 1 forces the
+// serial path. Any setting produces bit-identical reports.
+func (d *Diagnoser) SetWorkers(n int) { d.srv.Workers = n }
+
 // BugKind classifies a diagnosed root cause.
 type BugKind int
 

@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"snorlax/internal/ir"
@@ -136,12 +137,34 @@ type StageStats struct {
 	// DynEvents is the length of the partially-ordered dynamic
 	// instruction trace (step 3).
 	DynEvents int
+	// SuccessTraces is how many successful traces fed statistical
+	// diagnosis (step 7).
+	SuccessTraces int
 	// PointsToTime is the wall-clock cost of constraint generation
-	// and solving on this host.
+	// and solving on this host (near zero on a cache hit).
 	PointsToTime time.Duration
+	// DecodeTime is the wall-clock cost of decoding and processing
+	// the failing trace (steps 2–3).
+	DecodeTime time.Duration
+	// RankTime is the wall-clock cost of type-based ranking (step 5).
+	RankTime time.Duration
+	// PatternTime is the wall-clock cost of pattern computation,
+	// including the deep-anchor and multi-variable extensions (step 6).
+	PatternTime time.Duration
+	// ObserveTime is the wall-clock cost of statistical diagnosis
+	// (step 7): success-trace decode/observe fan-out plus scoring.
+	ObserveTime time.Duration
 	// TotalTime is the wall-clock cost of the whole server-side
 	// analysis for the failing trace.
 	TotalTime time.Duration
+	// PointsToCacheHit reports that step 4 was served from the
+	// server's analysis cache for this diagnosis.
+	PointsToCacheHit bool
+	// PointsToCacheHits and PointsToCacheMisses are the server's
+	// cumulative cache counters as of this diagnosis.
+	PointsToCacheHits, PointsToCacheMisses uint64
+	// Workers is the success-trace pool size this diagnosis ran with.
+	Workers int
 }
 
 // Diagnosis is the server's verdict for one failure.
@@ -161,6 +184,10 @@ type Diagnosis struct {
 }
 
 // Server runs the Lazy Diagnosis analysis for one module.
+//
+// Diagnose is safe for concurrent use by multiple goroutines (the
+// network server calls it from per-connection handlers) as long as
+// the configuration fields are not mutated once diagnoses start.
 type Server struct {
 	Mod *ir.Module
 	// PT must match the client's trace configuration.
@@ -170,12 +197,26 @@ type Server struct {
 	// MaxSuccessTraces caps how many successful traces are used per
 	// failing trace (the paper's empirically-determined 10×).
 	MaxSuccessTraces int
+	// Workers bounds the success-trace decode/observe pool in step 7.
+	// 0 uses runtime.GOMAXPROCS(0); 1 forces the serial path. Any
+	// setting produces bit-identical diagnoses.
+	Workers int
 	// UseUnification switches the points-to stage to the
 	// Steensgaard baseline (ablation only).
 	UseUnification bool
 	// DisableRanking turns off type-based ranking (ablation only):
 	// every candidate gets rank 1.
 	DisableRanking bool
+	// DisableCache turns off the points-to analysis cache — for
+	// ablations and cold-path timing measurements (Table 4 reports
+	// uncached solve times).
+	DisableCache bool
+
+	// mu guards the analysis cache and its counters.
+	mu          sync.Mutex
+	analyses    map[analysisKey]*cachedAnalysis
+	cacheHits   uint64
+	cacheMisses uint64
 }
 
 // NewServer returns a Server with the paper's defaults.
@@ -207,13 +248,17 @@ func (s *Server) Diagnose(failing *RunReport, successes []*RunReport) (*Diagnosi
 		return nil, fmt.Errorf("core: decoding failing trace: %w", err)
 	}
 	scope, failTrace := traceproc.Process(traces)
+	decodeTime := time.Since(start)
 
-	// Step 4: hybrid points-to analysis, scope restricted.
+	// Step 4: hybrid points-to analysis, scope restricted. Repeated
+	// diagnoses of the same program and executed scope — the Session
+	// loop, the network server's steady state — reuse the cached solve.
 	ptStart := time.Now()
-	analysis := s.analysisFor(scope)
+	analysis, cacheHit := s.scopedAnalysis(scope)
 	ptTime := time.Since(ptStart)
 
 	// Step 5: type-based ranking around the anchored failure.
+	rankStart := time.Now()
 	failInstr := s.Mod.InstrAt(f.PC)
 	class := ranking.MemAccesses
 	fi := pattern.FailureInfo{PC: f.PC, Tid: f.Tid, Time: f.Time}
@@ -239,8 +284,10 @@ func (s *Server) Diagnose(failing *RunReport, successes []*RunReport) (*Diagnosi
 			cands[i].Rank = 1
 		}
 	}
+	rankTime := time.Since(rankStart)
 
 	// Step 6: bug-pattern computation with partial flow sensitivity.
+	patStart := time.Now()
 	pats := pattern.Compute(s.Mod, fi, cands, failTrace, s.Pattern)
 
 	// Extension (§7 future work): when the failing instruction is not
@@ -275,32 +322,27 @@ func (s *Server) Diagnose(failing *RunReport, successes []*RunReport) (*Diagnosi
 			pats = append(pats, pattern.ComputeMultiVar(s.Mod, fi, anchors, failTrace, s.Pattern)...)
 		}
 	}
+	patTime := time.Since(patStart)
 
 	// Step 7: statistical diagnosis over failing + successful traces.
-	obs := []statdiag.Observation{s.observe(pats, failTrace, true)}
+	// Success-trace decode and observation fan out across the worker
+	// pool; observations commit in upload order so the scores are
+	// bit-identical to the serial path.
+	obsStart := time.Now()
 	limit := s.MaxSuccessTraces
 	if limit <= 0 {
 		limit = 10
 	}
-	used := 0
-	for _, ok := range successes {
-		if used >= limit {
-			break
-		}
-		if ok.Snapshot == nil {
-			continue
-		}
-		okTraces, err := pt.DecodeSnapshot(s.Mod, ok.Snapshot, s.PT, nil)
-		if err != nil {
-			return nil, fmt.Errorf("core: decoding success trace: %w", err)
-		}
-		_, tr := traceproc.Process(okTraces)
-		obs = append(obs, s.observe(pats, tr, false))
-		used++
+	okObs, err := s.observeSuccesses(pats, successes, limit)
+	if err != nil {
+		return nil, err
 	}
+	obs := append([]statdiag.Observation{s.observe(pats, failTrace, true)}, okObs...)
 	scores := statdiag.Rank(pats, obs)
 	best, unique := statdiag.Best(scores)
+	obsTime := time.Since(obsStart)
 
+	hits, misses := s.CacheStats()
 	rankCount := ranking.CountByRank(cands)
 	d := &Diagnosis{
 		Best:     best,
@@ -308,14 +350,23 @@ func (s *Server) Diagnose(failing *RunReport, successes []*RunReport) (*Diagnosi
 		Scores:   scores,
 		AnchorPC: fi.PC,
 		Stats: StageStats{
-			TotalInstrs:     s.Mod.NumInstrs(),
-			ExecutedInstrs:  len(scope),
-			Candidates:      len(cands),
-			Rank1Candidates: rankCount[1],
-			Patterns:        len(pats),
-			DynEvents:       len(failTrace.Events),
-			PointsToTime:    ptTime,
-			TotalTime:       time.Since(start),
+			TotalInstrs:         s.Mod.NumInstrs(),
+			ExecutedInstrs:      len(scope),
+			Candidates:          len(cands),
+			Rank1Candidates:     rankCount[1],
+			Patterns:            len(pats),
+			DynEvents:           len(failTrace.Events),
+			SuccessTraces:       len(okObs),
+			PointsToTime:        ptTime,
+			DecodeTime:          decodeTime,
+			RankTime:            rankTime,
+			PatternTime:         patTime,
+			ObserveTime:         obsTime,
+			TotalTime:           time.Since(start),
+			PointsToCacheHit:    cacheHit,
+			PointsToCacheHits:   hits,
+			PointsToCacheMisses: misses,
+			Workers:             s.workerCount(),
 		},
 	}
 	return d, nil

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"snorlax/internal/pattern"
+	"snorlax/internal/pt"
+	"snorlax/internal/statdiag"
+	"snorlax/internal/traceproc"
+)
+
+// workerCount resolves the effective success-trace pool size.
+func (s *Server) workerCount() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// observeSuccesses decodes, trace-processes and observes up to limit
+// successful traces (the fan-out half of step 7). Each upload is
+// independent — one trace never informs another's decode — so the
+// work spreads across a bounded worker pool; results are committed in
+// upload order, which keeps diagnoses bit-identical to the serial
+// path regardless of pool size. Errors also mirror the serial path:
+// the first eligible trace (in upload order) that fails to decode
+// determines the returned error.
+func (s *Server) observeSuccesses(pats []*pattern.Pattern, successes []*RunReport, limit int) ([]statdiag.Observation, error) {
+	selected := make([]*RunReport, 0, limit)
+	for _, ok := range successes {
+		if len(selected) >= limit {
+			break
+		}
+		if ok.Snapshot == nil {
+			continue
+		}
+		selected = append(selected, ok)
+	}
+	obs := make([]statdiag.Observation, len(selected))
+	errs := make([]error, len(selected))
+	process := func(i int) {
+		okTraces, err := pt.DecodeSnapshot(s.Mod, selected[i].Snapshot, s.PT, nil)
+		if err != nil {
+			errs[i] = fmt.Errorf("core: decoding success trace: %w", err)
+			return
+		}
+		_, tr := traceproc.Process(okTraces)
+		obs[i] = s.observe(pats, tr, false)
+	}
+
+	if workers := min(s.workerCount(), len(selected)); workers > 1 {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					process(i)
+				}
+			}()
+		}
+		for i := range selected {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	} else {
+		for i := range selected {
+			process(i)
+		}
+	}
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return obs, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

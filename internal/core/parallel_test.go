@@ -1,0 +1,215 @@
+package core_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"snorlax/internal/core"
+	"snorlax/internal/corpus"
+	"snorlax/internal/ir"
+	"snorlax/internal/pointsto"
+)
+
+// gatherReports reproduces one failure of the bug and collects want
+// successful triggered traces at the failure PC.
+func gatherReports(t *testing.T, bugID string, want int) (*corpus.Instance, *core.RunReport, []*core.RunReport) {
+	t.Helper()
+	bug := corpus.ByID(bugID)
+	if bug == nil {
+		t.Fatalf("unknown bug %s", bugID)
+	}
+	failInst := bug.Build(corpus.Variant{Failing: true})
+	okInst := bug.Build(corpus.Variant{Failing: false})
+	rep := core.NewClient(failInst.Mod).Run(1, ir.NoPC)
+	if !rep.Failed() {
+		t.Fatalf("%s: expected failure", bugID)
+	}
+	okClient := core.NewClient(okInst.Mod)
+	var oks []*core.RunReport
+	for seed := int64(1); len(oks) < want && seed < int64(want*8); seed++ {
+		r := okClient.Run(seed, rep.Failure.PC)
+		if !r.Failed() && r.Triggered {
+			oks = append(oks, r)
+		}
+	}
+	if len(oks) < want {
+		t.Fatalf("%s: gathered %d/%d successful traces", bugID, len(oks), want)
+	}
+	return failInst, rep, oks
+}
+
+// verdict strips the timing and counter fields that legitimately vary
+// between runs, leaving everything a diagnosis asserts about the bug.
+type verdict struct {
+	Best     interface{}
+	Unique   bool
+	Scores   interface{}
+	AnchorPC ir.PC
+	Counts   [6]int
+}
+
+func verdictOf(d *core.Diagnosis) verdict {
+	return verdict{
+		Best:     d.Best,
+		Unique:   d.Unique,
+		Scores:   d.Scores,
+		AnchorPC: d.AnchorPC,
+		Counts: [6]int{
+			d.Stats.TotalInstrs, d.Stats.ExecutedInstrs, d.Stats.Candidates,
+			d.Stats.Rank1Candidates, d.Stats.Patterns, d.Stats.SuccessTraces,
+		},
+	}
+}
+
+// TestParallelDiagnosisBitIdentical asserts the acceptance criterion:
+// the fan-out pipeline produces the same diagnosis as the serial path
+// for every pool size, with and without the analysis cache.
+func TestParallelDiagnosisBitIdentical(t *testing.T) {
+	failInst, rep, oks := gatherReports(t, "httpd-4", 12)
+
+	serial := core.NewServer(failInst.Mod)
+	serial.Workers = 1
+	serial.DisableCache = true
+	serial.MaxSuccessTraces = 12
+	want, err := serial.Diagnose(rep, oks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Stats.SuccessTraces != 12 {
+		t.Fatalf("serial path used %d success traces, want 12", want.Stats.SuccessTraces)
+	}
+
+	for _, workers := range []int{0, 2, 4, 16} {
+		srv := core.NewServer(failInst.Mod)
+		srv.Workers = workers
+		srv.MaxSuccessTraces = 12
+		for pass := 0; pass < 2; pass++ { // second pass hits the cache
+			got, err := srv.Diagnose(rep, oks)
+			if err != nil {
+				t.Fatalf("workers=%d pass=%d: %v", workers, pass, err)
+			}
+			if !reflect.DeepEqual(verdictOf(got), verdictOf(want)) {
+				t.Errorf("workers=%d pass=%d: diagnosis diverged from serial path\ngot  %+v\nwant %+v",
+					workers, pass, verdictOf(got), verdictOf(want))
+			}
+			if pass == 1 && !got.Stats.PointsToCacheHit {
+				t.Errorf("workers=%d: second diagnosis missed the analysis cache", workers)
+			}
+		}
+	}
+}
+
+// TestAnalysisCacheCounters checks hit/miss bookkeeping on the server
+// and in StageStats.
+func TestAnalysisCacheCounters(t *testing.T) {
+	failInst, rep, oks := gatherReports(t, "aget-1", 3)
+	srv := core.NewServer(failInst.Mod)
+
+	d1, err := srv.Diagnose(rep, oks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Stats.PointsToCacheHit {
+		t.Error("first diagnosis reported a cache hit")
+	}
+	if hits, misses := srv.CacheStats(); hits != 0 || misses != 1 {
+		t.Errorf("after first diagnosis: hits=%d misses=%d, want 0/1", hits, misses)
+	}
+
+	d2, err := srv.Diagnose(rep, oks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.Stats.PointsToCacheHit {
+		t.Error("second diagnosis missed the cache")
+	}
+	if hits, misses := srv.CacheStats(); hits != 1 || misses != 1 {
+		t.Errorf("after second diagnosis: hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	if d2.Stats.PointsToCacheHits != 1 || d2.Stats.PointsToCacheMisses != 1 {
+		t.Errorf("StageStats counters = %d/%d, want 1/1",
+			d2.Stats.PointsToCacheHits, d2.Stats.PointsToCacheMisses)
+	}
+
+	// A different failing run (different seed → possibly different
+	// executed scope) must never be served a wrong cached analysis:
+	// diagnoses still succeed and verdicts stay self-consistent.
+	srv.DisableCache = false
+	rep2 := core.NewClient(failInst.Mod).Run(2, ir.NoPC)
+	if rep2.Failed() {
+		if _, err := srv.Diagnose(rep2, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestConcurrentDiagnoseSharedServer drives one core.Server from many
+// goroutines at once — the network server's steady state. Run under
+// -race this exercises the cache lock and the shared-analysis lock.
+func TestConcurrentDiagnoseSharedServer(t *testing.T) {
+	failInst, rep, oks := gatherReports(t, "pbzip2-1", 5)
+	srv := core.NewServer(failInst.Mod)
+	srv.MaxSuccessTraces = 5
+
+	want, err := srv.Diagnose(rep, oks)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	results := make([]*core.Diagnosis, goroutines)
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g], errs[g] = srv.Diagnose(rep, oks)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if !reflect.DeepEqual(verdictOf(results[g]), verdictOf(want)) {
+			t.Errorf("goroutine %d: diagnosis diverged under concurrency", g)
+		}
+	}
+	if hits, _ := srv.CacheStats(); hits == 0 {
+		t.Error("no cache hits across concurrent diagnoses of one scope")
+	}
+}
+
+// TestScopeHashDeterministic pins the cache key's fingerprint
+// semantics: equality under reordering, inequality on any member
+// change, and the reserved nil sentinel.
+func TestScopeHashDeterministic(t *testing.T) {
+	a := pointsto.Scope{1: true, 2: true, 99: true}
+	b := pointsto.Scope{99: true, 2: true, 1: true}
+	if a.Hash() != b.Hash() {
+		t.Error("equal scopes hash differently")
+	}
+	c := pointsto.Scope{1: true, 2: true}
+	if a.Hash() == c.Hash() {
+		t.Error("subset scope collided (pathological for FNV mixing)")
+	}
+	if got := pointsto.Scope(nil).Hash(); got != 0 {
+		t.Errorf("nil scope hash = %d, want reserved 0", got)
+	}
+	if (pointsto.Scope{}).Hash() == 0 {
+		t.Error("empty scope collides with the nil sentinel")
+	}
+	// False entries are semantically absent (Scope.In ignores them).
+	d := pointsto.Scope{1: true, 2: true, 7: false}
+	if d.Hash() != c.Hash() {
+		t.Error("false entry changed the hash")
+	}
+	if !pointsto.EqualPCs(a.SortedPCs(), b.SortedPCs()) {
+		t.Error("EqualPCs rejects identical scopes")
+	}
+	if pointsto.EqualPCs(a.SortedPCs(), c.SortedPCs()) {
+		t.Error("EqualPCs accepts different scopes")
+	}
+}

@@ -1,0 +1,70 @@
+package pointsto
+
+import (
+	"sort"
+
+	"snorlax/internal/ir"
+)
+
+// SortedPCs returns the scope's member PCs in ascending order — the
+// canonical form used for scope equality and fingerprinting. A nil
+// (whole-program) scope returns nil.
+func (s Scope) SortedPCs() []ir.PC {
+	if s == nil {
+		return nil
+	}
+	pcs := make([]ir.PC, 0, len(s))
+	for pc, in := range s {
+		if in {
+			pcs = append(pcs, pc)
+		}
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	return pcs
+}
+
+// Hash returns a deterministic FNV-1a fingerprint of the scope's PC
+// set. Equal scopes always hash equal; callers using the hash as a
+// cache key must still compare SortedPCs on hit, since distinct
+// scopes can collide. A nil (whole-program) scope hashes to 0, which
+// no non-nil scope produces.
+func (s Scope) Hash() uint64 {
+	if s == nil {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	pcs := s.SortedPCs()
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(len(pcs)))
+	for _, pc := range pcs {
+		mix(uint64(pc))
+	}
+	if h == 0 {
+		h = 1 // keep 0 reserved for the whole-program scope
+	}
+	return h
+}
+
+// EqualPCs reports whether two canonical PC lists (as returned by
+// SortedPCs) denote the same scope.
+func EqualPCs(a, b []ir.PC) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

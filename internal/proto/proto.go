@@ -3,10 +3,12 @@
 // trace snapshots to an analysis server; the server arms trace
 // triggers for successful executions and returns diagnoses.
 //
-// Messages are gob-encoded over any net.Conn. The server is
-// stateless across connections but stateful within one: a connection
-// carries one failure, its successful traces, and one diagnosis
-// request.
+// Messages are gob-encoded over any net.Conn. Protocol state lives in
+// the connection — one failure, its successful traces, one diagnosis
+// request — while the shared core.Server carries the cross-connection
+// analysis cache. Each connection runs in its own goroutine; diagnoses
+// are bounded by a server-wide semaphore so a burst of clients queues
+// instead of oversubscribing the host.
 package proto
 
 import (
@@ -14,6 +16,10 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"snorlax/internal/core"
 	"snorlax/internal/ir"
@@ -22,7 +28,7 @@ import (
 
 // Request is a client→server message.
 type Request struct {
-	// Kind is "failure", "success" or "diagnose".
+	// Kind is "failure", "success", "diagnose" or "status".
 	Kind string
 	// Failure accompanies "failure" requests.
 	Failure *core.FailureReport
@@ -32,27 +38,123 @@ type Request struct {
 
 // Response is a server→client message.
 type Response struct {
-	// Kind is "armed", "ack", "diagnosis" or "error".
+	// Kind is "armed", "ack", "diagnosis", "status" or "error".
 	Kind string
 	// TriggerPC tells the client where to snapshot successful
 	// executions ("armed" responses).
 	TriggerPC ir.PC
 	// Diagnosis accompanies "diagnosis" responses.
 	Diagnosis *core.Diagnosis
+	// Status accompanies "status" responses.
+	Status *ServerStatus
 	// Err describes "error" responses.
 	Err string
+}
+
+// ServerStatus is the server's concurrency and pipeline state — the
+// operational counters behind the queue-depth and cache questions an
+// operator asks of a loaded diagnosis server.
+type ServerStatus struct {
+	// OpenConns counts currently connected clients.
+	OpenConns int64
+	// ActiveDiagnoses counts diagnoses running right now.
+	ActiveDiagnoses int64
+	// QueuedDiagnoses counts diagnoses waiting on the semaphore.
+	QueuedDiagnoses int64
+	// CompletedDiagnoses and FailedDiagnoses are cumulative.
+	CompletedDiagnoses uint64
+	FailedDiagnoses    uint64
+	// MaxConcurrent is the effective diagnosis semaphore width.
+	MaxConcurrent int
+	// Workers is the core server's success-trace pool size.
+	Workers int
+	// CacheHits and CacheMisses are the core server's cumulative
+	// points-to cache counters.
+	CacheHits, CacheMisses uint64
+	// DiagnoseTime is cumulative wall time spent inside Diagnose.
+	DiagnoseTime time.Duration
 }
 
 // Server serves diagnosis requests for one module.
 type Server struct {
 	Core *core.Server
+	// MaxConcurrent bounds simultaneous Diagnose calls across all
+	// connections; 0 means runtime.GOMAXPROCS(0). Further requests
+	// queue (and are counted as queued in the status response).
+	MaxConcurrent int
+
+	once sync.Once
+	sem  chan struct{}
+
+	conns     atomic.Int64
+	active    atomic.Int64
+	queued    atomic.Int64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	// diagnoseNS accumulates wall time spent inside core Diagnose.
+	diagnoseNS atomic.Int64
 }
 
 // NewServer wraps a core analysis server.
 func NewServer(c *core.Server) *Server { return &Server{Core: c} }
 
+func (s *Server) init() {
+	s.once.Do(func() {
+		n := s.MaxConcurrent
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		s.MaxConcurrent = n
+		s.sem = make(chan struct{}, n)
+	})
+}
+
+// diagnose runs one bounded diagnosis, maintaining the queue/active
+// counters the status response reports.
+func (s *Server) diagnose(failing *core.RunReport, successes []*core.RunReport) (*core.Diagnosis, error) {
+	s.init()
+	s.queued.Add(1)
+	s.sem <- struct{}{}
+	s.queued.Add(-1)
+	s.active.Add(1)
+	start := time.Now()
+	d, err := s.Core.Diagnose(failing, successes)
+	s.diagnoseNS.Add(int64(time.Since(start)))
+	s.active.Add(-1)
+	<-s.sem
+	if err != nil {
+		s.failed.Add(1)
+	} else {
+		s.completed.Add(1)
+	}
+	return d, err
+}
+
+// Status snapshots the server's counters.
+func (s *Server) Status() ServerStatus {
+	s.init()
+	hits, misses := s.Core.CacheStats()
+	workers := s.Core.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return ServerStatus{
+		OpenConns:          s.conns.Load(),
+		ActiveDiagnoses:    s.active.Load(),
+		QueuedDiagnoses:    s.queued.Load(),
+		CompletedDiagnoses: s.completed.Load(),
+		FailedDiagnoses:    s.failed.Load(),
+		MaxConcurrent:      s.MaxConcurrent,
+		Workers:            workers,
+		CacheHits:          hits,
+		CacheMisses:        misses,
+		DiagnoseTime:       time.Duration(s.diagnoseNS.Load()),
+	}
+}
+
 // Serve accepts connections until the listener closes.
 func (s *Server) Serve(ln net.Listener) error {
+	s.init()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -66,6 +168,8 @@ func (s *Server) Serve(ln net.Listener) error {
 }
 
 func (s *Server) handle(conn net.Conn) {
+	s.conns.Add(1)
+	defer s.conns.Add(-1)
 	defer conn.Close()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
@@ -101,12 +205,17 @@ func (s *Server) handle(conn net.Conn) {
 				reply(Response{Kind: "error", Err: "diagnose before failure report"})
 				return
 			}
-			d, err := s.Core.Diagnose(failing, successes)
+			d, err := s.diagnose(failing, successes)
 			if err != nil {
 				reply(Response{Kind: "error", Err: err.Error()})
 				return
 			}
 			if !reply(Response{Kind: "diagnosis", Diagnosis: d}) {
+				return
+			}
+		case "status":
+			st := s.Status()
+			if !reply(Response{Kind: "status", Status: &st}) {
 				return
 			}
 		default:
@@ -191,4 +300,16 @@ func (c *Conn) RequestDiagnosis() (*core.Diagnosis, error) {
 		return nil, fmt.Errorf("proto: unexpected response %q", resp.Kind)
 	}
 	return resp.Diagnosis, nil
+}
+
+// Status asks the server for its concurrency and cache counters.
+func (c *Conn) Status() (ServerStatus, error) {
+	resp, err := c.roundTrip(Request{Kind: "status"})
+	if err != nil {
+		return ServerStatus{}, err
+	}
+	if resp.Kind != "status" || resp.Status == nil {
+		return ServerStatus{}, fmt.Errorf("proto: unexpected response %q", resp.Kind)
+	}
+	return *resp.Status, nil
 }

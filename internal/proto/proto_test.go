@@ -13,6 +13,11 @@ import (
 
 // startServer runs a protocol server on a loopback listener.
 func startServer(t *testing.T, mod *ir.Module) string {
+	addr, _ := startServerHandle(t, mod)
+	return addr
+}
+
+func startServerHandle(t *testing.T, mod *ir.Module) (string, *Server) {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -21,7 +26,7 @@ func startServer(t *testing.T, mod *ir.Module) string {
 	t.Cleanup(func() { ln.Close() })
 	srv := NewServer(core.NewServer(mod))
 	go srv.Serve(ln)
-	return ln.Addr().String()
+	return ln.Addr().String(), srv
 }
 
 func TestEndToEndOverTCP(t *testing.T) {
@@ -148,6 +153,144 @@ func TestPipeTransport(t *testing.T) {
 	// (statistics are just weaker).
 	if len(d.Scores) == 0 {
 		t.Error("no scores without success traces")
+	}
+}
+
+// TestConcurrentClientsFullFlow drives N simultaneous clients through
+// the complete protocol — failure upload, success uploads, diagnosis —
+// against one shared server. Every client ships the same reproduction,
+// so every diagnosis must agree; run under -race this covers the
+// semaphore, the counters and the shared analysis cache.
+func TestConcurrentClientsFullFlow(t *testing.T) {
+	bug := corpus.ByID("pbzip2-1")
+	failInst := bug.Build(corpus.Variant{Failing: true})
+	okInst := bug.Build(corpus.Variant{Failing: false})
+	addr, srv := startServerHandle(t, failInst.Mod)
+
+	// Reproduce once; all clients upload identical reports so the
+	// diagnoses must be identical too.
+	rep := core.NewClient(failInst.Mod).Run(1, ir.NoPC)
+	if !rep.Failed() {
+		t.Fatal("expected failure")
+	}
+	okClient := core.NewClient(okInst.Mod)
+	var oks []*core.RunReport
+	for seed := int64(1); len(oks) < 5 && seed < 40; seed++ {
+		okRep := okClient.Run(seed, rep.Failure.PC)
+		if !okRep.Failed() && okRep.Triggered {
+			oks = append(oks, okRep)
+		}
+	}
+	if len(oks) < 5 {
+		t.Fatalf("gathered %d/5 successful traces", len(oks))
+	}
+
+	const clients = 6
+	keys := make(chan string, clients)
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		go func() {
+			conn, err := Dial("tcp", addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			if _, err := conn.ReportFailure(rep.Failure, rep.Snapshot); err != nil {
+				errs <- err
+				return
+			}
+			for _, ok := range oks {
+				if err := conn.SendSuccess(ok.Snapshot); err != nil {
+					errs <- err
+					return
+				}
+			}
+			d, err := conn.RequestDiagnosis()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if d.Best.Pattern == nil {
+				errs <- fmt.Errorf("empty diagnosis")
+				return
+			}
+			keys <- d.Best.Pattern.Key()
+			errs <- nil
+		}()
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := <-keys
+	for c := 1; c < clients; c++ {
+		if k := <-keys; k != first {
+			t.Errorf("client diagnoses disagree: %s vs %s", k, first)
+		}
+	}
+
+	st := srv.Status()
+	if st.CompletedDiagnoses != clients {
+		t.Errorf("completed = %d, want %d", st.CompletedDiagnoses, clients)
+	}
+	if st.ActiveDiagnoses != 0 || st.QueuedDiagnoses != 0 {
+		t.Errorf("active/queued = %d/%d after drain, want 0/0",
+			st.ActiveDiagnoses, st.QueuedDiagnoses)
+	}
+	if st.CacheHits+st.CacheMisses != clients {
+		t.Errorf("cache hits+misses = %d, want %d", st.CacheHits+st.CacheMisses, clients)
+	}
+	if st.CacheHits == 0 {
+		t.Error("identical uploads produced no cache hits")
+	}
+	if st.DiagnoseTime <= 0 {
+		t.Error("no diagnosis wall time recorded")
+	}
+}
+
+// TestStatusOverWire exercises the "status" request end to end.
+func TestStatusOverWire(t *testing.T) {
+	inst := corpus.ByID("aget-1").Build(corpus.Variant{Failing: true})
+	addr, _ := startServerHandle(t, inst.Mod)
+	conn, err := Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	st, err := conn.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OpenConns != 1 {
+		t.Errorf("open conns = %d, want 1", st.OpenConns)
+	}
+	if st.MaxConcurrent < 1 || st.Workers < 1 {
+		t.Errorf("effective knobs = %d/%d, want >= 1", st.MaxConcurrent, st.Workers)
+	}
+	if st.CompletedDiagnoses != 0 {
+		t.Errorf("completed = %d before any diagnosis", st.CompletedDiagnoses)
+	}
+
+	// Status is valid mid-conversation too (after a failure upload).
+	rep := core.NewClient(inst.Mod).Run(1, ir.NoPC)
+	if !rep.Failed() {
+		t.Fatal("expected failure")
+	}
+	if _, err := conn.ReportFailure(rep.Failure, rep.Snapshot); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.RequestDiagnosis(); err != nil {
+		t.Fatal(err)
+	}
+	st, err = conn.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CompletedDiagnoses != 1 {
+		t.Errorf("completed = %d, want 1", st.CompletedDiagnoses)
 	}
 }
 

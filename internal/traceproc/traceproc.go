@@ -45,7 +45,11 @@ type Trace struct {
 // executed-instruction scope and the merged dynamic trace.
 func Process(traces []*pt.ThreadTrace) (pointsto.Scope, *Trace) {
 	scope := make(pointsto.Scope)
-	var events []DynEvent
+	total := 0
+	for _, tt := range traces {
+		total += len(tt.Instrs)
+	}
+	events := make([]DynEvent, 0, total)
 	for _, tt := range traces {
 		for seq, di := range tt.Instrs {
 			scope[di.PC] = true

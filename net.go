@@ -2,17 +2,61 @@ package snorlax
 
 import (
 	"net"
+	"time"
 
 	"snorlax/internal/core"
 	"snorlax/internal/proto"
 )
 
-// Serve runs a diagnosis server for prog on the listener, blocking
-// until the listener closes. Production clients connect with Dial,
-// upload failures and successful traces, and request diagnoses — the
-// deployment model of the paper's Figure 2.
+// ServeConfig tunes the diagnosis server's concurrency.
+type ServeConfig struct {
+	// Workers bounds the per-diagnosis success-trace decode/observe
+	// pool; 0 uses runtime.GOMAXPROCS(0), 1 forces the serial path.
+	// Any setting produces bit-identical diagnoses.
+	Workers int
+	// MaxConcurrentDiagnoses bounds simultaneous diagnoses across all
+	// client connections; 0 uses runtime.GOMAXPROCS(0). Excess
+	// requests queue rather than oversubscribe the host.
+	MaxConcurrentDiagnoses int
+}
+
+// Serve runs a diagnosis server for prog on the listener with default
+// concurrency, blocking until the listener closes. Production clients
+// connect with Dial, upload failures and successful traces, and
+// request diagnoses — the deployment model of the paper's Figure 2.
 func Serve(ln net.Listener, prog *Program) error {
-	return proto.NewServer(core.NewServer(prog.mod)).Serve(ln)
+	return ServeConfigured(ln, prog, ServeConfig{})
+}
+
+// ServeConfigured is Serve with explicit concurrency knobs.
+func ServeConfigured(ln net.Listener, prog *Program, cfg ServeConfig) error {
+	cs := core.NewServer(prog.mod)
+	cs.Workers = cfg.Workers
+	ps := proto.NewServer(cs)
+	ps.MaxConcurrent = cfg.MaxConcurrentDiagnoses
+	return ps.Serve(ln)
+}
+
+// ServerStatus reports a diagnosis server's concurrency and cache
+// state, as returned by RemoteDiagnoser.ServerStatus.
+type ServerStatus struct {
+	// OpenConns counts currently connected clients.
+	OpenConns int64
+	// ActiveDiagnoses and QueuedDiagnoses describe the diagnosis
+	// semaphore right now; CompletedDiagnoses and FailedDiagnoses are
+	// cumulative.
+	ActiveDiagnoses    int64
+	QueuedDiagnoses    int64
+	CompletedDiagnoses uint64
+	FailedDiagnoses    uint64
+	// MaxConcurrent and Workers echo the server's effective knobs.
+	MaxConcurrent int
+	Workers       int
+	// CacheHits and CacheMisses count points-to analysis cache
+	// outcomes across all diagnoses.
+	CacheHits, CacheMisses uint64
+	// DiagnoseTime is cumulative wall time spent diagnosing.
+	DiagnoseTime time.Duration
 }
 
 // RemoteDiagnoser is a client connection to a diagnosis server.
@@ -51,4 +95,24 @@ func (r *RemoteDiagnoser) Diagnose() (*Report, error) {
 		return nil, err
 	}
 	return newReport(r.prog, d), nil
+}
+
+// ServerStatus asks the server for its concurrency and cache state.
+func (r *RemoteDiagnoser) ServerStatus() (ServerStatus, error) {
+	st, err := r.conn.Status()
+	if err != nil {
+		return ServerStatus{}, err
+	}
+	return ServerStatus{
+		OpenConns:          st.OpenConns,
+		ActiveDiagnoses:    st.ActiveDiagnoses,
+		QueuedDiagnoses:    st.QueuedDiagnoses,
+		CompletedDiagnoses: st.CompletedDiagnoses,
+		FailedDiagnoses:    st.FailedDiagnoses,
+		MaxConcurrent:      st.MaxConcurrent,
+		Workers:            st.Workers,
+		CacheHits:          st.CacheHits,
+		CacheMisses:        st.CacheMisses,
+		DiagnoseTime:       st.DiagnoseTime,
+	}, nil
 }

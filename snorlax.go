@@ -109,12 +109,30 @@ const NoPC = ir.NoPC
 type RunOptions struct {
 	// Seed drives scheduling; same seed, same execution.
 	Seed int64
-	// TriggerPC, when not NoPC (zero value runs untriggered), arms a
-	// trace snapshot at that instruction — how successful production
-	// executions are captured at a previous failure's location.
+	// TriggerPC arms a trace snapshot at that instruction — how
+	// successful production executions are captured at a previous
+	// failure's location.
+	//
+	// Caveat: PC 0 is a real instruction, but the zero value of
+	// RunOptions must mean "untriggered", so TriggerPC == 0 is
+	// treated as no trigger unless HasTrigger is set. Use WithTrigger
+	// to arm a trigger at any PC, including 0.
 	TriggerPC PC
+	// HasTrigger makes TriggerPC authoritative: when set, the run
+	// triggers at TriggerPC even if it is 0 (and runs untriggered
+	// only for TriggerPC == NoPC).
+	HasTrigger bool
 	// MaxSteps bounds the execution (default 20M instructions).
 	MaxSteps int64
+}
+
+// WithTrigger returns a copy of the options armed to snapshot at pc.
+// Unlike assigning TriggerPC directly, it is valid at every PC,
+// including PC 0 (the module's first instruction).
+func (o RunOptions) WithTrigger(pc PC) RunOptions {
+	o.TriggerPC = pc
+	o.HasTrigger = true
+	return o
 }
 
 // Execution is one traced run.
@@ -127,9 +145,12 @@ type Execution struct {
 func (p *Program) Run(opts RunOptions) *Execution {
 	client := core.NewClient(p.mod)
 	client.VM = vm.Config{MaxSteps: opts.MaxSteps}
-	trigger := opts.TriggerPC
-	if trigger == 0 {
-		trigger = ir.NoPC
+	trigger := ir.NoPC
+	switch {
+	case opts.HasTrigger:
+		trigger = opts.TriggerPC
+	case opts.TriggerPC != 0 && opts.TriggerPC != ir.NoPC:
+		trigger = opts.TriggerPC
 	}
 	rep := client.Run(opts.Seed, trigger)
 	return &Execution{prog: p, report: rep}

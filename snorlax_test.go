@@ -198,6 +198,107 @@ func TestRemoteDiagnosisOverTCP(t *testing.T) {
 	}
 }
 
+// TestTriggerAtPCZero is the regression test for the RunOptions
+// zero-value footgun: PC 0 is a real instruction, and WithTrigger (or
+// HasTrigger) must be able to arm a snapshot there, while the legacy
+// zero value keeps meaning "untriggered".
+func TestTriggerAtPCZero(t *testing.T) {
+	p := snorlax.MustParseProgram(`
+module t0
+global x: int
+
+func main() {
+entry:
+  %v = load @x
+  store %v, @x
+  ret
+}
+`)
+	// The module's first instruction is PC 0 and main executes it.
+	plain := p.Run(snorlax.RunOptions{Seed: 1})
+	if plain.Failed() {
+		t.Fatal(plain.FailureMessage())
+	}
+	if plain.Triggered() || plain.Snapshot() != nil {
+		t.Error("zero-value RunOptions armed a trigger")
+	}
+
+	legacy := p.Run(snorlax.RunOptions{Seed: 1, TriggerPC: 0})
+	if legacy.Triggered() {
+		t.Error("TriggerPC: 0 without HasTrigger armed a trigger (breaks zero-value compatibility)")
+	}
+
+	armed := p.Run(snorlax.RunOptions{Seed: 1}.WithTrigger(0))
+	if !armed.Triggered() {
+		t.Fatal("WithTrigger(0) did not fire at PC 0")
+	}
+	if armed.Snapshot() == nil {
+		t.Error("trigger at PC 0 captured no snapshot")
+	}
+
+	explicit := p.Run(snorlax.RunOptions{Seed: 1, TriggerPC: 0, HasTrigger: true})
+	if !explicit.Triggered() {
+		t.Error("HasTrigger with TriggerPC 0 did not fire")
+	}
+
+	none := p.Run(snorlax.RunOptions{Seed: 1, TriggerPC: snorlax.NoPC, HasTrigger: true})
+	if none.Triggered() {
+		t.Error("HasTrigger with NoPC armed a trigger")
+	}
+
+	// Non-zero PCs keep working through the plain field.
+	nonzero := p.Run(snorlax.RunOptions{Seed: 1, TriggerPC: 1})
+	if !nonzero.Triggered() {
+		t.Error("TriggerPC: 1 did not fire")
+	}
+}
+
+// TestServeConfiguredStatus covers the public concurrency knobs and
+// the server status round trip.
+func TestServeConfiguredStatus(t *testing.T) {
+	failProg := uafProgram(true)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go snorlax.ServeConfigured(ln, failProg, snorlax.ServeConfig{
+		Workers:                2,
+		MaxConcurrentDiagnoses: 3,
+	})
+
+	rd, err := snorlax.Dial("tcp", ln.Addr().String(), failProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+
+	failing := failProg.Run(snorlax.RunOptions{Seed: 1})
+	if _, err := rd.ReportFailure(failing); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Diagnose(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := rd.ServerStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 2 || st.MaxConcurrent != 3 {
+		t.Errorf("knobs = workers %d / max %d, want 2/3", st.Workers, st.MaxConcurrent)
+	}
+	if st.CompletedDiagnoses != 1 {
+		t.Errorf("completed = %d, want 1", st.CompletedDiagnoses)
+	}
+	if st.CacheMisses != 1 {
+		t.Errorf("cache misses = %d, want 1", st.CacheMisses)
+	}
+	if st.OpenConns != 1 {
+		t.Errorf("open conns = %d, want 1", st.OpenConns)
+	}
+}
+
 func TestBugKindStrings(t *testing.T) {
 	if snorlax.Deadlock.String() != "deadlock" ||
 		snorlax.OrderViolation.String() != "order violation" ||

@@ -11,10 +11,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"snorlax/internal/core"
 	"snorlax/internal/corpus"
@@ -30,6 +34,13 @@ var (
 	remote  = flag.String("remote", "", "diagnose -bug against a remote analysis server at this address")
 	workers = flag.Int("workers", 0, "success-trace pool size for -serve (0 = GOMAXPROCS)")
 	maxDiag = flag.Int("max-diagnoses", 0, "concurrent diagnosis bound for -serve (0 = GOMAXPROCS)")
+
+	idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "-serve: drop connections idle this long (0 = never)")
+	writeTimeout = flag.Duration("write-timeout", 30*time.Second, "-serve: per-reply write deadline (0 = none)")
+	maxSnapshot  = flag.Int64("max-snapshot-bytes", 0, "-serve: per-upload snapshot byte cap (0 = 64MB default, <0 = unlimited)")
+	maxSucc      = flag.Int("max-successes", 0, "-serve: success traces accepted per connection (0 = 1024 default, <0 = unlimited)")
+	drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "-serve: how long SIGINT/SIGTERM shutdown waits for in-flight work")
+	retries      = flag.Int("retries", 8, "-remote: attempts per operation before giving up")
 )
 
 func main() {
@@ -83,7 +94,8 @@ func lookup(id string) *corpus.Bug {
 }
 
 // runServer hosts the analysis side of Figure 2 for one bug's module;
-// clients connect with -remote.
+// clients connect with -remote. SIGINT/SIGTERM drain gracefully:
+// in-flight diagnoses finish (up to -drain-timeout) before exit.
 func runServer(addr string, b *corpus.Bug) {
 	inst := b.Build(corpus.Variant{Failing: true})
 	ln, err := net.Listen("tcp", addr)
@@ -96,24 +108,43 @@ func runServer(addr string, b *corpus.Bug) {
 	cs.Workers = *workers
 	ps := proto.NewServer(cs)
 	ps.MaxConcurrent = *maxDiag
+	ps.IdleTimeout = *idleTimeout
+	ps.WriteTimeout = *writeTimeout
+	ps.MaxSnapshotBytes = *maxSnapshot
+	ps.MaxSuccessesPerConn = *maxSucc
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s := <-sig
+		fmt.Printf("%s: draining (up to %s)...\n", s, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := ps.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+		}
+		st := ps.Status()
+		fmt.Printf("served %d diagnoses (%d failed, %d dropped traces, %d panics recovered)\n",
+			st.CompletedDiagnoses, st.FailedDiagnoses, st.DroppedSuccesses, st.PanicsRecovered)
+	}()
 	if err := ps.Serve(ln); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	<-done
 }
 
 // remoteDiagnose plays the production-client side: reproduce the
 // failure locally, ship the trace to the server, stream successful
-// traces, and print the server's verdict.
+// traces, and print the server's verdict. The client retries through
+// transport faults, reconnecting and replaying the session.
 func remoteDiagnose(addr string, b *corpus.Bug) bool {
 	failInst := b.Build(corpus.Variant{Failing: true})
 	okInst := b.Build(corpus.Variant{Failing: false})
 
-	conn, err := proto.Dial("tcp", addr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return false
-	}
+	conn := proto.DialRetrying("tcp", addr, proto.RetryConfig{MaxAttempts: *retries})
 	defer conn.Close()
 
 	failClient := core.NewClient(failInst.Mod)
@@ -154,6 +185,12 @@ func remoteDiagnose(addr string, b *corpus.Bug) bool {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return false
+	}
+	if n := conn.Retries(); n > 0 {
+		fmt.Printf("recovered from %d transport faults\n", n)
+	}
+	if d.Stats.DroppedSuccesses > 0 {
+		fmt.Printf("server dropped %d corrupt success traces\n", d.Stats.DroppedSuccesses)
 	}
 	fmt.Print(indent(core.Format(failInst.Mod, d)))
 	truth := core.Truth{Kind: failInst.TruthKind, Sub: failInst.TruthSub,

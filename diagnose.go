@@ -73,6 +73,12 @@ type Report struct {
 	// ScopeReduction is how much trace-based scope restriction shrank
 	// the analyzed instruction set.
 	ScopeReduction float64
+	// SuccessTraces counts the successful traces the verdict is based
+	// on; DroppedSuccesses counts uploads skipped as undecodable
+	// (degraded mode). A nonzero drop count with a healthy
+	// SuccessTraces means corruption was absorbed, not ignored.
+	SuccessTraces    int
+	DroppedSuccesses int
 	// AnalysisTime describes the server-side cost.
 	AnalysisTime string
 
@@ -128,6 +134,8 @@ func newReport(prog *Program, diag *core.Diagnosis) *Report {
 		}
 		r.Alternatives = append(r.Alternatives, fmt.Sprintf("%s (F1=%.2f)", s.Pattern.Key(), s.F1))
 	}
+	r.SuccessTraces = diag.Stats.SuccessTraces
+	r.DroppedSuccesses = diag.Stats.DroppedSuccesses
 	if diag.Stats.ExecutedInstrs > 0 {
 		r.ScopeReduction = float64(diag.Stats.TotalInstrs) / float64(diag.Stats.ExecutedInstrs)
 	}

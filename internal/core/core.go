@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"snorlax/internal/ir"
@@ -140,6 +141,10 @@ type StageStats struct {
 	// SuccessTraces is how many successful traces fed statistical
 	// diagnosis (step 7).
 	SuccessTraces int
+	// DroppedSuccesses is how many uploaded success traces were
+	// undecodable (corrupt rings, decode panics) and skipped by
+	// degraded-mode diagnosis; the statistics cover the survivors.
+	DroppedSuccesses int
 	// PointsToTime is the wall-clock cost of constraint generation
 	// and solving on this host (near zero on a cache hit).
 	PointsToTime time.Duration
@@ -217,6 +222,10 @@ type Server struct {
 	analyses    map[analysisKey]*cachedAnalysis
 	cacheHits   uint64
 	cacheMisses uint64
+
+	// droppedSuccesses counts success traces skipped by degraded-mode
+	// diagnosis across the server's lifetime.
+	droppedSuccesses atomic.Uint64
 }
 
 // NewServer returns a Server with the paper's defaults.
@@ -333,9 +342,9 @@ func (s *Server) Diagnose(failing *RunReport, successes []*RunReport) (*Diagnosi
 	if limit <= 0 {
 		limit = 10
 	}
-	okObs, err := s.observeSuccesses(pats, successes, limit)
-	if err != nil {
-		return nil, err
+	okObs, droppedOK := s.observeSuccesses(pats, successes, limit)
+	if droppedOK > 0 {
+		s.droppedSuccesses.Add(uint64(droppedOK))
 	}
 	obs := append([]statdiag.Observation{s.observe(pats, failTrace, true)}, okObs...)
 	scores := statdiag.Rank(pats, obs)
@@ -357,6 +366,7 @@ func (s *Server) Diagnose(failing *RunReport, successes []*RunReport) (*Diagnosi
 			Patterns:            len(pats),
 			DynEvents:           len(failTrace.Events),
 			SuccessTraces:       len(okObs),
+			DroppedSuccesses:    droppedOK,
 			PointsToTime:        ptTime,
 			DecodeTime:          decodeTime,
 			RankTime:            rankTime,
@@ -370,6 +380,12 @@ func (s *Server) Diagnose(failing *RunReport, successes []*RunReport) (*Diagnosi
 		},
 	}
 	return d, nil
+}
+
+// DroppedSuccessCount returns the cumulative number of success traces
+// skipped by degraded-mode diagnosis since the server was created.
+func (s *Server) DroppedSuccessCount() uint64 {
+	return s.droppedSuccesses.Load()
 }
 
 // deepAnchors walks corrupt-value provenance through memory: starting

@@ -1,0 +1,136 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"snorlax/internal/core"
+	"snorlax/internal/pt"
+)
+
+// corruptSnapshot returns a deep copy of snap with every thread's ring
+// bytes overwritten by 0xFF — bytes that decode as no known packet, so
+// the trace is guaranteed undecodable.
+func corruptSnapshot(snap *pt.Snapshot) *pt.Snapshot {
+	out := &pt.Snapshot{Threads: make(map[int]pt.SnapshotThread, len(snap.Threads)), Time: snap.Time}
+	for tid, th := range snap.Threads {
+		data := make([]byte, len(th.Data))
+		for i := range data {
+			data[i] = 0xFF
+		}
+		out.Threads[tid] = pt.SnapshotThread{Data: data, Wrapped: th.Wrapped}
+	}
+	return out
+}
+
+// flipBytes returns a deep copy of snap with one byte flipped in the
+// middle of each thread's ring — the subtle corruption case, which may
+// either fail decoding or silently perturb one trace.
+func flipBytes(snap *pt.Snapshot) *pt.Snapshot {
+	out := &pt.Snapshot{Threads: make(map[int]pt.SnapshotThread, len(snap.Threads)), Time: snap.Time}
+	for tid, th := range snap.Threads {
+		data := append([]byte(nil), th.Data...)
+		if len(data) > 0 {
+			data[len(data)/2] ^= 0xFF
+		}
+		out.Threads[tid] = pt.SnapshotThread{Data: data, Wrapped: th.Wrapped}
+	}
+	return out
+}
+
+// TestDiagnoseSkipsCorruptSuccessTraces is the degraded-mode core
+// guarantee: corrupt success snapshots are dropped and counted, later
+// uploads take their place, and the diagnosis still matches both the
+// ground truth and the clean-corpus verdict.
+func TestDiagnoseSkipsCorruptSuccessTraces(t *testing.T) {
+	for _, bugID := range []string{"pbzip2-1", "aget-1"} {
+		t.Run(bugID, func(t *testing.T) {
+			failInst, rep, oks := gatherReports(t, bugID, 12)
+
+			clean := core.NewServer(failInst.Mod)
+			clean.MaxSuccessTraces = 10
+			want, err := clean.Diagnose(rep, oks[:10])
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Corrupt uploads 2 and 5; the wave replacement must pull
+			// in uploads 10 and 11 so the diagnosis still sees 10
+			// clean traces — but a *different* set than the clean run,
+			// so compare against a baseline over the same survivors.
+			survivors := append(append(append([]*core.RunReport{}, oks[:2]...), oks[3:5]...), oks[6:12]...)
+			base := core.NewServer(failInst.Mod)
+			base.MaxSuccessTraces = 10
+			wantDegraded, err := base.Diagnose(rep, survivors)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			mixed := append([]*core.RunReport{}, oks...)
+			mixed[2] = &core.RunReport{Snapshot: corruptSnapshot(oks[2].Snapshot)}
+			mixed[5] = &core.RunReport{Snapshot: corruptSnapshot(oks[5].Snapshot)}
+			srv := core.NewServer(failInst.Mod)
+			srv.MaxSuccessTraces = 10
+			got, err := srv.Diagnose(rep, mixed)
+			if err != nil {
+				t.Fatalf("degraded diagnosis failed: %v", err)
+			}
+			if got.Stats.DroppedSuccesses != 2 {
+				t.Errorf("DroppedSuccesses = %d, want 2", got.Stats.DroppedSuccesses)
+			}
+			if got.Stats.SuccessTraces != 10 {
+				t.Errorf("SuccessTraces = %d, want 10 (dropped traces replaced by later uploads)", got.Stats.SuccessTraces)
+			}
+			if srv.DroppedSuccessCount() != 2 {
+				t.Errorf("cumulative dropped = %d, want 2", srv.DroppedSuccessCount())
+			}
+			if !reflect.DeepEqual(verdictOf(got), verdictOf(wantDegraded)) {
+				t.Errorf("degraded diagnosis diverged from clean diagnosis over the surviving traces\ngot  %+v\nwant %+v",
+					verdictOf(got), verdictOf(wantDegraded))
+			}
+
+			truth := core.Truth{Kind: failInst.TruthKind, Sub: failInst.TruthSub,
+				PCs: failInst.TruthPCs, Absence: failInst.TruthAbsence}
+			if !core.MatchesTruth(got.Best.Pattern, truth) {
+				t.Errorf("degraded diagnosis %s does not match ground truth", got.Best.Pattern.Key())
+			}
+			if !core.MatchesTruth(want.Best.Pattern, truth) {
+				t.Errorf("clean diagnosis does not match ground truth")
+			}
+		})
+	}
+}
+
+// TestDiagnoseToleratesBitFlips flips single bytes inside every
+// success trace: whatever each flip does (decode error, decode panic,
+// or a silently perturbed trace), Diagnose must not fail, and dropped
+// plus surviving traces must account for every upload.
+func TestDiagnoseToleratesBitFlips(t *testing.T) {
+	failInst, rep, oks := gatherReports(t, "httpd-4", 8)
+	mixed := make([]*core.RunReport, len(oks))
+	for i, ok := range oks {
+		mixed[i] = &core.RunReport{Snapshot: flipBytes(ok.Snapshot)}
+	}
+	srv := core.NewServer(failInst.Mod)
+	srv.MaxSuccessTraces = 8
+	d, err := srv.Diagnose(rep, mixed)
+	if err != nil {
+		t.Fatalf("bit-flipped successes aborted the diagnosis: %v", err)
+	}
+	if d.Stats.SuccessTraces+d.Stats.DroppedSuccesses != len(oks) {
+		t.Errorf("survivors %d + dropped %d != uploads %d",
+			d.Stats.SuccessTraces, d.Stats.DroppedSuccesses, len(oks))
+	}
+}
+
+// TestDiagnoseStillFailsOnUnusableFailingTrace pins the one case that
+// must remain an error: the failing trace itself is corrupt, so there
+// is nothing to diagnose.
+func TestDiagnoseStillFailsOnUnusableFailingTrace(t *testing.T) {
+	failInst, rep, oks := gatherReports(t, "aget-1", 2)
+	bad := &core.RunReport{Failure: rep.Failure, Snapshot: corruptSnapshot(rep.Snapshot)}
+	srv := core.NewServer(failInst.Mod)
+	if _, err := srv.Diagnose(bad, oks); err == nil {
+		t.Fatal("corrupt failing trace did not error")
+	}
+}

@@ -19,66 +19,91 @@ func (s *Server) workerCount() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// observeSuccesses decodes, trace-processes and observes up to limit
-// successful traces (the fan-out half of step 7). Each upload is
-// independent — one trace never informs another's decode — so the
-// work spreads across a bounded worker pool; results are committed in
-// upload order, which keeps diagnoses bit-identical to the serial
-// path regardless of pool size. Errors also mirror the serial path:
-// the first eligible trace (in upload order) that fails to decode
-// determines the returned error.
-func (s *Server) observeSuccesses(pats []*pattern.Pattern, successes []*RunReport, limit int) ([]statdiag.Observation, error) {
-	selected := make([]*RunReport, 0, limit)
+// observeSuccesses decodes, trace-processes and observes successful
+// traces (the fan-out half of step 7) until limit observations are
+// gathered or the uploads run out.
+//
+// In-production trace collection is lossy: a snapshot whose ring
+// bytes were corrupted on the client, in flight, or in storage fails
+// to decode, and a server that aborted the whole diagnosis on the
+// first such trace would let one poisoned upload mask a diagnosable
+// failure. Undecodable (or decode-panicking) traces are instead
+// dropped and counted, later uploads take their place, and the F1
+// statistic (§4.7) is computed over the surviving observations.
+//
+// Each upload is independent — one trace never informs another's
+// decode — so each wave spreads across a bounded worker pool; results
+// commit in upload order, which keeps diagnoses bit-identical to the
+// serial path regardless of pool size, and the wave structure means a
+// clean corpus never decodes more than limit snapshots.
+func (s *Server) observeSuccesses(pats []*pattern.Pattern, successes []*RunReport, limit int) (obs []statdiag.Observation, dropped int) {
+	eligible := make([]*RunReport, 0, len(successes))
 	for _, ok := range successes {
-		if len(selected) >= limit {
-			break
+		if ok.Snapshot != nil {
+			eligible = append(eligible, ok)
 		}
-		if ok.Snapshot == nil {
-			continue
-		}
-		selected = append(selected, ok)
 	}
-	obs := make([]statdiag.Observation, len(selected))
-	errs := make([]error, len(selected))
-	process := func(i int) {
-		okTraces, err := pt.DecodeSnapshot(s.Mod, selected[i].Snapshot, s.PT, nil)
+
+	type result struct {
+		obs statdiag.Observation
+		err error
+	}
+	process := func(rep *RunReport) (res result) {
+		// A corrupt snapshot can do worse than return an error: ring
+		// bytes that decode into out-of-range PCs panic deep in the
+		// CFG walk. Degraded mode treats both the same way: drop the
+		// trace, keep the diagnosis.
+		defer func() {
+			if r := recover(); r != nil {
+				res.err = fmt.Errorf("core: success trace decode panicked: %v", r)
+			}
+		}()
+		okTraces, err := pt.DecodeSnapshot(s.Mod, rep.Snapshot, s.PT, nil)
 		if err != nil {
-			errs[i] = fmt.Errorf("core: decoding success trace: %w", err)
-			return
+			res.err = fmt.Errorf("core: decoding success trace: %w", err)
+			return res
 		}
 		_, tr := traceproc.Process(okTraces)
-		obs[i] = s.observe(pats, tr, false)
+		res.obs = s.observe(pats, tr, false)
+		return res
 	}
 
-	if workers := min(s.workerCount(), len(selected)); workers > 1 {
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					process(i)
-				}
-			}()
+	next := 0
+	for len(obs) < limit && next < len(eligible) {
+		batch := eligible[next:min(next+limit-len(obs), len(eligible))]
+		next += len(batch)
+		results := make([]result, len(batch))
+		if workers := min(s.workerCount(), len(batch)); workers > 1 {
+			var wg sync.WaitGroup
+			idx := make(chan int)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range idx {
+						results[i] = process(batch[i])
+					}
+				}()
+			}
+			for i := range batch {
+				idx <- i
+			}
+			close(idx)
+			wg.Wait()
+		} else {
+			for i := range batch {
+				results[i] = process(batch[i])
+			}
 		}
-		for i := range selected {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-	} else {
-		for i := range selected {
-			process(i)
+		for _, r := range results {
+			if r.err != nil {
+				dropped++
+			} else {
+				obs = append(obs, r.obs)
+			}
 		}
 	}
-
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return obs, nil
+	return obs, dropped
 }
 
 func min(a, b int) int {

@@ -9,12 +9,24 @@
 // analysis cache. Each connection runs in its own goroutine; diagnoses
 // are bounded by a server-wide semaphore so a burst of clients queues
 // instead of oversubscribing the host.
+//
+// The server is built to survive a production fleet: per-message read
+// and write deadlines, per-message and per-snapshot byte caps enforced
+// before a request is even decoded, per-connection success-trace caps,
+// panic recovery around every handler, backoff on transient accept
+// errors, and a graceful Shutdown that drains in-flight diagnoses.
+// Recoverable protocol errors ("unknown request", an oversize
+// snapshot) get an "error" reply and the connection keeps serving;
+// only transport and decode failures disconnect, because a gob stream
+// cannot be resynchronized mid-message.
 package proto
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"runtime"
 	"sync"
@@ -51,9 +63,17 @@ type Response struct {
 	Err string
 }
 
+// ServerError is an "error" reply from the server: a deterministic
+// protocol-level rejection (unknown request, oversize snapshot,
+// failed diagnosis), not a transport failure. Retrying clients do not
+// retry these — resending the same request would be rejected again.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "proto: server: " + e.Msg }
+
 // ServerStatus is the server's concurrency and pipeline state — the
-// operational counters behind the queue-depth and cache questions an
-// operator asks of a loaded diagnosis server.
+// operational counters behind the queue-depth, cache and degradation
+// questions an operator asks of a loaded diagnosis server.
 type ServerStatus struct {
 	// OpenConns counts currently connected clients.
 	OpenConns int64
@@ -73,7 +93,37 @@ type ServerStatus struct {
 	CacheHits, CacheMisses uint64
 	// DiagnoseTime is cumulative wall time spent inside Diagnose.
 	DiagnoseTime time.Duration
+	// DroppedSuccesses counts success traces the core server skipped
+	// as undecodable during degraded-mode diagnosis.
+	DroppedSuccesses uint64
+	// DeadlineDrops counts connections dropped for blowing a read or
+	// write deadline.
+	DeadlineDrops uint64
+	// OversizeRejects counts messages and snapshots rejected for
+	// exceeding the configured byte caps.
+	OversizeRejects uint64
+	// PanicsRecovered counts panics caught in connection handlers and
+	// diagnoses — poisoned traces that would otherwise have killed
+	// the server.
+	PanicsRecovered uint64
 }
+
+// Byte-cap defaults. A 64 KB-per-thread ring snapshot from a program
+// with a few dozen threads is a few MB; the default leaves an order
+// of magnitude of headroom while still stopping a runaway client long
+// before the server's memory is at stake.
+const (
+	// DefaultMaxSnapshotBytes caps the total ring bytes of one
+	// uploaded snapshot.
+	DefaultMaxSnapshotBytes = 64 << 20
+	// DefaultMaxSuccessesPerConn caps success traces spooled by one
+	// connection.
+	DefaultMaxSuccessesPerConn = 1024
+	// frameSlackBytes is how much a gob message may exceed the
+	// snapshot cap (encoding overhead, non-snapshot fields) before the
+	// decode-layer limit kills the connection.
+	frameSlackBytes = 64 << 10
+)
 
 // Server serves diagnosis requests for one module.
 type Server struct {
@@ -82,6 +132,22 @@ type Server struct {
 	// connections; 0 means runtime.GOMAXPROCS(0). Further requests
 	// queue (and are counted as queued in the status response).
 	MaxConcurrent int
+	// IdleTimeout bounds how long the server waits for the next
+	// request on an open connection; 0 means wait forever.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write; 0 means no deadline.
+	WriteTimeout time.Duration
+	// MaxSnapshotBytes caps the total ring bytes of one uploaded
+	// snapshot; 0 means DefaultMaxSnapshotBytes, negative means
+	// unlimited. A snapshot over the cap (but within the decode-layer
+	// frame limit) gets an "error" reply and the connection keeps
+	// serving; a message so large it trips the frame limit closes the
+	// connection, since a half-read gob stream cannot be resumed.
+	MaxSnapshotBytes int64
+	// MaxSuccessesPerConn caps success traces spooled per connection;
+	// 0 means DefaultMaxSuccessesPerConn, negative means unlimited.
+	// Excess uploads get an "error" reply and are not spooled.
+	MaxSuccessesPerConn int
 
 	once sync.Once
 	sem  chan struct{}
@@ -93,6 +159,28 @@ type Server struct {
 	failed    atomic.Uint64
 	// diagnoseNS accumulates wall time spent inside core Diagnose.
 	diagnoseNS atomic.Int64
+
+	deadlineDrops   atomic.Uint64
+	oversizeRejects atomic.Uint64
+	panicsRecovered atomic.Uint64
+
+	// shutdown flips once Shutdown begins; handlers exit between
+	// requests and Serve loops return instead of re-accepting.
+	shutdown atomic.Bool
+	// mu guards the listener and connection registries Shutdown
+	// drains.
+	mu         sync.Mutex
+	listeners  map[net.Listener]struct{}
+	connStates map[*connState]struct{}
+}
+
+// connState tracks one live connection for Shutdown: busy is set
+// while a request is being served, so draining closes only
+// between-request (idle) connections and lets in-flight diagnoses
+// finish.
+type connState struct {
+	conn net.Conn
+	busy atomic.Bool
 }
 
 // NewServer wraps a core analysis server.
@@ -109,25 +197,74 @@ func (s *Server) init() {
 	})
 }
 
+func (s *Server) maxSnapshotBytes() int64 {
+	switch {
+	case s.MaxSnapshotBytes < 0:
+		return 0 // unlimited
+	case s.MaxSnapshotBytes == 0:
+		return DefaultMaxSnapshotBytes
+	}
+	return s.MaxSnapshotBytes
+}
+
+func (s *Server) maxSuccesses() int {
+	switch {
+	case s.MaxSuccessesPerConn < 0:
+		return 0 // unlimited
+	case s.MaxSuccessesPerConn == 0:
+		return DefaultMaxSuccessesPerConn
+	}
+	return s.MaxSuccessesPerConn
+}
+
+// frameLimit is the decode-layer cap on one gob message: past this,
+// the connection dies rather than the server's heap.
+func (s *Server) frameLimit() int64 {
+	cap := s.maxSnapshotBytes()
+	if cap == 0 {
+		return 0
+	}
+	return 2*cap + frameSlackBytes
+}
+
+// snapshotBytes totals a snapshot's ring payload.
+func snapshotBytes(snap *pt.Snapshot) int64 {
+	if snap == nil {
+		return 0
+	}
+	var n int64
+	for _, th := range snap.Threads {
+		n += int64(len(th.Data))
+	}
+	return n
+}
+
 // diagnose runs one bounded diagnosis, maintaining the queue/active
-// counters the status response reports.
-func (s *Server) diagnose(failing *core.RunReport, successes []*core.RunReport) (*core.Diagnosis, error) {
+// counters the status response reports. A panicking diagnosis — a
+// poisoned failing trace driving the analysis somewhere impossible —
+// is recovered into an error so the connection (and server) survive.
+func (s *Server) diagnose(failing *core.RunReport, successes []*core.RunReport) (d *core.Diagnosis, err error) {
 	s.init()
 	s.queued.Add(1)
 	s.sem <- struct{}{}
 	s.queued.Add(-1)
 	s.active.Add(1)
 	start := time.Now()
-	d, err := s.Core.Diagnose(failing, successes)
-	s.diagnoseNS.Add(int64(time.Since(start)))
-	s.active.Add(-1)
-	<-s.sem
-	if err != nil {
-		s.failed.Add(1)
-	} else {
-		s.completed.Add(1)
-	}
-	return d, err
+	defer func() {
+		if p := recover(); p != nil {
+			s.panicsRecovered.Add(1)
+			d, err = nil, fmt.Errorf("diagnosis panicked: %v", p)
+		}
+		s.diagnoseNS.Add(int64(time.Since(start)))
+		s.active.Add(-1)
+		<-s.sem
+		if err != nil {
+			s.failed.Add(1)
+		} else {
+			s.completed.Add(1)
+		}
+	}()
+	return s.Core.Diagnose(failing, successes)
 }
 
 // Status snapshots the server's counters.
@@ -149,79 +286,288 @@ func (s *Server) Status() ServerStatus {
 		CacheHits:          hits,
 		CacheMisses:        misses,
 		DiagnoseTime:       time.Duration(s.diagnoseNS.Load()),
+		DroppedSuccesses:   s.Core.DroppedSuccessCount(),
+		DeadlineDrops:      s.deadlineDrops.Load(),
+		OversizeRejects:    s.oversizeRejects.Load(),
+		PanicsRecovered:    s.panicsRecovered.Load(),
 	}
 }
 
-// Serve accepts connections until the listener closes.
+// Serve accepts connections until the listener closes or Shutdown is
+// called. Transient accept errors (in the net.Error Temporary sense —
+// EMFILE, ECONNABORTED) back off with capped exponential delay and
+// retry, mirroring net/http; only persistent errors return.
 func (s *Server) Serve(ln net.Listener) error {
 	s.init()
+	if !s.trackListener(ln) {
+		ln.Close()
+		return nil
+	}
+	defer s.untrackListener(ln)
+	var delay time.Duration
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
+			if s.shutdown.Load() || errors.Is(err, net.ErrClosed) {
 				return nil
+			}
+			if te, ok := err.(interface{ Temporary() bool }); ok && te.Temporary() {
+				if delay == 0 {
+					delay = 5 * time.Millisecond
+				} else {
+					delay *= 2
+				}
+				if delay > time.Second {
+					delay = time.Second
+				}
+				time.Sleep(delay)
+				continue
 			}
 			return err
 		}
+		delay = 0
 		go s.handle(conn)
 	}
 }
 
+// Shutdown stops accepting new connections and drains the server:
+// idle connections are closed immediately, connections serving a
+// request (a running diagnosis) are allowed to finish it, after which
+// their handlers exit. Shutdown returns nil once every connection has
+// drained, or ctx's error after force-closing whatever remains.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.init()
+	s.shutdown.Store(true)
+	s.mu.Lock()
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	s.mu.Unlock()
+
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		if s.closeIdleConns() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			s.mu.Lock()
+			for st := range s.connStates {
+				st.conn.Close()
+			}
+			s.mu.Unlock()
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// closeIdleConns closes every tracked connection not currently serving
+// a request and returns how many connections remain tracked.
+func (s *Server) closeIdleConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for st := range s.connStates {
+		if !st.busy.Load() {
+			st.conn.Close()
+		}
+	}
+	return len(s.connStates)
+}
+
+func (s *Server) trackListener(ln net.Listener) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shutdown.Load() {
+		return false
+	}
+	if s.listeners == nil {
+		s.listeners = make(map[net.Listener]struct{})
+	}
+	s.listeners[ln] = struct{}{}
+	return true
+}
+
+func (s *Server) untrackListener(ln net.Listener) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.listeners, ln)
+}
+
+func (s *Server) trackConn(st *connState) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shutdown.Load() {
+		return false
+	}
+	if s.connStates == nil {
+		s.connStates = make(map[*connState]struct{})
+	}
+	s.connStates[st] = struct{}{}
+	return true
+}
+
+func (s *Server) untrackConn(st *connState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.connStates, st)
+}
+
+// isTimeout reports whether err is a deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// errFrameTooLarge trips the decode-layer byte cap.
+var errFrameTooLarge = errors.New("proto: message exceeds frame limit")
+
+// limitedReader enforces the decode-layer frame cap: it meters bytes
+// handed to the gob decoder and fails once a single message's budget
+// is spent, so a multi-gigabyte "snapshot" is cut off after the cap,
+// not after the heap. reset re-arms the budget before each message.
+// (The decoder's internal buffering can read slightly ahead into the
+// next message; the frame limit is deliberately slack, so attributing
+// those bytes to the current budget is harmless.)
+type limitedReader struct {
+	r         io.Reader
+	limit     int64
+	remaining int64
+	tripped   bool
+}
+
+func (l *limitedReader) reset() {
+	l.remaining = l.limit
+	l.tripped = false
+}
+
+func (l *limitedReader) Read(p []byte) (int, error) {
+	if l.limit <= 0 {
+		return l.r.Read(p)
+	}
+	if l.remaining <= 0 {
+		l.tripped = true
+		return 0, errFrameTooLarge
+	}
+	if int64(len(p)) > l.remaining {
+		p = p[:l.remaining]
+	}
+	n, err := l.r.Read(p)
+	l.remaining -= int64(n)
+	return n, err
+}
+
 func (s *Server) handle(conn net.Conn) {
+	st := &connState{conn: conn}
+	if !s.trackConn(st) {
+		conn.Close()
+		return
+	}
+	defer s.untrackConn(st)
 	s.conns.Add(1)
 	defer s.conns.Add(-1)
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	lim := &limitedReader{r: conn, limit: s.frameLimit()}
+	dec := gob.NewDecoder(lim)
 	enc := gob.NewEncoder(conn)
 
 	var failing *core.RunReport
 	var successes []*core.RunReport
 
-	reply := func(r Response) bool { return enc.Encode(r) == nil }
-	for {
-		var req Request
-		if err := dec.Decode(&req); err != nil {
-			return // client went away
+	reply := func(r Response) bool {
+		if s.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
 		}
-		switch req.Kind {
-		case "failure":
-			if req.Failure == nil || req.Snapshot == nil {
-				reply(Response{Kind: "error", Err: "failure request missing report or snapshot"})
-				return
-			}
-			failing = &core.RunReport{Failure: req.Failure, Snapshot: req.Snapshot}
-			if !reply(Response{Kind: "armed", TriggerPC: req.Failure.PC}) {
-				return
-			}
-		case "success":
-			if req.Snapshot != nil {
-				successes = append(successes, &core.RunReport{Snapshot: req.Snapshot})
-			}
-			if !reply(Response{Kind: "ack"}) {
-				return
-			}
-		case "diagnose":
-			if failing == nil {
-				reply(Response{Kind: "error", Err: "diagnose before failure report"})
-				return
-			}
-			d, err := s.diagnose(failing, successes)
-			if err != nil {
-				reply(Response{Kind: "error", Err: err.Error()})
-				return
-			}
-			if !reply(Response{Kind: "diagnosis", Diagnosis: d}) {
-				return
-			}
-		case "status":
-			st := s.Status()
-			if !reply(Response{Kind: "status", Status: &st}) {
-				return
-			}
-		default:
-			reply(Response{Kind: "error", Err: fmt.Sprintf("unknown request %q", req.Kind)})
+		err := enc.Encode(r)
+		if s.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Time{})
+		}
+		if isTimeout(err) {
+			s.deadlineDrops.Add(1)
+		}
+		return err == nil
+	}
+	// Last-resort panic recovery: a request that drives the handler
+	// somewhere impossible costs its own connection, never the server.
+	defer func() {
+		if p := recover(); p != nil {
+			s.panicsRecovered.Add(1)
+			reply(Response{Kind: "error", Err: fmt.Sprintf("internal error: %v", p)})
+		}
+	}()
+	for {
+		if s.shutdown.Load() {
 			return
 		}
+		if s.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		}
+		lim.reset()
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			switch {
+			case lim.tripped:
+				// The stream is poisoned mid-message; say why, then
+				// disconnect.
+				s.oversizeRejects.Add(1)
+				reply(Response{Kind: "error", Err: "message exceeds frame limit"})
+			case isTimeout(err):
+				s.deadlineDrops.Add(1)
+			}
+			return // transport/decode failure: the stream is unusable
+		}
+		st.busy.Store(true)
+		keep := s.serveRequest(req, &failing, &successes, reply)
+		st.busy.Store(false)
+		if !keep {
+			return
+		}
+	}
+}
+
+// serveRequest handles one decoded request. It returns false only when
+// the connection must close (reply failure); protocol-level rejections
+// reply "error" and keep the conversation going.
+func (s *Server) serveRequest(req Request, failing **core.RunReport, successes *[]*core.RunReport, reply func(Response) bool) bool {
+	switch req.Kind {
+	case "failure":
+		if req.Failure == nil || req.Snapshot == nil {
+			return reply(Response{Kind: "error", Err: "failure request missing report or snapshot"})
+		}
+		if cap := s.maxSnapshotBytes(); cap > 0 && snapshotBytes(req.Snapshot) > cap {
+			s.oversizeRejects.Add(1)
+			return reply(Response{Kind: "error", Err: fmt.Sprintf("failure snapshot exceeds %d-byte cap", cap)})
+		}
+		*failing = &core.RunReport{Failure: req.Failure, Snapshot: req.Snapshot}
+		*successes = nil
+		return reply(Response{Kind: "armed", TriggerPC: req.Failure.PC})
+	case "success":
+		if cap := s.maxSnapshotBytes(); cap > 0 && snapshotBytes(req.Snapshot) > cap {
+			s.oversizeRejects.Add(1)
+			return reply(Response{Kind: "error", Err: fmt.Sprintf("success snapshot exceeds %d-byte cap", cap)})
+		}
+		if cap := s.maxSuccesses(); cap > 0 && len(*successes) >= cap {
+			return reply(Response{Kind: "error", Err: fmt.Sprintf("success trace cap (%d) reached for this connection", cap)})
+		}
+		if req.Snapshot != nil {
+			*successes = append(*successes, &core.RunReport{Snapshot: req.Snapshot})
+		}
+		return reply(Response{Kind: "ack"})
+	case "diagnose":
+		if *failing == nil {
+			return reply(Response{Kind: "error", Err: "diagnose before failure report"})
+		}
+		d, err := s.diagnose(*failing, *successes)
+		if err != nil {
+			return reply(Response{Kind: "error", Err: err.Error()})
+		}
+		return reply(Response{Kind: "diagnosis", Diagnosis: d})
+	case "status":
+		st := s.Status()
+		return reply(Response{Kind: "status", Status: &st})
+	default:
+		return reply(Response{Kind: "error", Err: fmt.Sprintf("unknown request %q", req.Kind)})
 	}
 }
 
@@ -250,6 +596,11 @@ func NewConn(c net.Conn) *Conn {
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.conn.Close() }
 
+// SetDeadline bounds the next reads and writes on the underlying
+// connection; retrying clients use it to turn a stalled peer into a
+// retryable timeout.
+func (c *Conn) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
+
 func (c *Conn) roundTrip(req Request) (Response, error) {
 	if err := c.enc.Encode(req); err != nil {
 		return Response{}, err
@@ -259,7 +610,7 @@ func (c *Conn) roundTrip(req Request) (Response, error) {
 		return Response{}, err
 	}
 	if resp.Kind == "error" {
-		return resp, fmt.Errorf("proto: server: %s", resp.Err)
+		return resp, &ServerError{Msg: resp.Err}
 	}
 	return resp, nil
 }

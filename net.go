@@ -1,14 +1,18 @@
 package snorlax
 
 import (
+	"context"
 	"net"
 	"time"
 
 	"snorlax/internal/core"
+	"snorlax/internal/ir"
 	"snorlax/internal/proto"
+	"snorlax/internal/pt"
 )
 
-// ServeConfig tunes the diagnosis server's concurrency.
+// ServeConfig tunes the diagnosis server's concurrency and its
+// defenses against slow, greedy, or corrupt clients.
 type ServeConfig struct {
 	// Workers bounds the per-diagnosis success-trace decode/observe
 	// pool; 0 uses runtime.GOMAXPROCS(0), 1 forces the serial path.
@@ -18,7 +22,51 @@ type ServeConfig struct {
 	// client connections; 0 uses runtime.GOMAXPROCS(0). Excess
 	// requests queue rather than oversubscribe the host.
 	MaxConcurrentDiagnoses int
+	// IdleTimeout drops connections that send nothing for this long;
+	// 0 means no idle deadline.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each reply write; 0 means no deadline.
+	WriteTimeout time.Duration
+	// MaxSnapshotBytes caps one uploaded snapshot's total ring bytes.
+	// 0 applies a 64 MB default; negative means unlimited.
+	MaxSnapshotBytes int64
+	// MaxSuccessesPerConn caps success traces per connection session.
+	// 0 applies a default of 1024; negative means unlimited.
+	MaxSuccessesPerConn int
 }
+
+// Server is a diagnosis server that can be drained gracefully. Zero
+// value is not usable; construct with NewServer.
+type Server struct {
+	ps *proto.Server
+}
+
+// NewServer builds a diagnosis server for prog.
+func NewServer(prog *Program, cfg ServeConfig) *Server {
+	cs := core.NewServer(prog.mod)
+	cs.Workers = cfg.Workers
+	ps := proto.NewServer(cs)
+	ps.MaxConcurrent = cfg.MaxConcurrentDiagnoses
+	ps.IdleTimeout = cfg.IdleTimeout
+	ps.WriteTimeout = cfg.WriteTimeout
+	ps.MaxSnapshotBytes = cfg.MaxSnapshotBytes
+	ps.MaxSuccessesPerConn = cfg.MaxSuccessesPerConn
+	return &Server{ps: ps}
+}
+
+// Serve accepts and serves connections until the listener closes or
+// Shutdown is called; after Shutdown it returns nil.
+func (s *Server) Serve(ln net.Listener) error { return s.ps.Serve(ln) }
+
+// Shutdown stops accepting, lets in-flight requests finish, closes
+// idle connections, and returns when everything has drained or the
+// context expires (then remaining connections are force-closed and
+// the context's error is returned).
+func (s *Server) Shutdown(ctx context.Context) error { return s.ps.Shutdown(ctx) }
+
+// Status reports the server's counters directly, without a client
+// round trip.
+func (s *Server) Status() ServerStatus { return publicStatus(s.ps.Status()) }
 
 // Serve runs a diagnosis server for prog on the listener with default
 // concurrency, blocking until the listener closes. Production clients
@@ -28,17 +76,14 @@ func Serve(ln net.Listener, prog *Program) error {
 	return ServeConfigured(ln, prog, ServeConfig{})
 }
 
-// ServeConfigured is Serve with explicit concurrency knobs.
+// ServeConfigured is Serve with explicit concurrency and robustness
+// knobs.
 func ServeConfigured(ln net.Listener, prog *Program, cfg ServeConfig) error {
-	cs := core.NewServer(prog.mod)
-	cs.Workers = cfg.Workers
-	ps := proto.NewServer(cs)
-	ps.MaxConcurrent = cfg.MaxConcurrentDiagnoses
-	return ps.Serve(ln)
+	return NewServer(prog, cfg).Serve(ln)
 }
 
-// ServerStatus reports a diagnosis server's concurrency and cache
-// state, as returned by RemoteDiagnoser.ServerStatus.
+// ServerStatus reports a diagnosis server's concurrency, cache, and
+// degradation state, as returned by RemoteDiagnoser.ServerStatus.
 type ServerStatus struct {
 	// OpenConns counts currently connected clients.
 	OpenConns int64
@@ -57,15 +102,75 @@ type ServerStatus struct {
 	CacheHits, CacheMisses uint64
 	// DiagnoseTime is cumulative wall time spent diagnosing.
 	DiagnoseTime time.Duration
+	// DroppedSuccesses counts undecodable success traces skipped by
+	// degraded-mode diagnosis instead of failing the whole request.
+	DroppedSuccesses uint64
+	// DeadlineDrops counts connections dropped for blowing an idle or
+	// write deadline.
+	DeadlineDrops uint64
+	// OversizeRejects counts uploads rejected for exceeding the
+	// configured byte caps.
+	OversizeRejects uint64
+	// PanicsRecovered counts panics (from poisoned reports or corrupt
+	// traces) caught instead of killing the server.
+	PanicsRecovered uint64
+}
+
+func publicStatus(st proto.ServerStatus) ServerStatus {
+	return ServerStatus{
+		OpenConns:          st.OpenConns,
+		ActiveDiagnoses:    st.ActiveDiagnoses,
+		QueuedDiagnoses:    st.QueuedDiagnoses,
+		CompletedDiagnoses: st.CompletedDiagnoses,
+		FailedDiagnoses:    st.FailedDiagnoses,
+		MaxConcurrent:      st.MaxConcurrent,
+		Workers:            st.Workers,
+		CacheHits:          st.CacheHits,
+		CacheMisses:        st.CacheMisses,
+		DiagnoseTime:       st.DiagnoseTime,
+		DroppedSuccesses:   st.DroppedSuccesses,
+		DeadlineDrops:      st.DeadlineDrops,
+		OversizeRejects:    st.OversizeRejects,
+		PanicsRecovered:    st.PanicsRecovered,
+	}
+}
+
+// RetryConfig tunes a retrying remote client (see DialRetrying).
+type RetryConfig struct {
+	// MaxAttempts bounds how many times one operation (including any
+	// reconnect and session replay it needs) is tried; 0 means 8.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 10ms);
+	// it doubles per attempt up to MaxDelay (default 2s), with
+	// jitter.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// OpTimeout bounds each round trip on the wire, turning a stalled
+	// server into a retryable timeout; 0 means no deadline. Leave
+	// headroom for the slowest expected diagnosis.
+	OpTimeout time.Duration
+}
+
+// protoClient is what RemoteDiagnoser needs from a transport; both
+// the plain connection and the retrying client satisfy it.
+type protoClient interface {
+	ReportFailure(f *core.FailureReport, snap *pt.Snapshot) (ir.PC, error)
+	SendSuccess(snap *pt.Snapshot) error
+	RequestDiagnosis() (*core.Diagnosis, error)
+	Status() (proto.ServerStatus, error)
+	Close() error
 }
 
 // RemoteDiagnoser is a client connection to a diagnosis server.
 type RemoteDiagnoser struct {
-	prog *Program
-	conn *proto.Conn
+	prog  *Program
+	conn  protoClient
+	retry *proto.RetryClient // nil for a plain Dial connection
 }
 
-// Dial connects to a diagnosis server for prog.
+// Dial connects to a diagnosis server for prog over a plain
+// connection: any transport failure surfaces as an error. Production
+// clients usually want DialRetrying instead.
 func Dial(network, addr string, prog *Program) (*RemoteDiagnoser, error) {
 	c, err := proto.Dial(network, addr)
 	if err != nil {
@@ -74,8 +179,34 @@ func Dial(network, addr string, prog *Program) (*RemoteDiagnoser, error) {
 	return &RemoteDiagnoser{prog: prog, conn: c}, nil
 }
 
+// DialRetrying returns a fault-tolerant client for a diagnosis
+// server: session state is spooled client-side, transport failures
+// trigger reconnects with exponential backoff, and the session is
+// replayed on the fresh connection, so Diagnose reaches the verdict a
+// fault-free conversation would have. The first connection is made
+// lazily, so DialRetrying itself never fails; a dead address surfaces
+// from the first operation once MaxAttempts is spent.
+func DialRetrying(network, addr string, prog *Program, cfg RetryConfig) *RemoteDiagnoser {
+	rc := proto.DialRetrying(network, addr, proto.RetryConfig{
+		MaxAttempts: cfg.MaxAttempts,
+		BaseDelay:   cfg.BaseDelay,
+		MaxDelay:    cfg.MaxDelay,
+		OpTimeout:   cfg.OpTimeout,
+	})
+	return &RemoteDiagnoser{prog: prog, conn: rc, retry: rc}
+}
+
 // Close releases the connection.
 func (r *RemoteDiagnoser) Close() error { return r.conn.Close() }
+
+// Retries reports how many times a retrying client reconnected; it is
+// the client-side degradation counter (always 0 for plain Dial).
+func (r *RemoteDiagnoser) Retries() uint64 {
+	if r.retry == nil {
+		return 0
+	}
+	return r.retry.Retries()
+}
 
 // ReportFailure uploads a failing execution; the returned PC is where
 // the server wants successful executions traced.
@@ -103,16 +234,5 @@ func (r *RemoteDiagnoser) ServerStatus() (ServerStatus, error) {
 	if err != nil {
 		return ServerStatus{}, err
 	}
-	return ServerStatus{
-		OpenConns:          st.OpenConns,
-		ActiveDiagnoses:    st.ActiveDiagnoses,
-		QueuedDiagnoses:    st.QueuedDiagnoses,
-		CompletedDiagnoses: st.CompletedDiagnoses,
-		FailedDiagnoses:    st.FailedDiagnoses,
-		MaxConcurrent:      st.MaxConcurrent,
-		Workers:            st.Workers,
-		CacheHits:          st.CacheHits,
-		CacheMisses:        st.CacheMisses,
-		DiagnoseTime:       st.DiagnoseTime,
-	}, nil
+	return publicStatus(st), nil
 }

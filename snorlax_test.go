@@ -1,10 +1,12 @@
 package snorlax_test
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"strings"
 	"testing"
+	"time"
 
 	snorlax "snorlax"
 )
@@ -296,6 +298,99 @@ func TestServeConfiguredStatus(t *testing.T) {
 	}
 	if st.OpenConns != 1 {
 		t.Errorf("open conns = %d, want 1", st.OpenConns)
+	}
+}
+
+// TestHardenedServerAndRetryingClient covers the robustness surface
+// end to end through the public API: a configured server, a retrying
+// client, a corrupt success trace absorbed by degraded-mode
+// diagnosis, and a graceful drain.
+func TestHardenedServerAndRetryingClient(t *testing.T) {
+	failProg := uafProgram(true)
+	okProg := uafProgram(false)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := snorlax.NewServer(failProg, snorlax.ServeConfig{
+		IdleTimeout:  time.Minute,
+		WriteTimeout: time.Minute,
+	})
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+
+	rd := snorlax.DialRetrying("tcp", ln.Addr().String(), failProg,
+		snorlax.RetryConfig{BaseDelay: time.Millisecond})
+	defer rd.Close()
+
+	failing := failProg.Run(snorlax.RunOptions{Seed: 1})
+	trigger, err := rd.ReportFailure(failing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	successes := collectSuccesses(t, okProg, trigger, 6)
+	// Ruin one trace's rings: still a valid upload on the wire, but
+	// undecodable — the server must drop it, not fail the diagnosis.
+	ruined := successes[2].Snapshot()
+	for tid, th := range ruined.Threads {
+		for i := range th.Data {
+			th.Data[i] = 0xFF
+		}
+		ruined.Threads[tid] = th
+	}
+	for _, ok := range successes {
+		if err := rd.SendSuccess(ok); err != nil {
+			t.Fatal(err)
+		}
+	}
+	report, err := rd.Diagnose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.DroppedSuccesses != 1 || report.SuccessTraces != 5 {
+		t.Errorf("dropped %d / used %d success traces, want 1/5",
+			report.DroppedSuccesses, report.SuccessTraces)
+	}
+	if report.Kind != snorlax.OrderViolation {
+		t.Errorf("degraded diagnosis changed the verdict: %v", report.Kind)
+	}
+	if rd.Retries() != 0 {
+		t.Errorf("Retries = %d on a clean network, want 0", rd.Retries())
+	}
+	st, err := rd.ServerStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DroppedSuccesses != 1 {
+		t.Errorf("server DroppedSuccesses = %d, want 1", st.DroppedSuccesses)
+	}
+	rd.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+	if err := <-served; err != nil {
+		t.Errorf("Serve returned %v after Shutdown, want nil", err)
+	}
+	if n := srv.Status().OpenConns; n != 0 {
+		t.Errorf("OpenConns = %d after drain, want 0", n)
+	}
+}
+
+// TestDialRetryingGivesUp: a dead address surfaces as an error after
+// the attempt budget, not a hang — and the retries are counted.
+func TestDialRetryingGivesUp(t *testing.T) {
+	rd := snorlax.DialRetrying("tcp", "127.0.0.1:1", uafProgram(true),
+		snorlax.RetryConfig{MaxAttempts: 2, BaseDelay: time.Millisecond})
+	defer rd.Close()
+	if _, err := rd.ServerStatus(); err == nil {
+		t.Fatal("operation succeeded against a dead address")
+	}
+	if rd.Retries() != 1 {
+		t.Errorf("Retries = %d, want 1 (2 attempts = 1 retry)", rd.Retries())
 	}
 }
 

@@ -206,7 +206,7 @@ func BenchmarkVMExecution(b *testing.B) {
 // manySuccessReports reproduces httpd-4 once and gathers 12 successful
 // triggered traces — the 10+-trace diagnosis the parallel pipeline is
 // built for.
-func manySuccessReports(b *testing.B) (*corpus.Instance, *core.RunReport, []*core.RunReport) {
+func manySuccessReports(b testing.TB) (*corpus.Instance, *core.RunReport, []*core.RunReport) {
 	b.Helper()
 	bug := corpus.ByID("httpd-4")
 	failInst := bug.Build(corpus.Variant{Failing: true})
@@ -283,6 +283,34 @@ func BenchmarkParallelPipelineSpeedup(b *testing.B) {
 	parallel := measure(0)
 	b.ReportMetric(float64(serial)/float64(parallel), "speedup-x")
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+}
+
+// BenchmarkObservabilityOverhead prices the metrics layer on the same
+// 12-trace diagnosis as BenchmarkDiagnoseManySuccesses: one server
+// with per-stage histograms recording, one with them disabled, and
+// the relative cost as a metric. The observability acceptance bar is
+// <5% overhead.
+func BenchmarkObservabilityOverhead(b *testing.B) {
+	failInst, rep, oks := manySuccessReports(b)
+	measure := func(disabled bool) time.Duration {
+		srv := core.NewServer(failInst.Mod)
+		srv.MaxSuccessTraces = len(oks)
+		srv.DisableObs = disabled
+		if _, err := srv.Diagnose(rep, oks); err != nil { // warm the cache
+			b.Fatal(err)
+		}
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if _, err := srv.Diagnose(rep, oks); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	b.ResetTimer()
+	off := measure(true)
+	on := measure(false)
+	b.ReportMetric(100*(float64(on)-float64(off))/float64(off), "overhead-%")
 }
 
 // BenchmarkAnalysisCacheSteadyState isolates the points-to cache: the

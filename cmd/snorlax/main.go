@@ -14,7 +14,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -23,6 +25,7 @@ import (
 	"snorlax/internal/core"
 	"snorlax/internal/corpus"
 	"snorlax/internal/ir"
+	"snorlax/internal/obs"
 	"snorlax/internal/proto"
 )
 
@@ -41,6 +44,7 @@ var (
 	maxSucc      = flag.Int("max-successes", 0, "-serve: success traces accepted per connection (0 = 1024 default, <0 = unlimited)")
 	drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "-serve: how long SIGINT/SIGTERM shutdown waits for in-flight work")
 	retries      = flag.Int("retries", 8, "-remote: attempts per operation before giving up")
+	metricsAddr  = flag.String("metrics-addr", "", "-serve: also serve GET /metrics (Prometheus text format) and /debug/pprof/* on this address (e.g. 127.0.0.1:9090); empty = disabled")
 )
 
 func main() {
@@ -53,22 +57,22 @@ func main() {
 			os.Exit(1)
 		}
 	case *listAll:
-		list()
+		list(os.Stdout)
 	case *all:
 		exitCode := 0
 		for _, b := range corpus.All() {
-			if !diagnose(b) {
+			if !diagnose(os.Stdout, b) {
 				exitCode = 1
 			}
 		}
 		for _, b := range corpus.Extensions() {
-			if !diagnose(b) {
+			if !diagnose(os.Stdout, b) {
 				exitCode = 1
 			}
 		}
 		os.Exit(exitCode)
 	case *bugID != "":
-		if !diagnose(lookup(*bugID)) {
+		if !diagnose(os.Stdout, lookup(*bugID)) {
 			os.Exit(1)
 		}
 	default:
@@ -113,6 +117,22 @@ func runServer(addr string, b *corpus.Bug) {
 	ps.MaxSnapshotBytes = *maxSnapshot
 	ps.MaxSuccessesPerConn = *maxSucc
 
+	var msrv *http.Server
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics on http://%s/metrics (pprof on /debug/pprof/)\n", mln.Addr())
+		msrv = &http.Server{Handler: obs.DebugMux(ps.Metrics())}
+		go func() {
+			if err := msrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	done := make(chan struct{})
@@ -124,6 +144,9 @@ func runServer(addr string, b *corpus.Bug) {
 		defer cancel()
 		if err := ps.Shutdown(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+		}
+		if msrv != nil {
+			msrv.Shutdown(ctx)
 		}
 		st := ps.Status()
 		fmt.Printf("served %d diagnoses (%d failed, %d dropped traces, %d panics recovered)\n",
@@ -204,34 +227,34 @@ func remoteDiagnose(addr string, b *corpus.Bug) bool {
 	return ok
 }
 
-func list() {
-	fmt.Printf("%-16s %-20s %-6s %-5s %s\n", "ID", "KIND", "LANG", "EVAL", "DESCRIPTION")
+func list(w io.Writer) {
+	fmt.Fprintf(w, "%-16s %-20s %-6s %-5s %s\n", "ID", "KIND", "LANG", "EVAL", "DESCRIPTION")
 	for _, b := range corpus.All() {
 		eval := ""
 		if b.Eval {
 			eval = "yes"
 		}
-		fmt.Printf("%-16s %-20s %-6s %-5s %s\n", b.ID, b.Kind, b.Lang, eval, b.Description)
+		fmt.Fprintf(w, "%-16s %-20s %-6s %-5s %s\n", b.ID, b.Kind, b.Lang, eval, b.Description)
 	}
-	fmt.Println()
-	fmt.Println("extensions (beyond the paper's evaluation):")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "extensions (beyond the paper's evaluation):")
 	for _, b := range corpus.Extensions() {
-		fmt.Printf("%-16s %-20s %-6s %-5s %s\n", b.ID, b.Kind, b.Lang, "ext", b.Description)
+		fmt.Fprintf(w, "%-16s %-20s %-6s %-5s %s\n", b.ID, b.Kind, b.Lang, "ext", b.Description)
 	}
 }
 
-func diagnose(b *corpus.Bug) bool {
-	fmt.Printf("=== %s (%s): %s\n", b.ID, b.Kind, b.Description)
+func diagnose(w io.Writer, b *corpus.Bug) bool {
+	fmt.Fprintf(w, "=== %s (%s): %s\n", b.ID, b.Kind, b.Description)
 	failInst := b.Build(corpus.Variant{Failing: true})
 	okInst := b.Build(corpus.Variant{Failing: false})
 	sess := core.NewSession(failInst.Mod, okInst.Mod)
 	out, err := sess.Run()
 	if err != nil {
-		fmt.Printf("    session error: %v\n", err)
+		fmt.Fprintf(w, "    session error: %v\n", err)
 		return false
 	}
-	fmt.Printf("    failure: %s (pc=%d thread=%d)\n", out.Failure.Msg, out.Failure.PC, out.Failure.Tid)
-	fmt.Print(indent(core.Format(failInst.Mod, out.Diagnosis)))
+	fmt.Fprintf(w, "    failure: %s (pc=%d thread=%d)\n", out.Failure.Msg, out.Failure.PC, out.Failure.Tid)
+	fmt.Fprint(w, indent(core.Format(failInst.Mod, out.Diagnosis)))
 	truth := core.Truth{Kind: failInst.TruthKind, Sub: failInst.TruthSub,
 		PCs: failInst.TruthPCs, Absence: failInst.TruthAbsence}
 	correct := core.MatchesTruth(out.Diagnosis.Best.Pattern, truth)
@@ -240,7 +263,7 @@ func diagnose(b *corpus.Bug) bool {
 	if !correct {
 		verdict = "DOES NOT MATCH ground truth"
 	}
-	fmt.Printf("    ground truth: %s  (ordering accuracy %.0f%%)\n\n", verdict, ao)
+	fmt.Fprintf(w, "    ground truth: %s  (ordering accuracy %.0f%%)\n\n", verdict, ao)
 	return correct
 }
 

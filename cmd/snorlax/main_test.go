@@ -1,0 +1,70 @@
+package main
+
+// Golden-output tests for the CLI's report rendering. The diagnosis
+// pipeline is deterministic end to end (seeded VM, seeded schedules),
+// so apart from wall-clock timings — normalized away below — the
+// rendered report is a stable artifact worth pinning: it is the
+// interface developers actually read.
+//
+// Refresh after an intentional rendering change with:
+//
+//	go test ./cmd/snorlax/ -run Golden -update
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"snorlax/internal/corpus"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// timingRE matches the one nondeterministic report line.
+var timingRE = regexp.MustCompile(`server-side analysis: \S+ \(points-to \S+\)`)
+
+func normalize(s string) string {
+	return timingRE.ReplaceAllString(s, "server-side analysis: <dur> (points-to <dur>)")
+}
+
+func checkGolden(t *testing.T, name string, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run go test ./cmd/snorlax/ -run Golden -update)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from the golden file (run with -update if intentional)\n--- got ---\n%s--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+func TestDiagnoseGolden(t *testing.T) {
+	for _, id := range []string{"pbzip2-1", "aget-1"} {
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			if !diagnose(&buf, corpus.ByID(id)) {
+				t.Fatalf("diagnosis of %s did not match ground truth", id)
+			}
+			checkGolden(t, "diagnose-"+id+".golden", normalize(buf.String()))
+		})
+	}
+}
+
+func TestListGolden(t *testing.T) {
+	var buf bytes.Buffer
+	list(&buf)
+	checkGolden(t, "list.golden", buf.String())
+}

@@ -65,15 +65,16 @@ func (s *Server) scopedAnalysis(scope pointsto.Scope) (ranking.Analysis, bool) {
 	}
 	key := analysisKey{mod: s.Mod, unification: s.UseUnification, scopeHash: scope.Hash()}
 	canon := scope.SortedPCs()
+	m := s.metrics()
 
 	s.mu.Lock()
 	if e, ok := s.analyses[key]; ok && pointsto.EqualPCs(e.scope, canon) {
-		s.cacheHits++
 		s.mu.Unlock()
+		m.cacheHits.Inc()
 		return e.an, true
 	}
-	s.cacheMisses++
 	s.mu.Unlock()
+	m.cacheMisses.Inc()
 
 	// Solve outside the lock: concurrent misses on the same scope
 	// duplicate work but never block each other; last store wins.
@@ -91,9 +92,9 @@ func (s *Server) scopedAnalysis(scope pointsto.Scope) (ranking.Analysis, bool) {
 }
 
 // CacheStats returns the cumulative points-to cache hit and miss
-// counts since the server was created.
+// counts since the server was created. It reads the same registry
+// counters the /metrics endpoint serves.
 func (s *Server) CacheStats() (hits, misses uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.cacheHits, s.cacheMisses
+	m := s.metrics()
+	return m.cacheHits.Value(), m.cacheMisses.Value()
 }

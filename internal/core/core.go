@@ -14,10 +14,10 @@ package core
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"snorlax/internal/ir"
+	"snorlax/internal/obs"
 	"snorlax/internal/pattern"
 	"snorlax/internal/pointsto"
 	"snorlax/internal/pt"
@@ -216,16 +216,20 @@ type Server struct {
 	// ablations and cold-path timing measurements (Table 4 reports
 	// uncached solve times).
 	DisableCache bool
+	// DisableObs turns off per-stage latency histograms (for ablations
+	// and the observability-overhead benchmark). The operational
+	// counters — cache, drops, diagnoses — stay live either way,
+	// because they are the server's single source of truth, not an
+	// optional layer on top of one.
+	DisableObs bool
 
-	// mu guards the analysis cache and its counters.
-	mu          sync.Mutex
-	analyses    map[analysisKey]*cachedAnalysis
-	cacheHits   uint64
-	cacheMisses uint64
+	// mu guards the analysis cache.
+	mu       sync.Mutex
+	analyses map[analysisKey]*cachedAnalysis
 
-	// droppedSuccesses counts success traces skipped by degraded-mode
-	// diagnosis across the server's lifetime.
-	droppedSuccesses atomic.Uint64
+	// obsOnce guards the lazily-built metrics registry (see obs.go).
+	obsOnce sync.Once
+	om      *coreMetrics
 }
 
 // NewServer returns a Server with the paper's defaults.
@@ -250,14 +254,18 @@ func (s *Server) Diagnose(failing *RunReport, successes []*RunReport) (*Diagnosi
 	start := time.Now()
 	f := failing.Failure
 
-	// Steps 2–3: trace processing.
+	// Steps 2–3: trace processing. The two halves are timed apart for
+	// the stage histograms; StageStats.DecodeTime keeps covering both.
 	stop := map[int]ir.PC{f.Tid: f.PC}
 	traces, err := pt.DecodeSnapshot(s.Mod, failing.Snapshot, s.PT, stop)
 	if err != nil {
 		return nil, fmt.Errorf("core: decoding failing trace: %w", err)
 	}
+	rawDecodeTime := time.Since(start)
+	procStart := time.Now()
 	scope, failTrace := traceproc.Process(traces)
-	decodeTime := time.Since(start)
+	procTime := time.Since(procStart)
+	decodeTime := rawDecodeTime + procTime
 
 	// Step 4: hybrid points-to analysis, scope restricted. Repeated
 	// diagnoses of the same program and executed scope — the Session
@@ -338,21 +346,26 @@ func (s *Server) Diagnose(failing *RunReport, successes []*RunReport) (*Diagnosi
 	// pool; observations commit in upload order so the scores are
 	// bit-identical to the serial path.
 	obsStart := time.Now()
+	m := s.metrics()
 	limit := s.MaxSuccessTraces
 	if limit <= 0 {
 		limit = 10
 	}
 	okObs, droppedOK := s.observeSuccesses(pats, successes, limit)
 	if droppedOK > 0 {
-		s.droppedSuccesses.Add(uint64(droppedOK))
+		m.dropped.Add(uint64(droppedOK))
 	}
-	obs := append([]statdiag.Observation{s.observe(pats, failTrace, true)}, okObs...)
-	scores := statdiag.Rank(pats, obs)
+	observations := append([]statdiag.Observation{s.observe(pats, failTrace, true)}, okObs...)
+	observeTime := time.Since(obsStart)
+	scoreStart := time.Now()
+	scores := statdiag.Rank(pats, observations)
 	best, unique := statdiag.Best(scores)
-	obsTime := time.Since(obsStart)
+	scoreTime := time.Since(scoreStart)
+	obsTime := observeTime + scoreTime
 
 	hits, misses := s.CacheStats()
 	rankCount := ranking.CountByRank(cands)
+	totalTime := time.Since(start)
 	d := &Diagnosis{
 		Best:     best,
 		Unique:   unique,
@@ -372,20 +385,38 @@ func (s *Server) Diagnose(failing *RunReport, successes []*RunReport) (*Diagnosi
 			RankTime:            rankTime,
 			PatternTime:         patTime,
 			ObserveTime:         obsTime,
-			TotalTime:           time.Since(start),
+			TotalTime:           totalTime,
 			PointsToCacheHit:    cacheHit,
 			PointsToCacheHits:   hits,
 			PointsToCacheMisses: misses,
 			Workers:             s.workerCount(),
 		},
 	}
+
+	// Commit the per-stage span in one pass, so every stage histogram's
+	// count equals the number of completed diagnoses; a diagnosis that
+	// errored out above recorded nothing.
+	if sp := s.span(); sp != nil {
+		sp.Record(obs.StageDecode, rawDecodeTime)
+		sp.Record(obs.StageTraceProc, procTime)
+		sp.Record(obs.StagePointsTo, ptTime)
+		sp.Record(obs.StageRank, rankTime)
+		sp.Record(obs.StagePattern, patTime)
+		sp.Record(obs.StageObserve, observeTime)
+		sp.Record(obs.StageStatDiag, scoreTime)
+		sp.Record(obs.StageTotal, totalTime)
+		sp.Commit()
+	}
+	m.diagnoses.Inc()
+	m.successTraces.Add(uint64(len(okObs)))
 	return d, nil
 }
 
 // DroppedSuccessCount returns the cumulative number of success traces
-// skipped by degraded-mode diagnosis since the server was created.
+// skipped by degraded-mode diagnosis since the server was created. It
+// reads the same registry counter the /metrics endpoint serves.
 func (s *Server) DroppedSuccessCount() uint64 {
-	return s.droppedSuccesses.Load()
+	return s.metrics().dropped.Value()
 }
 
 // deepAnchors walks corrupt-value provenance through memory: starting

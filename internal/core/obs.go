@@ -1,0 +1,83 @@
+package core
+
+import "snorlax/internal/obs"
+
+// Core metric names. The analysis server's own counters live in the
+// same registry the protocol layer and the /metrics endpoint read, so
+// "status" replies and Prometheus scrapes can never disagree.
+const (
+	// MetricDiagnoses counts completed core diagnoses.
+	MetricDiagnoses = "snorlax_diagnoses_total"
+	// MetricCacheHits / MetricCacheMisses count points-to analysis
+	// cache outcomes.
+	MetricCacheHits   = "snorlax_pointsto_cache_hits_total"
+	MetricCacheMisses = "snorlax_pointsto_cache_misses_total"
+	// MetricDroppedSuccesses counts success traces skipped by
+	// degraded-mode diagnosis.
+	MetricDroppedSuccesses = "snorlax_dropped_successes_total"
+	// MetricSuccessTraces counts success traces that survived decoding
+	// and fed statistical diagnosis.
+	MetricSuccessTraces = "snorlax_success_traces_observed_total"
+	// MetricObserveQueueDepth gauges success traces admitted to the
+	// current observe wave but not yet picked up by a worker.
+	MetricObserveQueueDepth = "snorlax_observe_queue_depth"
+	// MetricObserveInflight gauges success traces being decoded and
+	// observed right now.
+	MetricObserveInflight = "snorlax_observe_inflight"
+)
+
+// coreMetrics bundles the analysis server's registry handles.
+type coreMetrics struct {
+	reg      *obs.Registry
+	pipeline *obs.Pipeline
+
+	diagnoses     *obs.Counter
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter
+	dropped       *obs.Counter
+	successTraces *obs.Counter
+	observeQueue  *obs.Gauge
+	inflight      *obs.Gauge
+}
+
+// metrics lazily builds the server's registry and handles; the
+// protocol layer and HTTP endpoint share the same registry via
+// Metrics().
+func (s *Server) metrics() *coreMetrics {
+	s.obsOnce.Do(func() {
+		reg := obs.NewRegistry()
+		s.om = &coreMetrics{
+			reg:      reg,
+			pipeline: obs.NewPipeline(reg),
+			diagnoses: reg.Counter(MetricDiagnoses,
+				"Completed diagnoses (failing trace analyzed end to end)."),
+			cacheHits: reg.Counter(MetricCacheHits,
+				"Points-to analyses served from the scope-keyed cache."),
+			cacheMisses: reg.Counter(MetricCacheMisses,
+				"Points-to analyses solved from scratch."),
+			dropped: reg.Counter(MetricDroppedSuccesses,
+				"Success traces skipped as undecodable by degraded-mode diagnosis."),
+			successTraces: reg.Counter(MetricSuccessTraces,
+				"Success traces decoded and observed for statistical diagnosis."),
+			observeQueue: reg.Gauge(MetricObserveQueueDepth,
+				"Success traces queued for the observe worker pool."),
+			inflight: reg.Gauge(MetricObserveInflight,
+				"Success traces being decoded/observed right now."),
+		}
+	})
+	return s.om
+}
+
+// Metrics returns the server's metrics registry — the single source
+// of truth behind CacheStats, DroppedSuccessCount, the protocol
+// status reply, and the Prometheus endpoint.
+func (s *Server) Metrics() *obs.Registry { return s.metrics().reg }
+
+// span starts a per-diagnosis pipeline span, or nil (a no-op
+// recorder) when observability is disabled.
+func (s *Server) span() *obs.Span {
+	if s.DisableObs {
+		return nil
+	}
+	return s.metrics().pipeline.Span()
+}

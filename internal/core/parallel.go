@@ -48,7 +48,13 @@ func (s *Server) observeSuccesses(pats []*pattern.Pattern, successes []*RunRepor
 		obs statdiag.Observation
 		err error
 	}
+	m := s.metrics()
 	process := func(rep *RunReport) (res result) {
+		// Queue-pressure accounting: the trace left the wave's queue
+		// and is in flight on a worker.
+		m.observeQueue.Dec()
+		m.inflight.Inc()
+		defer m.inflight.Dec()
 		// A corrupt snapshot can do worse than return an error: ring
 		// bytes that decode into out-of-range PCs panic deep in the
 		// CFG walk. Degraded mode treats both the same way: drop the
@@ -72,6 +78,7 @@ func (s *Server) observeSuccesses(pats []*pattern.Pattern, successes []*RunRepor
 	for len(obs) < limit && next < len(eligible) {
 		batch := eligible[next:min(next+limit-len(obs), len(eligible))]
 		next += len(batch)
+		m.observeQueue.Add(int64(len(batch)))
 		results := make([]result, len(batch))
 		if workers := min(s.workerCount(), len(batch)); workers > 1 {
 			var wg sync.WaitGroup

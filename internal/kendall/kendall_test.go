@@ -97,3 +97,40 @@ func TestDuplicatesUseFirstPosition(t *testing.T) {
 		t.Errorf("distance = %d, want 0 (dup collapses to first index)", d)
 	}
 }
+
+// TestDistanceEdgeCases pins the degenerate inputs down in one table:
+// empty lists, single elements, duplicate ("tied") elements, and
+// disjoint element sets. Distance ranks only pairs at least one list
+// orders, so a pair present in neither list agrees by definition.
+func TestDistanceEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		a, b  []int
+		dist  int
+		pairs int
+		acc   float64
+	}{
+		{"both empty", nil, nil, 0, 0, 100},
+		{"one empty", []int{1, 2}, nil, 1, 1, 0},
+		{"single identical", []int{7}, []int{7}, 0, 0, 100},
+		{"single disjoint", []int{1}, []int{2}, 0, 1, 100},
+		{"all equal duplicates", []int{5, 5, 5}, []int{5, 5}, 0, 0, 100},
+		{"tied prefix collapses to first position", []int{1, 1, 2}, []int{1, 2}, 0, 1, 100},
+		{"single vs pair supersets", []int{1}, []int{1, 2}, 1, 1, 0},
+		{"reversed pair", []int{1, 2}, []int{2, 1}, 1, 1, 0},
+		{"duplicate does not double-count disagreement", []int{1, 2, 1}, []int{2, 1}, 1, 1, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if d := Distance(tc.a, tc.b); d != tc.dist {
+				t.Errorf("Distance(%v, %v) = %d, want %d", tc.a, tc.b, d, tc.dist)
+			}
+			if p := Pairs(tc.a, tc.b); p != tc.pairs {
+				t.Errorf("Pairs(%v, %v) = %d, want %d", tc.a, tc.b, p, tc.pairs)
+			}
+			if acc := OrderingAccuracy(tc.a, tc.b); acc != tc.acc {
+				t.Errorf("OrderingAccuracy(%v, %v) = %f, want %f", tc.a, tc.b, acc, tc.acc)
+			}
+		})
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4): one # HELP and # TYPE line
+// per family, then each series. Histograms expose cumulative
+// _bucket{le="..."} series ending at le="+Inf", plus _sum and _count.
+//
+// Families appear in first-registration order and series within a
+// family in registration order, so scrapes are deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var families []string
+	byFamily := map[string][]*Metric{}
+	for _, m := range r.Gather() {
+		if _, ok := byFamily[m.Name]; !ok {
+			families = append(families, m.Name)
+		}
+		byFamily[m.Name] = append(byFamily[m.Name], m)
+	}
+	for _, name := range families {
+		ms := byFamily[name]
+		if help := ms[0].Help; help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, ms[0].Kind); err != nil {
+			return err
+		}
+		for _, m := range ms {
+			if err := writeSeries(w, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, m *Metric) error {
+	switch m.Kind {
+	case KindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", m.Name, renderLabels(m.Labels, nil), m.Counter.Value())
+		return err
+	case KindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", m.Name, renderLabels(m.Labels, nil), m.Gauge.Value())
+		return err
+	case KindHistogram:
+		s := m.Histogram.Snapshot()
+		var cum uint64
+		for i, b := range s.Buckets {
+			cum += b
+			le := "+Inf"
+			if i < len(s.Bounds) {
+				le = formatFloat(s.Bounds[i])
+			}
+			extra := []Label{{Key: "le", Value: le}}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, renderLabels(m.Labels, extra), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, renderLabels(m.Labels, nil), formatFloat(s.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, renderLabels(m.Labels, nil), s.Count)
+		return err
+	}
+	return fmt.Errorf("obs: unknown metric kind %d", m.Kind)
+}
+
+// renderLabels formats {k="v",...}; extra labels (the histogram le)
+// are appended after the series labels. Empty label sets render as
+// nothing.
+func renderLabels(labels, extra []Label) string {
+	if len(labels)+len(extra) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	n := 0
+	for _, l := range append(append([]Label{}, labels...), extra...) {
+		if n > 0 {
+			sb.WriteByte(',')
+		}
+		n++
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,331 @@
+// Package obs is the diagnosis pipeline's observability core: a
+// small, dependency-free metrics registry of atomic counters, gauges
+// and fixed-bucket latency histograms, plus per-diagnosis pipeline
+// spans covering the eight Lazy Diagnosis stages.
+//
+// The paper's pitch is in-production diagnosis at ~1% overhead (§3,
+// §5); a server making that claim has to measure itself while it
+// serves traffic. Every operational number the system exposes — the
+// protocol "status" reply, the Prometheus /metrics endpoint — is a
+// view over one Registry, so the two can never drift apart, and the
+// metrics-consistency test suite pins them together.
+//
+// All metric operations are lock-free atomics on the hot path;
+// registration (done once at server construction) takes a mutex.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name=value pair qualifying a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Kind discriminates the metric types a Registry holds.
+type Kind int
+
+const (
+	// KindCounter is a monotonically increasing count.
+	KindCounter Kind = iota
+	// KindGauge is a value that can go up and down.
+	KindGauge
+	// KindHistogram is a fixed-bucket latency/size distribution.
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Counter is a monotonically increasing atomic count.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) reset() { c.v.Store(0) }
+
+// Gauge is an instantaneous value that can move in both directions —
+// open connections, queue depth, configured pool width.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (negative to decrement).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) reset() { g.v.Store(0) }
+
+// DefDurationBuckets are the default histogram bounds for stage and
+// request latencies, in seconds: 1µs to 10s, roughly logarithmic.
+// Diagnoses on the corpus run microseconds to low milliseconds; the
+// top buckets exist so a production-scale module cannot fall off the
+// end unnoticed.
+var DefDurationBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1, 2.5, 10,
+}
+
+// Histogram is a fixed-bucket distribution with atomic buckets, an
+// atomic float sum, and snapshot/reset semantics. Buckets are upper
+// bounds; an implicit +Inf bucket catches the tail.
+//
+// Observe is lock-free. Snapshot is not linearizable against
+// concurrent Observe calls — bucket counts, the total and the sum are
+// read independently — which is the standard trade for a lock-free
+// hot path; a quiesced histogram snapshots exactly.
+type Histogram struct {
+	bounds  []float64 // strictly increasing upper bounds
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly increasing at %d: %v", i, bounds))
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistSnapshot is a point-in-time copy of a histogram's state.
+type HistSnapshot struct {
+	// Bounds are the bucket upper bounds; Buckets has one extra final
+	// entry for +Inf. Counts are per-bucket, not cumulative.
+	Bounds  []float64
+	Buckets []uint64
+	// Count is the total number of observations, Sum their total.
+	Count uint64
+	Sum   float64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds:  h.bounds,
+		Buckets: make([]uint64, len(h.buckets)),
+		Count:   h.count.Load(),
+		Sum:     math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// SumDuration returns the sum as a time.Duration (for latency
+// histograms observed in seconds).
+func (h *Histogram) SumDuration() time.Duration {
+	return time.Duration(h.Sum() * float64(time.Second))
+}
+
+// Reset zeroes the histogram's buckets, count and sum.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sumBits.Store(0)
+}
+
+// Metric is one registered series: a name, optional labels, and
+// exactly one of the three value types.
+type Metric struct {
+	Name   string
+	Help   string
+	Labels []Label
+	Kind   Kind
+
+	Counter   *Counter
+	Gauge     *Gauge
+	Histogram *Histogram
+}
+
+// id renders the unique series identity (name plus sorted labels).
+func seriesID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteByte('=')
+		sb.WriteString(l.Value)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func sortLabels(labels []Label) []Label {
+	out := make([]Label, len(labels))
+	copy(out, labels)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Registry holds a set of named metrics. The zero value is not
+// usable; construct with NewRegistry. Registration is idempotent:
+// registering an existing (name, labels) series returns the existing
+// handle, so independent subsystems can share a series. Registering
+// the same series under a different kind panics — that is a
+// programming error, not a runtime condition.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*Metric
+	index   map[string]*Metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]*Metric)}
+}
+
+func (r *Registry) register(name, help string, kind Kind, labels []Label, build func() *Metric) *Metric {
+	labels = sortLabels(labels)
+	id := seriesID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.index[id]; ok {
+		if m.Kind != kind {
+			panic(fmt.Sprintf("obs: %s re-registered as %s (was %s)", id, kind, m.Kind))
+		}
+		return m
+	}
+	m := build()
+	m.Name, m.Help, m.Kind, m.Labels = name, help, kind, labels
+	r.metrics = append(r.metrics, m)
+	r.index[id] = m
+	return m
+}
+
+// Counter registers (or finds) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.register(name, help, KindCounter, labels, func() *Metric {
+		return &Metric{Counter: &Counter{}}
+	})
+	return m.Counter
+}
+
+// Gauge registers (or finds) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	m := r.register(name, help, KindGauge, labels, func() *Metric {
+		return &Metric{Gauge: &Gauge{}}
+	})
+	return m.Gauge
+}
+
+// Histogram registers (or finds) a histogram series with the given
+// bucket upper bounds (nil for DefDurationBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DefDurationBuckets
+	}
+	m := r.register(name, help, KindHistogram, labels, func() *Metric {
+		return &Metric{Histogram: newHistogram(bounds)}
+	})
+	return m.Histogram
+}
+
+// Gather returns the registered metrics in registration order. The
+// slice is a copy; the *Metric handles are live.
+func (r *Registry) Gather() []*Metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Metric, len(r.metrics))
+	copy(out, r.metrics)
+	return out
+}
+
+// Find returns the metric for (name, labels), or nil.
+func (r *Registry) Find(name string, labels ...Label) *Metric {
+	id := seriesID(name, sortLabels(labels))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.index[id]
+}
+
+// Reset zeroes every registered metric — counters, gauges and
+// histograms alike. It exists for tests and ablations; production
+// counters are cumulative by design.
+func (r *Registry) Reset() {
+	for _, m := range r.Gather() {
+		switch m.Kind {
+		case KindCounter:
+			m.Counter.reset()
+		case KindGauge:
+			m.Gauge.reset()
+		case KindHistogram:
+			m.Histogram.Reset()
+		}
+	}
+}

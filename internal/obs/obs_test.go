@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(7)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+	r.Reset()
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Errorf("Reset left c=%d g=%d", c.Value(), g.Value())
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", L("k", "v"))
+	b := r.Counter("x_total", "ignored on re-register", L("k", "v"))
+	if a != b {
+		t.Error("re-registering the same series returned a new handle")
+	}
+	other := r.Counter("x_total", "help", L("k", "w"))
+	if a == other {
+		t.Error("different label value shares a handle")
+	}
+	if n := len(r.Gather()); n != 2 {
+		t.Errorf("registry holds %d metrics, want 2", n)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("dual", "")
+}
+
+func TestHistogramBucketCorrectness(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "", []float64{1, 2, 5})
+	// One observation per region: [..1], (1..2], (2..5], (5..Inf).
+	for _, v := range []float64{0.5, 1.0, 1.5, 2.0, 3.0, 10.0} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// Upper bounds are inclusive, matching Prometheus le semantics.
+	want := []uint64{2, 2, 1, 1}
+	for i, w := range want {
+		if s.Buckets[i] != w {
+			t.Errorf("bucket %d = %d, want %d (snapshot %+v)", i, s.Buckets[i], w, s)
+		}
+	}
+	if s.Count != 6 {
+		t.Errorf("count = %d, want 6", s.Count)
+	}
+	if math.Abs(s.Sum-18.0) > 1e-12 {
+		t.Errorf("sum = %f, want 18", s.Sum)
+	}
+	h.Reset()
+	s = h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 {
+		t.Errorf("reset snapshot = %+v", s)
+	}
+	for i, b := range s.Buckets {
+		if b != 0 {
+			t.Errorf("reset bucket %d = %d", i, b)
+		}
+	}
+}
+
+func TestHistogramDurationHelpers(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d_seconds", "", nil)
+	h.ObserveDuration(1500 * time.Millisecond)
+	h.ObserveDuration(500 * time.Millisecond)
+	if got := h.SumDuration(); got != 2*time.Second {
+		t.Errorf("SumDuration = %v, want 2s", got)
+	}
+	if h.Count() != 2 {
+		t.Errorf("Count = %d", h.Count())
+	}
+}
+
+func TestHistogramBoundsMustIncrease(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-increasing bounds did not panic")
+		}
+	}()
+	NewRegistry().Histogram("bad", "", []float64{1, 1})
+}
+
+func TestConcurrentObservationsAddUp(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "")
+	g := r.Gauge("depth", "")
+	h := r.Histogram("lat_seconds", "", []float64{0.5})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Inc()
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Errorf("gauge = %d, want %d", g.Value(), workers*per)
+	}
+	s := h.Snapshot()
+	if s.Count != workers*per || s.Buckets[0] != workers*per {
+		t.Errorf("histogram count = %d bucket0 = %d, want %d", s.Count, s.Buckets[0], workers*per)
+	}
+	if math.Abs(s.Sum-0.25*workers*per) > 1e-6 {
+		t.Errorf("sum = %f", s.Sum)
+	}
+}
+
+func TestPipelineSpanCommitKeepsStagesInLockstep(t *testing.T) {
+	r := NewRegistry()
+	p := NewPipeline(r)
+	sp := p.Span()
+	sp.Record(StageDecode, 2*time.Millisecond)
+	sp.Add(StageRank, time.Millisecond)
+	sp.Add(StageRank, time.Millisecond)
+	sp.Record(StageTotal, 5*time.Millisecond)
+	sp.Commit()
+	for st := Stage(0); st < NumStages; st++ {
+		if got := p.Stage(st).Count(); got != 1 {
+			t.Errorf("stage %s count = %d, want 1", st, got)
+		}
+	}
+	if got := p.Stage(StageRank).SumDuration(); got != 2*time.Millisecond {
+		t.Errorf("rank sum = %v, want 2ms", got)
+	}
+	// An abandoned span records nothing.
+	p.Span().Record(StagePattern, time.Second)
+	if got := p.Stage(StagePattern).Count(); got != 1 {
+		t.Errorf("abandoned span leaked: pattern count = %d", got)
+	}
+}
+
+func TestNilSpanIsNoOp(t *testing.T) {
+	var sp *Span
+	sp.Record(StageDecode, time.Second)
+	sp.Add(StageTotal, time.Second)
+	sp.Commit() // must not panic
+	var p *Pipeline
+	if p.Span() != nil {
+		t.Error("nil pipeline span should be nil")
+	}
+}
+
+func TestStageNamesCoverAllStages(t *testing.T) {
+	seen := map[string]bool{}
+	for st := Stage(0); st < NumStages; st++ {
+		name := st.String()
+		if name == "unknown" || name == "" {
+			t.Errorf("stage %d has no name", st)
+		}
+		if seen[name] {
+			t.Errorf("duplicate stage name %q", name)
+		}
+		seen[name] = true
+	}
+	if Stage(-1).String() != "unknown" || NumStages.String() != "unknown" {
+		t.Error("out-of-range stages should be unknown")
+	}
+}
+
+func TestFindLabelOrderInsensitive(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("multi_total", "", L("a", "1"), L("b", "2"))
+	m := r.Find("multi_total", L("b", "2"), L("a", "1"))
+	if m == nil || m.Counter != c {
+		t.Error("Find with reordered labels missed the series")
+	}
+	if r.Find("multi_total") != nil {
+		t.Error("Find without labels matched a labeled series")
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("snorlax_things_total", "Things counted.", L("kind", "odd\"one\\x"))
+	c.Add(3)
+	g := r.Gauge("snorlax_depth", "Queue depth.\nSecond line.")
+	g.Set(-2)
+	h := r.Histogram("snorlax_lat_seconds", "Latency.", []float64{0.001, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(7)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP snorlax_things_total Things counted.\n",
+		"# TYPE snorlax_things_total counter\n",
+		`snorlax_things_total{kind="odd\"one\\x"} 3` + "\n",
+		"# HELP snorlax_depth Queue depth.\\nSecond line.\n",
+		"# TYPE snorlax_depth gauge\n",
+		"snorlax_depth -2\n",
+		"# TYPE snorlax_lat_seconds histogram\n",
+		`snorlax_lat_seconds_bucket{le="0.001"} 1` + "\n",
+		`snorlax_lat_seconds_bucket{le="0.1"} 2` + "\n",
+		`snorlax_lat_seconds_bucket{le="+Inf"} 3` + "\n",
+		"snorlax_lat_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpositionHistogramFamilyTypedOnce(t *testing.T) {
+	r := NewRegistry()
+	p := NewPipeline(r)
+	p.Span().Commit()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if got := strings.Count(out, "# TYPE "+StageSecondsName+" histogram\n"); got != 1 {
+		t.Errorf("stage family TYPE emitted %d times, want once:\n%s", got, out)
+	}
+	if got := strings.Count(out, StageSecondsName+`_bucket{stage="total",le="+Inf"} 1`); got != 1 {
+		t.Errorf("total stage +Inf bucket missing:\n%s", out)
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import "time"
+
+// Stage enumerates the eight Lazy Diagnosis pipeline stages a
+// diagnosis span covers, in pipeline order. The numbering follows the
+// paper's Figure 2 steps: failing-trace decode (2), trace processing
+// into scope + partial order (3), hybrid points-to analysis (4),
+// type-based ranking (5), bug-pattern computation (6), success-trace
+// decode/observation fan-out (7/8), statistical F1 scoring (7), and
+// the end-to-end total.
+type Stage int
+
+const (
+	// StageDecode is failing-trace decode (step 2).
+	StageDecode Stage = iota
+	// StageTraceProc builds the executed scope and the
+	// partially-ordered dynamic trace (step 3).
+	StageTraceProc
+	// StagePointsTo is the scope-restricted points-to solve (step 4);
+	// near zero on an analysis-cache hit.
+	StagePointsTo
+	// StageRank is type-based candidate ranking (step 5).
+	StageRank
+	// StagePattern is bug-pattern computation, including the
+	// deep-anchor and multi-variable extensions (step 6).
+	StagePattern
+	// StageObserve is the success-trace decode/observe fan-out across
+	// the worker pool (steps 7–8).
+	StageObserve
+	// StageStatDiag is statistical diagnosis proper: scoring every
+	// pattern's F1 over the observations (step 7).
+	StageStatDiag
+	// StageTotal is the whole server-side analysis for one failure.
+	StageTotal
+	// NumStages counts the stages above.
+	NumStages
+)
+
+// StageNames lists the label values in Stage order.
+var StageNames = [NumStages]string{
+	"decode", "trace_process", "points_to", "rank",
+	"pattern", "observe", "stat_diag", "total",
+}
+
+func (s Stage) String() string {
+	if s < 0 || s >= NumStages {
+		return "unknown"
+	}
+	return StageNames[s]
+}
+
+// StageSecondsName is the metric family holding per-stage latency
+// histograms, one series per stage label.
+const StageSecondsName = "snorlax_stage_seconds"
+
+// Pipeline is the per-stage latency surface of the diagnosis
+// pipeline: one histogram per stage, all in one registry family.
+type Pipeline struct {
+	stages [NumStages]*Histogram
+}
+
+// NewPipeline registers the eight stage histograms on r and returns
+// the pipeline.
+func NewPipeline(r *Registry) *Pipeline {
+	p := &Pipeline{}
+	for st := Stage(0); st < NumStages; st++ {
+		p.stages[st] = r.Histogram(StageSecondsName,
+			"Wall-clock seconds spent in each Lazy Diagnosis pipeline stage, per diagnosis.",
+			nil, L("stage", st.String()))
+	}
+	return p
+}
+
+// Stage returns the histogram for one stage.
+func (p *Pipeline) Stage(s Stage) *Histogram { return p.stages[s] }
+
+// Span collects one diagnosis's stage durations and commits them to
+// the pipeline histograms in a single pass, so a diagnosis that
+// errors out mid-pipeline records nothing and every stage histogram's
+// count stays equal to the number of completed diagnoses.
+//
+// A nil *Span is a valid no-op recorder — the disabled-observability
+// path costs two nil checks per stage.
+type Span struct {
+	p    *Pipeline
+	durs [NumStages]time.Duration
+}
+
+// Span starts an empty span against the pipeline.
+func (p *Pipeline) Span() *Span {
+	if p == nil {
+		return nil
+	}
+	return &Span{p: p}
+}
+
+// Record sets one stage's duration (later calls overwrite).
+func (sp *Span) Record(s Stage, d time.Duration) {
+	if sp == nil {
+		return
+	}
+	sp.durs[s] = d
+}
+
+// Add accumulates into one stage's duration — for stages measured in
+// several slices (ranking's deep-anchor re-ranks, say).
+func (sp *Span) Add(s Stage, d time.Duration) {
+	if sp == nil {
+		return
+	}
+	sp.durs[s] += d
+}
+
+// Commit observes every stage into its histogram. Stages never
+// recorded are committed as zero-duration observations, keeping all
+// eight histogram counts in lockstep.
+func (sp *Span) Commit() {
+	if sp == nil {
+		return
+	}
+	for st := Stage(0); st < NumStages; st++ {
+		sp.p.stages[st].ObserveDuration(sp.durs[st])
+	}
+}

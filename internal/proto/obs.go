@@ -1,0 +1,138 @@
+package proto
+
+import (
+	"time"
+
+	"snorlax/internal/obs"
+)
+
+// Protocol metric names, registered on the core server's registry so
+// the whole pipeline — analysis stages, cache, wire protocol — scrapes
+// as one surface and the "status" reply is a view over it.
+const (
+	MetricOpenConns       = "snorlax_open_conns"
+	MetricActiveDiagnoses = "snorlax_active_diagnoses"
+	MetricQueuedDiagnoses = "snorlax_queued_diagnoses"
+	MetricMaxConcurrent   = "snorlax_max_concurrent_diagnoses"
+	MetricWorkers         = "snorlax_observe_workers"
+
+	MetricDiagnosesCompleted = "snorlax_diagnoses_completed_total"
+	MetricDiagnosesFailed    = "snorlax_diagnoses_failed_total"
+	MetricDeadlineDrops      = "snorlax_deadline_drops_total"
+	MetricOversizeRejects    = "snorlax_oversize_rejects_total"
+	MetricPanicsRecovered    = "snorlax_panics_recovered_total"
+	MetricAcceptRetries      = "snorlax_accept_retries_total"
+	MetricRxBytes            = "snorlax_rx_bytes_total"
+	MetricTxBytes            = "snorlax_tx_bytes_total"
+
+	MetricDiagnoseSeconds = "snorlax_diagnose_seconds"
+	MetricRequests        = "snorlax_requests_total"
+	MetricRequestSeconds  = "snorlax_request_seconds"
+)
+
+// requestKinds are the label values per-request metrics are keyed by.
+// Request.Kind is client-controlled, so anything unrecognized is
+// bucketed under "other" rather than minting unbounded label values.
+var requestKinds = []string{"failure", "success", "diagnose", "status", "other"}
+
+type requestMetrics struct {
+	total   *obs.Counter
+	seconds *obs.Histogram
+}
+
+// protoMetrics bundles the protocol server's registry handles. Every
+// ServerStatus field with a counter semantic reads one of these — the
+// status reply holds no state of its own.
+type protoMetrics struct {
+	openConns     *obs.Gauge
+	active        *obs.Gauge
+	queued        *obs.Gauge
+	maxConcurrent *obs.Gauge
+	workers       *obs.Gauge
+
+	completed       *obs.Counter
+	failed          *obs.Counter
+	deadlineDrops   *obs.Counter
+	oversizeRejects *obs.Counter
+	panicsRecovered *obs.Counter
+	acceptRetries   *obs.Counter
+	rxBytes         *obs.Counter
+	txBytes         *obs.Counter
+
+	diagnoseSeconds *obs.Histogram
+	requests        map[string]requestMetrics
+}
+
+func newProtoMetrics(reg *obs.Registry) *protoMetrics {
+	m := &protoMetrics{
+		openConns: reg.Gauge(MetricOpenConns, "Currently connected clients."),
+		active:    reg.Gauge(MetricActiveDiagnoses, "Diagnoses running right now."),
+		queued:    reg.Gauge(MetricQueuedDiagnoses, "Diagnoses waiting on the concurrency semaphore."),
+		maxConcurrent: reg.Gauge(MetricMaxConcurrent,
+			"Effective diagnosis semaphore width (configuration echo)."),
+		workers: reg.Gauge(MetricWorkers,
+			"Effective success-trace worker pool size (configuration echo)."),
+		completed: reg.Counter(MetricDiagnosesCompleted, "Diagnose requests answered with a diagnosis."),
+		failed:    reg.Counter(MetricDiagnosesFailed, "Diagnose requests answered with an error."),
+		deadlineDrops: reg.Counter(MetricDeadlineDrops,
+			"Connections dropped for blowing a read or write deadline."),
+		oversizeRejects: reg.Counter(MetricOversizeRejects,
+			"Messages and snapshots rejected for exceeding the byte caps."),
+		panicsRecovered: reg.Counter(MetricPanicsRecovered,
+			"Panics caught in connection handlers and diagnoses."),
+		acceptRetries: reg.Counter(MetricAcceptRetries,
+			"Transient listener Accept errors retried with backoff."),
+		rxBytes: reg.Counter(MetricRxBytes, "Bytes read from client connections."),
+		txBytes: reg.Counter(MetricTxBytes, "Bytes written to client connections."),
+		diagnoseSeconds: reg.Histogram(MetricDiagnoseSeconds,
+			"Wall-clock seconds per diagnosis, semaphore wait excluded.", nil),
+		requests: make(map[string]requestMetrics, len(requestKinds)),
+	}
+	for _, kind := range requestKinds {
+		m.requests[kind] = requestMetrics{
+			total: reg.Counter(MetricRequests,
+				"Requests served, by request kind.", obs.L("kind", kind)),
+			seconds: reg.Histogram(MetricRequestSeconds,
+				"Wall-clock seconds serving each request, by kind.", nil, obs.L("kind", kind)),
+		}
+	}
+	return m
+}
+
+// observeRequest records one served request's latency under its kind.
+func (m *protoMetrics) observeRequest(kind string, d time.Duration) {
+	rm, ok := m.requests[kind]
+	if !ok {
+		rm = m.requests["other"]
+	}
+	rm.total.Inc()
+	rm.seconds.ObserveDuration(d)
+}
+
+// countingReader counts bytes pulled off a connection into rxBytes.
+type countingReader struct {
+	r interface{ Read([]byte) (int, error) }
+	c *obs.Counter
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	if n > 0 {
+		cr.c.Add(uint64(n))
+	}
+	return n, err
+}
+
+// countingWriter counts bytes pushed onto a connection into txBytes.
+type countingWriter struct {
+	w interface{ Write([]byte) (int, error) }
+	c *obs.Counter
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	if n > 0 {
+		cw.c.Add(uint64(n))
+	}
+	return n, err
+}

@@ -35,6 +35,7 @@ import (
 
 	"snorlax/internal/core"
 	"snorlax/internal/ir"
+	"snorlax/internal/obs"
 	"snorlax/internal/pt"
 )
 
@@ -152,17 +153,11 @@ type Server struct {
 	once sync.Once
 	sem  chan struct{}
 
-	conns     atomic.Int64
-	active    atomic.Int64
-	queued    atomic.Int64
-	completed atomic.Uint64
-	failed    atomic.Uint64
-	// diagnoseNS accumulates wall time spent inside core Diagnose.
-	diagnoseNS atomic.Int64
-
-	deadlineDrops   atomic.Uint64
-	oversizeRejects atomic.Uint64
-	panicsRecovered atomic.Uint64
+	// om holds the registry handles every operational counter lives
+	// in; the registry itself belongs to Core, so protocol, pipeline
+	// and cache metrics scrape as one surface (see obs.go). Status()
+	// is a read-only view over these handles.
+	om *protoMetrics
 
 	// shutdown flips once Shutdown begins; handlers exit between
 	// requests and Serve loops return instead of re-accepting.
@@ -194,7 +189,22 @@ func (s *Server) init() {
 		}
 		s.MaxConcurrent = n
 		s.sem = make(chan struct{}, n)
+		s.om = newProtoMetrics(s.Core.Metrics())
+		s.om.maxConcurrent.Set(int64(n))
+		workers := s.Core.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		s.om.workers.Set(int64(workers))
 	})
+}
+
+// Metrics returns the registry behind the server's counters — the
+// same one core.Server.Metrics() yields — after ensuring the protocol
+// metrics are registered on it.
+func (s *Server) Metrics() *obs.Registry {
+	s.init()
+	return s.Core.Metrics()
 }
 
 func (s *Server) maxSnapshotBytes() int64 {
@@ -245,51 +255,51 @@ func snapshotBytes(snap *pt.Snapshot) int64 {
 // is recovered into an error so the connection (and server) survive.
 func (s *Server) diagnose(failing *core.RunReport, successes []*core.RunReport) (d *core.Diagnosis, err error) {
 	s.init()
-	s.queued.Add(1)
+	s.om.queued.Inc()
 	s.sem <- struct{}{}
-	s.queued.Add(-1)
-	s.active.Add(1)
+	s.om.queued.Dec()
+	s.om.active.Inc()
 	start := time.Now()
 	defer func() {
 		if p := recover(); p != nil {
-			s.panicsRecovered.Add(1)
+			s.om.panicsRecovered.Inc()
 			d, err = nil, fmt.Errorf("diagnosis panicked: %v", p)
 		}
-		s.diagnoseNS.Add(int64(time.Since(start)))
-		s.active.Add(-1)
+		s.om.diagnoseSeconds.ObserveDuration(time.Since(start))
+		s.om.active.Dec()
 		<-s.sem
 		if err != nil {
-			s.failed.Add(1)
+			s.om.failed.Inc()
 		} else {
-			s.completed.Add(1)
+			s.om.completed.Inc()
 		}
 	}()
 	return s.Core.Diagnose(failing, successes)
 }
 
-// Status snapshots the server's counters.
+// Status snapshots the server's counters. Every field is read from
+// the metrics registry (directly, or through the core server's
+// registry-backed accessors), so a status reply and a /metrics scrape
+// of a quiesced server always agree — the consistency the obs test
+// suite asserts.
 func (s *Server) Status() ServerStatus {
 	s.init()
 	hits, misses := s.Core.CacheStats()
-	workers := s.Core.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	return ServerStatus{
-		OpenConns:          s.conns.Load(),
-		ActiveDiagnoses:    s.active.Load(),
-		QueuedDiagnoses:    s.queued.Load(),
-		CompletedDiagnoses: s.completed.Load(),
-		FailedDiagnoses:    s.failed.Load(),
-		MaxConcurrent:      s.MaxConcurrent,
-		Workers:            workers,
+		OpenConns:          s.om.openConns.Value(),
+		ActiveDiagnoses:    s.om.active.Value(),
+		QueuedDiagnoses:    s.om.queued.Value(),
+		CompletedDiagnoses: s.om.completed.Value(),
+		FailedDiagnoses:    s.om.failed.Value(),
+		MaxConcurrent:      int(s.om.maxConcurrent.Value()),
+		Workers:            int(s.om.workers.Value()),
 		CacheHits:          hits,
 		CacheMisses:        misses,
-		DiagnoseTime:       time.Duration(s.diagnoseNS.Load()),
+		DiagnoseTime:       s.om.diagnoseSeconds.SumDuration(),
 		DroppedSuccesses:   s.Core.DroppedSuccessCount(),
-		DeadlineDrops:      s.deadlineDrops.Load(),
-		OversizeRejects:    s.oversizeRejects.Load(),
-		PanicsRecovered:    s.panicsRecovered.Load(),
+		DeadlineDrops:      s.om.deadlineDrops.Value(),
+		OversizeRejects:    s.om.oversizeRejects.Value(),
+		PanicsRecovered:    s.om.panicsRecovered.Value(),
 	}
 }
 
@@ -312,6 +322,7 @@ func (s *Server) Serve(ln net.Listener) error {
 				return nil
 			}
 			if te, ok := err.(interface{ Temporary() bool }); ok && te.Temporary() {
+				s.om.acceptRetries.Inc()
 				if delay == 0 {
 					delay = 5 * time.Millisecond
 				} else {
@@ -459,18 +470,19 @@ func (l *limitedReader) Read(p []byte) (int, error) {
 }
 
 func (s *Server) handle(conn net.Conn) {
+	s.init() // handle is also an entry point (pipe transports in tests)
 	st := &connState{conn: conn}
 	if !s.trackConn(st) {
 		conn.Close()
 		return
 	}
 	defer s.untrackConn(st)
-	s.conns.Add(1)
-	defer s.conns.Add(-1)
+	s.om.openConns.Inc()
+	defer s.om.openConns.Dec()
 	defer conn.Close()
-	lim := &limitedReader{r: conn, limit: s.frameLimit()}
+	lim := &limitedReader{r: &countingReader{r: conn, c: s.om.rxBytes}, limit: s.frameLimit()}
 	dec := gob.NewDecoder(lim)
-	enc := gob.NewEncoder(conn)
+	enc := gob.NewEncoder(&countingWriter{w: conn, c: s.om.txBytes})
 
 	var failing *core.RunReport
 	var successes []*core.RunReport
@@ -484,7 +496,7 @@ func (s *Server) handle(conn net.Conn) {
 			conn.SetWriteDeadline(time.Time{})
 		}
 		if isTimeout(err) {
-			s.deadlineDrops.Add(1)
+			s.om.deadlineDrops.Inc()
 		}
 		return err == nil
 	}
@@ -492,7 +504,7 @@ func (s *Server) handle(conn net.Conn) {
 	// somewhere impossible costs its own connection, never the server.
 	defer func() {
 		if p := recover(); p != nil {
-			s.panicsRecovered.Add(1)
+			s.om.panicsRecovered.Inc()
 			reply(Response{Kind: "error", Err: fmt.Sprintf("internal error: %v", p)})
 		}
 	}()
@@ -510,15 +522,17 @@ func (s *Server) handle(conn net.Conn) {
 			case lim.tripped:
 				// The stream is poisoned mid-message; say why, then
 				// disconnect.
-				s.oversizeRejects.Add(1)
+				s.om.oversizeRejects.Inc()
 				reply(Response{Kind: "error", Err: "message exceeds frame limit"})
 			case isTimeout(err):
-				s.deadlineDrops.Add(1)
+				s.om.deadlineDrops.Inc()
 			}
 			return // transport/decode failure: the stream is unusable
 		}
 		st.busy.Store(true)
+		reqStart := time.Now()
 		keep := s.serveRequest(req, &failing, &successes, reply)
+		s.om.observeRequest(req.Kind, time.Since(reqStart))
 		st.busy.Store(false)
 		if !keep {
 			return
@@ -536,7 +550,7 @@ func (s *Server) serveRequest(req Request, failing **core.RunReport, successes *
 			return reply(Response{Kind: "error", Err: "failure request missing report or snapshot"})
 		}
 		if cap := s.maxSnapshotBytes(); cap > 0 && snapshotBytes(req.Snapshot) > cap {
-			s.oversizeRejects.Add(1)
+			s.om.oversizeRejects.Inc()
 			return reply(Response{Kind: "error", Err: fmt.Sprintf("failure snapshot exceeds %d-byte cap", cap)})
 		}
 		*failing = &core.RunReport{Failure: req.Failure, Snapshot: req.Snapshot}
@@ -544,7 +558,7 @@ func (s *Server) serveRequest(req Request, failing **core.RunReport, successes *
 		return reply(Response{Kind: "armed", TriggerPC: req.Failure.PC})
 	case "success":
 		if cap := s.maxSnapshotBytes(); cap > 0 && snapshotBytes(req.Snapshot) > cap {
-			s.oversizeRejects.Add(1)
+			s.om.oversizeRejects.Inc()
 			return reply(Response{Kind: "error", Err: fmt.Sprintf("success snapshot exceeds %d-byte cap", cap)})
 		}
 		if cap := s.maxSuccesses(); cap > 0 && len(*successes) >= cap {

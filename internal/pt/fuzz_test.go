@@ -7,11 +7,11 @@ import (
 	"snorlax/internal/vm"
 )
 
-// FuzzDecode checks the decoder's total robustness: arbitrary bytes —
-// including corrupted tails of genuine traces — must produce an error
-// or a valid trace, never a panic or an out-of-range PC.
-func FuzzDecode(f *testing.F) {
-	// Seed with a genuine captured stream.
+// seedModule is the IR program whose genuine trace streams seed
+// FuzzDecode, both here and in the checked-in corpus under
+// testdata/fuzz (see corpus_test.go).
+func seedModule(tb testing.TB) *ir.Module {
+	tb.Helper()
 	mod, err := ir.Parse(`
 module seedprog
 global total: int
@@ -42,14 +42,30 @@ entry:
 }
 `)
 	if err != nil {
-		f.Fatal(err)
+		tb.Fatal(err)
 	}
+	return mod
+}
+
+// seedSnapshot runs the seed program deterministically under the
+// encoder and returns the captured snapshot.
+func seedSnapshot(tb testing.TB) (*ir.Module, *Snapshot) {
+	tb.Helper()
+	mod := seedModule(tb)
 	enc := NewEncoder(Config{})
 	res := vm.Run(mod, vm.Config{Seed: 1, Sink: enc})
 	if res.Failed() {
-		f.Fatal(res.Failure)
+		tb.Fatal(res.Failure)
 	}
-	snap := enc.Snapshot()
+	return mod, enc.Snapshot()
+}
+
+// FuzzDecode checks the decoder's total robustness: arbitrary bytes —
+// including corrupted tails of genuine traces — must produce an error
+// or a valid trace, never a panic or an out-of-range PC.
+func FuzzDecode(f *testing.F) {
+	// Seed with a genuine captured stream.
+	mod, snap := seedSnapshot(f)
 	for _, tid := range snap.Tids() {
 		f.Add(snap.Threads[tid].Data, false)
 	}

@@ -131,3 +131,62 @@ func TestF1Bounds(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestF1Boundaries tables the degenerate observation sets §4.5's F1
+// can see in production: no observations at all, zero successful
+// traces (the cold-start case statistical diagnosis exists to get out
+// of), and failure-only or success-only pattern occurrence.
+func TestF1Boundaries(t *testing.T) {
+	p := pat(pattern.KindOrderViolation, "WR", 1, 2)
+	cases := []struct {
+		name          string
+		observations  []Observation
+		prec, rec, f1 float64
+	}{
+		{"no observations", nil, 0, 0, 0},
+		{"zero successes, always present",
+			[]Observation{obs(true, p.Key()), obs(true, p.Key())}, 1, 1, 1},
+		{"zero successes, never present",
+			[]Observation{obs(true), obs(true)}, 0, 0, 0},
+		{"all failing, present once",
+			[]Observation{obs(true, p.Key()), obs(true)}, 1, 0.5, 2.0 / 3},
+		{"present only in successes",
+			[]Observation{obs(true), obs(false, p.Key())}, 0, 0, 0},
+		{"successes only, pattern absent",
+			[]Observation{obs(false), obs(false)}, 0, 0, 0},
+		{"half precision, full recall",
+			[]Observation{obs(true, p.Key()), obs(false, p.Key()), obs(false)}, 0.5, 1, 2.0 / 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			scores := Rank([]*pattern.Pattern{p}, tc.observations)
+			if len(scores) != 1 {
+				t.Fatalf("got %d scores", len(scores))
+			}
+			s := scores[0]
+			if s.Precision != tc.prec || s.Recall != tc.rec || math.Abs(s.F1-tc.f1) > 1e-12 {
+				t.Errorf("P/R/F1 = %v/%v/%v, want %v/%v/%v",
+					s.Precision, s.Recall, s.F1, tc.prec, tc.rec, tc.f1)
+			}
+		})
+	}
+}
+
+// TestBestSpecificityTieBreak covers Best's uniqueness contract on
+// exact F1 ties: more constrained events win; equally constrained
+// ties are reported as ambiguous.
+func TestBestSpecificityTieBreak(t *testing.T) {
+	triple := pat(pattern.KindAtomicityViolation, "RWR", 1, 2, 3)
+	pair := pat(pattern.KindOrderViolation, "WR", 1, 2)
+	observations := []Observation{obs(true, triple.Key(), pair.Key()), obs(false)}
+	best, unique := Best(Rank([]*pattern.Pattern{pair, triple}, observations))
+	if !unique || best.Pattern != triple {
+		t.Errorf("best = %v (unique=%v), want the atomicity triple uniquely", best.Pattern.Key(), unique)
+	}
+
+	other := pat(pattern.KindOrderViolation, "WR", 3, 4)
+	observations = []Observation{obs(true, pair.Key(), other.Key()), obs(false)}
+	if _, unique := Best(Rank([]*pattern.Pattern{pair, other}, observations)); unique {
+		t.Error("equal-specificity exact tie reported as unique")
+	}
+}

@@ -2,11 +2,14 @@ package snorlax
 
 import (
 	"context"
+	"io"
 	"net"
+	"net/http"
 	"time"
 
 	"snorlax/internal/core"
 	"snorlax/internal/ir"
+	"snorlax/internal/obs"
 	"snorlax/internal/proto"
 	"snorlax/internal/pt"
 )
@@ -65,8 +68,25 @@ func (s *Server) Serve(ln net.Listener) error { return s.ps.Serve(ln) }
 func (s *Server) Shutdown(ctx context.Context) error { return s.ps.Shutdown(ctx) }
 
 // Status reports the server's counters directly, without a client
-// round trip.
+// round trip. It is a view over the same metrics registry the
+// /metrics endpoint serves — the two cannot disagree on a quiesced
+// server.
 func (s *Server) Status() ServerStatus { return publicStatus(s.ps.Status()) }
+
+// MetricsMux returns the server's opt-in operational HTTP surface:
+// GET /metrics serves every pipeline, cache and protocol metric in
+// Prometheus text exposition format, and /debug/pprof/* serves the
+// standard profiling endpoints. Nothing serves it by default — mount
+// it on a listener the operator chose (the CLI's -metrics-addr flag).
+func (s *Server) MetricsMux() *http.ServeMux {
+	return obs.DebugMux(s.ps.Metrics())
+}
+
+// WriteMetrics renders the server's metrics in Prometheus text
+// exposition format without going through HTTP.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	return s.ps.Metrics().WritePrometheus(w)
+}
 
 // Serve runs a diagnosis server for prog on the listener with default
 // concurrency, blocking until the listener closes. Production clients

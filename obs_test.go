@@ -1,0 +1,122 @@
+package snorlax_test
+
+// Observability surface tests for the public API: the metrics
+// endpoint a deployment scrapes, the text rendering, and the hermetic
+// budget check that the metrics layer stays within its overhead bar.
+
+import (
+	"bytes"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	snorlax "snorlax"
+	"snorlax/internal/core"
+)
+
+func TestPublicMetricsSurface(t *testing.T) {
+	failProg := uafProgram(true)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	srv := snorlax.NewServer(failProg, snorlax.ServeConfig{})
+	go srv.Serve(ln)
+
+	rd, err := snorlax.Dial("tcp", ln.Addr().String(), failProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	failing := failProg.Run(snorlax.RunOptions{Seed: 1})
+	if _, err := rd.ReportFailure(failing); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Diagnose(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := srv.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE snorlax_stage_seconds histogram",
+		`snorlax_stage_seconds_count{stage="total"} 1`,
+		"snorlax_diagnoses_completed_total 1",
+		"snorlax_pointsto_cache_misses_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("WriteMetrics output is missing %q", want)
+		}
+	}
+
+	mux := srv.MetricsMux()
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("GET /metrics = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if got := rr.Body.String(); !strings.Contains(got, "snorlax_diagnoses_completed_total 1") {
+		t.Error("HTTP /metrics page disagrees with WriteMetrics")
+	}
+	rr = httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rr.Code != 200 {
+		t.Errorf("GET /debug/pprof/ = %d", rr.Code)
+	}
+}
+
+// TestObservabilityOverheadBudget is the hermetic form of
+// BenchmarkObservabilityOverhead: the same 12-trace diagnosis with
+// stage histograms on and off, interleaved, min-of-samples on both
+// sides to shed scheduler noise, asserting the <5% overhead bar the
+// observability layer is designed to.
+func TestObservabilityOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped with -short")
+	}
+	failInst, rep, oks := manySuccessReports(t)
+	mkServer := func(disabled bool) *core.Server {
+		srv := core.NewServer(failInst.Mod)
+		srv.MaxSuccessTraces = len(oks)
+		srv.DisableObs = disabled
+		if _, err := srv.Diagnose(rep, oks); err != nil { // warm the cache
+			t.Fatal(err)
+		}
+		return srv
+	}
+	on, off := mkServer(false), mkServer(true)
+	sample := func(srv *core.Server) time.Duration {
+		const iters = 3
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := srv.Diagnose(rep, oks); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start) / iters
+	}
+	minOn, minOff := time.Duration(1<<62), time.Duration(1<<62)
+	for i := 0; i < 6; i++ {
+		if d := sample(off); d < minOff {
+			minOff = d
+		}
+		if d := sample(on); d < minOn {
+			minOn = d
+		}
+	}
+	overhead := 100 * (float64(minOn) - float64(minOff)) / float64(minOff)
+	t.Logf("diagnosis: obs on %v, obs off %v, overhead %.2f%%", minOn, minOff, overhead)
+	if overhead > 5 {
+		t.Errorf("observability overhead %.2f%% exceeds the 5%% budget (on %v, off %v)",
+			overhead, minOn, minOff)
+	}
+}

@@ -8,6 +8,11 @@
 //	snorlax -list
 //	snorlax -bug pbzip2-1
 //	snorlax -all
+//
+// Fleet mode (multi-tenant server, on-demand collection):
+//
+//	snorlax -serve :7007 -fleet
+//	snorlax -remote :7007 -bug pbzip2-1 -agent 4
 package main
 
 import (
@@ -24,19 +29,23 @@ import (
 
 	"snorlax/internal/core"
 	"snorlax/internal/corpus"
+	"snorlax/internal/fleet"
 	"snorlax/internal/ir"
 	"snorlax/internal/obs"
 	"snorlax/internal/proto"
 )
 
 var (
-	bugID   = flag.String("bug", "", "corpus bug id to diagnose (see -list)")
-	listAll = flag.Bool("list", false, "list the corpus bugs")
-	all     = flag.Bool("all", false, "diagnose every corpus bug")
-	serve   = flag.String("serve", "", "run an analysis server for -bug on this address (e.g. :7007)")
-	remote  = flag.String("remote", "", "diagnose -bug against a remote analysis server at this address")
-	workers = flag.Int("workers", 0, "success-trace pool size for -serve (0 = GOMAXPROCS)")
-	maxDiag = flag.Int("max-diagnoses", 0, "concurrent diagnosis bound for -serve (0 = GOMAXPROCS)")
+	bugID     = flag.String("bug", "", "corpus bug id to diagnose (see -list)")
+	listAll   = flag.Bool("list", false, "list the corpus bugs")
+	all       = flag.Bool("all", false, "diagnose every corpus bug")
+	serve     = flag.String("serve", "", "run an analysis server for -bug on this address (e.g. :7007)")
+	remote    = flag.String("remote", "", "diagnose -bug against a remote analysis server at this address")
+	fleetMode = flag.Bool("fleet", false, "-serve: multi-tenant fleet mode; every corpus bug (or just -bug) is pre-registered and clients may register more")
+	agents    = flag.Int("agent", 0, "run this many simulated fleet agents for -bug against the -remote fleet server")
+	quota     = flag.Int("quota", 0, "-serve -fleet: per-case success-trace quota (0 = the paper's 10x)")
+	workers   = flag.Int("workers", 0, "success-trace pool size for -serve (0 = GOMAXPROCS)")
+	maxDiag   = flag.Int("max-diagnoses", 0, "concurrent diagnosis bound for -serve (0 = GOMAXPROCS)")
 
 	idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "-serve: drop connections idle this long (0 = never)")
 	writeTimeout = flag.Duration("write-timeout", 30*time.Second, "-serve: per-reply write deadline (0 = none)")
@@ -51,7 +60,11 @@ func main() {
 	flag.Parse()
 	switch {
 	case *serve != "":
-		runServer(*serve, lookup(*bugID))
+		runServer(*serve)
+	case *remote != "" && *agents > 0:
+		if !fleetAgents(*remote, lookup(*bugID), *agents) {
+			os.Exit(1)
+		}
 	case *remote != "":
 		if !remoteDiagnose(*remote, lookup(*bugID)) {
 			os.Exit(1)
@@ -97,18 +110,34 @@ func lookup(id string) *corpus.Bug {
 	return b
 }
 
-// runServer hosts the analysis side of Figure 2 for one bug's module;
-// clients connect with -remote. SIGINT/SIGTERM drain gracefully:
-// in-flight diagnoses finish (up to -drain-timeout) before exit.
-func runServer(addr string, b *corpus.Bug) {
-	inst := b.Build(corpus.Variant{Failing: true})
+// runServer hosts the analysis side of Figure 2; clients connect with
+// -remote. In -fleet mode the server is multi-tenant: corpus programs
+// are pre-registered and client agents (-agent) drive the on-demand
+// collection loop. SIGINT/SIGTERM drain gracefully: in-flight
+// diagnoses finish (up to -drain-timeout) before exit.
+func runServer(addr string) {
+	var mod *ir.Module
+	switch {
+	case *bugID != "":
+		mod = lookup(*bugID).Build(corpus.Variant{Failing: true}).Mod
+	case *fleetMode:
+		// Fleet-only server: the base module is a placeholder; every
+		// diagnosed program arrives by (pre-)registration.
+		var err error
+		mod, err = ir.Parse("module fleet\n\nfunc main() {\nentry:\n  ret\n}\n")
+		if err != nil {
+			panic(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "-serve needs -bug (or -fleet); try -list")
+		os.Exit(2)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("analysis server for %s listening on %s\n", b.ID, ln.Addr())
-	cs := core.NewServer(inst.Mod)
+	cs := core.NewServer(mod)
 	cs.Workers = *workers
 	ps := proto.NewServer(cs)
 	ps.MaxConcurrent = *maxDiag
@@ -116,6 +145,23 @@ func runServer(addr string, b *corpus.Bug) {
 	ps.WriteTimeout = *writeTimeout
 	ps.MaxSnapshotBytes = *maxSnapshot
 	ps.MaxSuccessesPerConn = *maxSucc
+	ps.FleetQuota = *quota
+	if *fleetMode {
+		registered := 0
+		if *bugID != "" {
+			ps.RegisterProgram(mod)
+			registered = 1
+		} else {
+			for _, b := range corpus.All() {
+				ps.RegisterProgram(b.Build(corpus.Variant{Failing: true}).Mod)
+				registered++
+			}
+		}
+		fmt.Printf("fleet analysis server listening on %s (%d programs pre-registered)\n",
+			ln.Addr(), registered)
+	} else {
+		fmt.Printf("analysis server for %s listening on %s\n", *bugID, ln.Addr())
+	}
 
 	var msrv *http.Server
 	if *metricsAddr != "" {
@@ -225,6 +271,36 @@ func remoteDiagnose(addr string, b *corpus.Bug) bool {
 		fmt.Println("    ground truth: DOES NOT MATCH")
 	}
 	return ok
+}
+
+// fleetAgents runs n simulated production clients for one corpus bug
+// against a fleet-mode server: register, reproduce and report the
+// failure, collect triggered success traces on the server's directive,
+// and print the published report once the quota is met.
+func fleetAgents(addr string, b *corpus.Bug, n int) bool {
+	failInst := b.Build(corpus.Variant{Failing: true})
+	okInst := b.Build(corpus.Variant{Failing: false})
+	res, err := fleet.Run(
+		fleet.Program{Fail: failInst.Mod, OK: okInst.Mod},
+		fleet.Config{
+			Dial:    func() (net.Conn, error) { return net.Dial("tcp", addr) },
+			Clients: n,
+		})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return false
+	}
+	fmt.Printf("%d agents: case %d under tenant %.12s… diagnosed from %d accepted uploads (%d sent)\n",
+		n, res.Case, res.Tenant, res.Accepted, res.Uploaded)
+	fmt.Print(indent(core.Format(failInst.Mod, res.Diagnosis)))
+	truth := core.Truth{Kind: failInst.TruthKind, Sub: failInst.TruthSub,
+		PCs: failInst.TruthPCs, Absence: failInst.TruthAbsence}
+	if core.MatchesTruth(res.Diagnosis.Best.Pattern, truth) {
+		fmt.Println("    ground truth: MATCHES developer fix")
+		return true
+	}
+	fmt.Println("    ground truth: DOES NOT MATCH")
+	return false
 }
 
 func list(w io.Writer) {

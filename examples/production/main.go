@@ -1,12 +1,17 @@
-// Production deployment: the client/server split of Figure 2 over a
-// real TCP connection.
+// Production deployment: the multi-tenant fleet split of Figure 2
+// over a real TCP connection.
 //
-// The analysis server runs centrally (here: a goroutine on loopback).
-// Production clients run the program under the always-on hardware
-// tracer; when one fails, it uploads the failure report and its trace
-// rings, the server arms a trigger, other clients upload traces from
-// successful executions captured at that trigger, and the server
-// returns the diagnosis.
+// The analysis server runs centrally (here: a goroutine on loopback)
+// and serves many programs at once. A fleet of production clients
+// registers the deployed program — all replicas land on one tenant,
+// keyed by the program's fingerprint — and runs it under the always-on
+// hardware tracer. When replicas fail, they report the failure; every
+// report of the same failure PC joins one diagnosis case, and the
+// server answers with a collection directive ("snapshot successful
+// executions triggered at PC X"). The replicas batch-upload triggered
+// snapshots until the server has its 10x success quota, at which point
+// it diagnoses the case and publishes the report for any client to
+// fetch.
 //
 // Run with: go run ./examples/production
 package main
@@ -59,56 +64,35 @@ func main() {
 	failProg := cacheProgram(true)
 	okProg := cacheProgram(false)
 
-	// Central analysis server.
+	// Central multi-tenant analysis server. The deployed program is
+	// pre-registered; clients could also upload it themselves.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer ln.Close()
+	srv := snorlax.NewServer(failProg, snorlax.ServeConfig{})
 	go func() {
-		if err := snorlax.Serve(ln, failProg); err != nil {
+		if err := srv.Serve(ln); err != nil {
 			log.Print(err)
 		}
 	}()
-	fmt.Printf("analysis server listening on %s\n", ln.Addr())
+	fmt.Printf("fleet analysis server listening on %s\n", ln.Addr())
 
-	// Production client: always-on tracing; the failure arrives.
-	client, err := snorlax.Dial("tcp", ln.Addr().String(), failProg)
+	// A fleet of four production replicas: each registers the program,
+	// reproduces the failure, reports it (all four join one case), then
+	// runs the fixed build with the directive's trigger armed and
+	// batch-uploads triggered snapshots until the quota is met.
+	res, err := snorlax.RunFleet("tcp", ln.Addr().String(), failProg, okProg,
+		snorlax.FleetConfig{Clients: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer client.Close()
+	fmt.Printf("tenant %.12s... case %d: %d uploads sent, %d accepted toward the quota\n\n",
+		res.Tenant, res.Case, res.Uploaded, res.Accepted)
 
-	failing := failProg.Run(snorlax.RunOptions{Seed: 1})
-	if !failing.Failed() {
-		log.Fatal("expected the eviction race to crash")
-	}
-	trigger, err := client.ReportFailure(failing)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("uploaded failure %q; server armed trigger at pc=%d\n",
-		failing.FailureMessage(), trigger)
-
-	// Other production clients keep succeeding; their traces stream in.
-	uploaded := 0
-	for seed := int64(1); uploaded < 10 && seed < 60; seed++ {
-		e := okProg.Run(snorlax.RunOptions{Seed: seed, TriggerPC: trigger})
-		if e.Failed() || !e.Triggered() {
-			continue
-		}
-		if err := client.SendSuccess(e); err != nil {
-			log.Fatal(err)
-		}
-		uploaded++
-	}
-	fmt.Printf("uploaded %d successful traces\n\n", uploaded)
-
-	report, err := client.Diagnose()
-	if err != nil {
-		log.Fatal(err)
-	}
+	report := res.Report
 	fmt.Println(report.Format())
-	fmt.Printf("server-side verdict: %v (%s), confidence F1=%.2f\n",
+	fmt.Printf("published verdict: %v (%s), confidence F1=%.2f\n",
 		report.Kind, report.Pattern, report.F1)
 }

@@ -44,28 +44,42 @@ type coreMetrics struct {
 // protocol layer and HTTP endpoint share the same registry via
 // Metrics().
 func (s *Server) metrics() *coreMetrics {
-	s.obsOnce.Do(func() {
-		reg := obs.NewRegistry()
-		s.om = &coreMetrics{
-			reg:      reg,
-			pipeline: obs.NewPipeline(reg),
-			diagnoses: reg.Counter(MetricDiagnoses,
-				"Completed diagnoses (failing trace analyzed end to end)."),
-			cacheHits: reg.Counter(MetricCacheHits,
-				"Points-to analyses served from the scope-keyed cache."),
-			cacheMisses: reg.Counter(MetricCacheMisses,
-				"Points-to analyses solved from scratch."),
-			dropped: reg.Counter(MetricDroppedSuccesses,
-				"Success traces skipped as undecodable by degraded-mode diagnosis."),
-			successTraces: reg.Counter(MetricSuccessTraces,
-				"Success traces decoded and observed for statistical diagnosis."),
-			observeQueue: reg.Gauge(MetricObserveQueueDepth,
-				"Success traces queued for the observe worker pool."),
-			inflight: reg.Gauge(MetricObserveInflight,
-				"Success traces being decoded/observed right now."),
-		}
-	})
+	s.obsOnce.Do(func() { s.om = newCoreMetrics(obs.NewRegistry()) })
 	return s.om
+}
+
+// UseRegistry makes the server register its metrics on an existing
+// registry instead of lazily creating its own. The multi-tenant
+// protocol server points every tenant's analysis server at the one
+// registry its /metrics endpoint serves, so fleet-wide pipeline and
+// cache counters aggregate across tenants (registration is
+// idempotent: equal names yield the same handles). It must be called
+// before the first diagnosis or Metrics() call; afterwards it is a
+// no-op, because retargeting live counters would fork the source of
+// truth.
+func (s *Server) UseRegistry(reg *obs.Registry) {
+	s.obsOnce.Do(func() { s.om = newCoreMetrics(reg) })
+}
+
+func newCoreMetrics(reg *obs.Registry) *coreMetrics {
+	return &coreMetrics{
+		reg:      reg,
+		pipeline: obs.NewPipeline(reg),
+		diagnoses: reg.Counter(MetricDiagnoses,
+			"Completed diagnoses (failing trace analyzed end to end)."),
+		cacheHits: reg.Counter(MetricCacheHits,
+			"Points-to analyses served from the scope-keyed cache."),
+		cacheMisses: reg.Counter(MetricCacheMisses,
+			"Points-to analyses solved from scratch."),
+		dropped: reg.Counter(MetricDroppedSuccesses,
+			"Success traces skipped as undecodable by degraded-mode diagnosis."),
+		successTraces: reg.Counter(MetricSuccessTraces,
+			"Success traces decoded and observed for statistical diagnosis."),
+		observeQueue: reg.Gauge(MetricObserveQueueDepth,
+			"Success traces queued for the observe worker pool."),
+		inflight: reg.Gauge(MetricObserveInflight,
+			"Success traces being decoded/observed right now."),
+	}
 }
 
 // Metrics returns the server's metrics registry — the single source

@@ -1,0 +1,441 @@
+// Fleet mode: one analysis server, many programs, many production
+// clients (§4.5, Figure 2 scaled out).
+//
+// A tenant is a registered program, identified by the fingerprint of
+// its canonical IR text; registrations of byte-identical programs land
+// on the same tenant, whose core.Server — and therefore whose
+// points-to analysis cache — is shared across every client running
+// that program. A failure report opens a diagnosis case (idempotently:
+// concurrent reports of the same failure PC join one case) and arms a
+// collection directive, "snapshot successful executions at PC X".
+// Agents poll directives, run with the trigger armed, and batch-upload
+// triggered snapshots; each upload carries a client id and a sequence
+// number so replays after a lost reply are deduplicated instead of
+// double-counted toward the quota. When a case reaches its success
+// quota (the paper's 10×), the directive disarms, the server runs Lazy
+// Diagnosis on exactly the accepted traces, and the report is
+// published for any client of the tenant to fetch.
+package proto
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"snorlax/internal/core"
+	"snorlax/internal/ir"
+	"snorlax/internal/pt"
+)
+
+// TenantID identifies a registered program: the hex SHA-256 of its
+// canonical (printed) IR text. Two registrations of the same program —
+// from different clients, or the same client reconnecting — always
+// map to the same tenant.
+type TenantID string
+
+// CaseID numbers diagnosis cases within one tenant.
+type CaseID uint64
+
+// DefaultFleetQuota is the per-case success-trace quota: the paper's
+// empirically-determined 10× successful traces per failing trace.
+const DefaultFleetQuota = 10
+
+// ModuleFingerprint computes a module's tenant id from its canonical
+// printed form, so layout-identical programs fingerprint equal no
+// matter which textual variant they were parsed from.
+func ModuleFingerprint(mod *ir.Module) TenantID {
+	sum := sha256.Sum256([]byte(ir.Print(mod)))
+	return TenantID(hex.EncodeToString(sum[:]))
+}
+
+// Directive is a server-pushed collection order: run with a trace
+// trigger armed at TriggerPC and upload triggered success snapshots
+// until the case has Want of them. Have lets agents (and operators)
+// see quota progress; a directive disappears from the "directives"
+// reply once the quota is met.
+type Directive struct {
+	Tenant    TenantID
+	Case      CaseID
+	TriggerPC ir.PC
+	// Want and Have are the case's success-trace quota and how many
+	// uploads have been accepted toward it.
+	Want, Have int
+}
+
+// tenant is one registered program and its open cases.
+type tenant struct {
+	id   TenantID
+	core *core.Server
+
+	nextCase CaseID
+	cases    map[CaseID]*fleetCase
+	// byPC maps a failure PC to its case, making case-opening
+	// idempotent: a fleet reporting the same crash from every replica
+	// yields one case, not one per replica.
+	byPC map[ir.PC]CaseID
+}
+
+// fleetCase is one failure under diagnosis.
+type fleetCase struct {
+	id        CaseID
+	triggerPC ir.PC
+	failing   *core.RunReport
+	successes []*core.RunReport
+	want      int
+	// seen tracks, per reporting client, the highest snapshot sequence
+	// number accepted — the dedupe ledger that makes batch upload
+	// idempotent across retries.
+	seen map[string]uint64
+	// collecting is true while the directive is armed; done flips when
+	// the diagnosis (or its error) is published.
+	collecting bool
+	done       bool
+	diag       *core.Diagnosis
+	diagErr    string
+}
+
+func (c *fleetCase) directive(t TenantID) Directive {
+	return Directive{Tenant: t, Case: c.id, TriggerPC: c.triggerPC,
+		Want: c.want, Have: len(c.successes)}
+}
+
+func (s *Server) fleetQuota() int {
+	if s.FleetQuota > 0 {
+		return s.FleetQuota
+	}
+	return DefaultFleetQuota
+}
+
+// RegisterProgram registers mod as a tenant (idempotently) and returns
+// its id. The tenant's analysis server shares the module-identity
+// points-to cache across every connection diagnosing this program, and
+// registers its pipeline metrics on the server's one registry, so
+// fleet-wide counters aggregate across tenants.
+func (s *Server) RegisterProgram(mod *ir.Module) TenantID {
+	s.init()
+	id := ModuleFingerprint(mod)
+	s.fleetMu.Lock()
+	defer s.fleetMu.Unlock()
+	if s.tenants == nil {
+		s.tenants = make(map[TenantID]*tenant)
+	}
+	if _, ok := s.tenants[id]; !ok {
+		cs := core.NewServer(mod)
+		cs.Workers = s.Core.Workers
+		cs.PT = s.Core.PT
+		cs.MaxSuccessTraces = s.Core.MaxSuccessTraces
+		cs.UseRegistry(s.Core.Metrics())
+		s.tenants[id] = &tenant{
+			id:    id,
+			core:  cs,
+			cases: make(map[CaseID]*fleetCase),
+			byPC:  make(map[ir.PC]CaseID),
+		}
+		s.om.fleetTenants.Inc()
+	}
+	return id
+}
+
+// registerText parses and registers a client-uploaded program.
+func (s *Server) registerText(text string) (TenantID, error) {
+	mod, err := ir.Parse(text)
+	if err != nil {
+		return "", fmt.Errorf("parsing module: %w", err)
+	}
+	return s.RegisterProgram(mod), nil
+}
+
+func (s *Server) tenantByID(id TenantID) *tenant {
+	s.fleetMu.Lock()
+	defer s.fleetMu.Unlock()
+	return s.tenants[id]
+}
+
+// openCase opens (or joins) the case for a failure. Reports of a PC
+// whose case already exists — collecting or already diagnosed — join
+// it; the first report's snapshot is the failing trace of record.
+func (s *Server) openCase(t *tenant, failure *core.FailureReport, snap *pt.Snapshot) *fleetCase {
+	s.fleetMu.Lock()
+	defer s.fleetMu.Unlock()
+	if id, ok := t.byPC[failure.PC]; ok {
+		return t.cases[id]
+	}
+	t.nextCase++
+	c := &fleetCase{
+		id:         t.nextCase,
+		triggerPC:  failure.PC,
+		failing:    &core.RunReport{Failure: failure, Snapshot: snap},
+		want:       s.fleetQuota(),
+		seen:       make(map[string]uint64),
+		collecting: true,
+	}
+	t.cases[c.id] = c
+	t.byPC[failure.PC] = c.id
+	s.om.fleetArmed.Inc()
+	s.om.fleetQuotaWant.Add(int64(c.want))
+	return c
+}
+
+// directives lists the tenant's armed directives, in case order.
+func (s *Server) directives(t *tenant) []Directive {
+	s.fleetMu.Lock()
+	defer s.fleetMu.Unlock()
+	var out []Directive
+	for id := CaseID(1); id <= t.nextCase; id++ {
+		if c, ok := t.cases[id]; ok && c.collecting {
+			out = append(out, c.directive(t.id))
+		}
+	}
+	return out
+}
+
+// acceptBatch admits a batch of success snapshots into a case,
+// deduplicating against each client's sequence ledger, and reports
+// whether this batch crossed the quota (making the caller run the
+// diagnosis). Snapshots are accepted in sequence order; a sequence
+// number at or below the client's ledger is a replay and is skipped
+// without consuming quota.
+func (s *Server) acceptBatch(c *fleetCase, client string, seq uint64, snaps []*pt.Snapshot) (accepted int, crossed bool) {
+	s.fleetMu.Lock()
+	defer s.fleetMu.Unlock()
+	seen := c.seen[client]
+	for i, snap := range snaps {
+		sq := seq + uint64(i)
+		if sq <= seen {
+			continue // replayed after a lost reply: already counted
+		}
+		if !c.collecting || len(c.successes) >= c.want {
+			break // quota met: leave the ledger so a retry re-offers nothing
+		}
+		if snap == nil {
+			seen = sq
+			continue
+		}
+		c.successes = append(c.successes, &core.RunReport{Snapshot: snap})
+		seen = sq
+		accepted++
+	}
+	c.seen[client] = seen
+	if accepted > 0 {
+		s.om.fleetQuotaHave.Add(int64(accepted))
+	}
+	if c.collecting && len(c.successes) >= c.want {
+		c.collecting = false
+		crossed = true
+		s.om.fleetArmed.Dec()
+		s.om.fleetQuotaWant.Add(-int64(c.want))
+		s.om.fleetQuotaHave.Add(-int64(len(c.successes)))
+	}
+	return accepted, crossed
+}
+
+// publishCase runs Lazy Diagnosis on the case's accepted traces and
+// publishes the verdict. It runs in whichever connection handler
+// crossed the quota — synchronously, so Shutdown's drain covers it —
+// and must be called exactly once per case, without the fleet lock.
+func (s *Server) publishCase(t *tenant, c *fleetCase) {
+	d, err := s.diagnose(t.core, c.failing, c.successes)
+	s.fleetMu.Lock()
+	defer s.fleetMu.Unlock()
+	c.done = true
+	if err != nil {
+		c.diagErr = err.Error()
+		return
+	}
+	c.diag = d
+	s.om.fleetReports.Inc()
+}
+
+// caseByID resolves a case within a tenant.
+func (s *Server) caseByID(t *tenant, id CaseID) *fleetCase {
+	s.fleetMu.Lock()
+	defer s.fleetMu.Unlock()
+	return t.cases[id]
+}
+
+// FleetCaseTraces exposes a case's failing trace and accepted success
+// traces, in acceptance order — the exact inputs the published report
+// was diagnosed from. Tests use it to assert the fleet path is
+// bit-identical to a direct Diagnose call on the same traces.
+func (s *Server) FleetCaseTraces(tenant TenantID, id CaseID) (failing *core.RunReport, successes []*core.RunReport, ok bool) {
+	s.fleetMu.Lock()
+	defer s.fleetMu.Unlock()
+	t := s.tenants[tenant]
+	if t == nil {
+		return nil, nil, false
+	}
+	c := t.cases[id]
+	if c == nil {
+		return nil, nil, false
+	}
+	return c.failing, append([]*core.RunReport(nil), c.successes...), true
+}
+
+// serveFleetRequest routes the fleet request kinds. Shapes mirror the
+// single-program kinds: deterministic rejections reply "error" and
+// keep the connection; only reply failures close it.
+func (s *Server) serveFleetRequest(req Request, reply func(Response) bool) bool {
+	switch req.Kind {
+	case "register":
+		if s.DisableRegistration {
+			return reply(Response{Kind: "error", Err: "program registration is disabled on this server"})
+		}
+		if req.ModuleText == "" {
+			return reply(Response{Kind: "error", Err: "register request missing module text"})
+		}
+		id, err := s.registerText(req.ModuleText)
+		if err != nil {
+			return reply(Response{Kind: "error", Err: err.Error()})
+		}
+		return reply(Response{Kind: "registered", Tenant: id})
+	case "fleet-failure":
+		t := s.tenantByID(req.Tenant)
+		if t == nil {
+			return reply(Response{Kind: "error", Err: fmt.Sprintf("unknown tenant %q", req.Tenant)})
+		}
+		if req.Failure == nil || req.Snapshot == nil {
+			return reply(Response{Kind: "error", Err: "fleet-failure request missing report or snapshot"})
+		}
+		if cap := s.maxSnapshotBytes(); cap > 0 && snapshotBytes(req.Snapshot) > cap {
+			s.om.oversizeRejects.Inc()
+			return reply(Response{Kind: "error", Err: fmt.Sprintf("failure snapshot exceeds %d-byte cap", cap)})
+		}
+		c := s.openCase(t, req.Failure, req.Snapshot)
+		s.fleetMu.Lock()
+		resp := Response{Kind: "case", Tenant: t.id, Case: c.id,
+			Directives: []Directive{c.directive(t.id)}, Done: c.done}
+		s.fleetMu.Unlock()
+		return reply(resp)
+	case "directives":
+		t := s.tenantByID(req.Tenant)
+		if t == nil {
+			return reply(Response{Kind: "error", Err: fmt.Sprintf("unknown tenant %q", req.Tenant)})
+		}
+		return reply(Response{Kind: "directives", Tenant: t.id, Directives: s.directives(t)})
+	case "batch":
+		t := s.tenantByID(req.Tenant)
+		if t == nil {
+			return reply(Response{Kind: "error", Err: fmt.Sprintf("unknown tenant %q", req.Tenant)})
+		}
+		c := s.caseByID(t, req.Case)
+		if c == nil {
+			return reply(Response{Kind: "error", Err: fmt.Sprintf("unknown case %d", req.Case)})
+		}
+		if req.Client == "" || req.Seq == 0 {
+			return reply(Response{Kind: "error", Err: "batch request missing client id or sequence number"})
+		}
+		if cap := s.maxSnapshotBytes(); cap > 0 {
+			for _, snap := range req.Snapshots {
+				if snapshotBytes(snap) > cap {
+					s.om.oversizeRejects.Inc()
+					return reply(Response{Kind: "error", Err: fmt.Sprintf("batch snapshot exceeds %d-byte cap", cap)})
+				}
+			}
+		}
+		accepted, crossed := s.acceptBatch(c, req.Client, req.Seq, req.Snapshots)
+		if crossed {
+			s.publishCase(t, c)
+		}
+		s.fleetMu.Lock()
+		resp := Response{Kind: "batch", Tenant: t.id, Case: c.id,
+			Accepted: accepted, Done: c.done}
+		s.fleetMu.Unlock()
+		return reply(resp)
+	case "report":
+		t := s.tenantByID(req.Tenant)
+		if t == nil {
+			return reply(Response{Kind: "error", Err: fmt.Sprintf("unknown tenant %q", req.Tenant)})
+		}
+		c := s.caseByID(t, req.Case)
+		if c == nil {
+			return reply(Response{Kind: "error", Err: fmt.Sprintf("unknown case %d", req.Case)})
+		}
+		s.fleetMu.Lock()
+		defer s.fleetMu.Unlock()
+		if c.diagErr != "" {
+			return reply(Response{Kind: "error", Err: c.diagErr})
+		}
+		// Diagnosis == nil with Done == false means "still collecting or
+		// diagnosing; poll again" — not an error, so retrying clients
+		// don't treat an in-progress case as a rejection.
+		return reply(Response{Kind: "report", Tenant: t.id, Case: c.id,
+			Diagnosis: c.diag, Done: c.done})
+	}
+	return reply(Response{Kind: "error", Err: fmt.Sprintf("unknown request %q", req.Kind)})
+}
+
+// --- client side ---
+
+// Register uploads a program's canonical text and returns its tenant
+// id. Registering the same program twice (from any client) returns the
+// same id.
+func (c *Conn) Register(moduleText string) (TenantID, error) {
+	resp, err := c.roundTrip(Request{Kind: "register", ModuleText: moduleText})
+	if err != nil {
+		return "", err
+	}
+	if resp.Kind != "registered" || resp.Tenant == "" {
+		return "", fmt.Errorf("proto: unexpected response %q", resp.Kind)
+	}
+	return resp.Tenant, nil
+}
+
+// ReportFleetFailure reports a failure under a registered tenant and
+// returns the (possibly pre-existing) case and its collection
+// directive. done reports whether the case has already been diagnosed,
+// in which case the report can be fetched immediately.
+func (c *Conn) ReportFleetFailure(t TenantID, f *core.FailureReport, snap *pt.Snapshot) (id CaseID, d Directive, done bool, err error) {
+	resp, err := c.roundTrip(Request{Kind: "fleet-failure", Tenant: t, Failure: f, Snapshot: snap})
+	if err != nil {
+		return 0, Directive{}, false, err
+	}
+	if resp.Kind != "case" || len(resp.Directives) != 1 {
+		return 0, Directive{}, false, fmt.Errorf("proto: unexpected response %q", resp.Kind)
+	}
+	return resp.Case, resp.Directives[0], resp.Done, nil
+}
+
+// Directives fetches the tenant's armed collection directives.
+func (c *Conn) Directives(t TenantID) ([]Directive, error) {
+	resp, err := c.roundTrip(Request{Kind: "directives", Tenant: t})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Kind != "directives" {
+		return nil, fmt.Errorf("proto: unexpected response %q", resp.Kind)
+	}
+	return resp.Directives, nil
+}
+
+// UploadBatch uploads triggered success snapshots for a case. client
+// names the uploading agent and seq is the 1-based sequence number of
+// snaps[0] in that agent's per-case upload stream; together they make
+// the upload idempotent — a batch replayed after a lost reply is
+// recognized and not double-counted toward the quota. It returns how
+// many snapshots were newly accepted and whether the case's report is
+// now published.
+func (c *Conn) UploadBatch(t TenantID, id CaseID, client string, seq uint64, snaps []*pt.Snapshot) (accepted int, done bool, err error) {
+	resp, err := c.roundTrip(Request{Kind: "batch", Tenant: t, Case: id,
+		Client: client, Seq: seq, Snapshots: snaps})
+	if err != nil {
+		return 0, false, err
+	}
+	if resp.Kind != "batch" {
+		return 0, false, fmt.Errorf("proto: unexpected response %q", resp.Kind)
+	}
+	return resp.Accepted, resp.Done, nil
+}
+
+// FetchReport fetches a case's published diagnosis. done is false
+// while the case is still collecting or diagnosing (poll again);
+// a diagnosis that failed surfaces as a *ServerError.
+func (c *Conn) FetchReport(t TenantID, id CaseID) (d *core.Diagnosis, done bool, err error) {
+	resp, err := c.roundTrip(Request{Kind: "report", Tenant: t, Case: id})
+	if err != nil {
+		return nil, false, err
+	}
+	if resp.Kind != "report" {
+		return nil, false, fmt.Errorf("proto: unexpected response %q", resp.Kind)
+	}
+	return resp.Diagnosis, resp.Done, nil
+}

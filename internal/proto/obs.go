@@ -28,12 +28,20 @@ const (
 	MetricDiagnoseSeconds = "snorlax_diagnose_seconds"
 	MetricRequests        = "snorlax_requests_total"
 	MetricRequestSeconds  = "snorlax_request_seconds"
+
+	// Fleet-mode registry gauges (see fleet.go).
+	MetricFleetTenants         = "snorlax_fleet_tenants"
+	MetricFleetArmedDirectives = "snorlax_fleet_armed_directives"
+	MetricFleetQuotaHave       = "snorlax_fleet_quota_have"
+	MetricFleetQuotaWant       = "snorlax_fleet_quota_want"
+	MetricFleetReports         = "snorlax_fleet_reports_published_total"
 )
 
 // requestKinds are the label values per-request metrics are keyed by.
 // Request.Kind is client-controlled, so anything unrecognized is
 // bucketed under "other" rather than minting unbounded label values.
-var requestKinds = []string{"failure", "success", "diagnose", "status", "other"}
+var requestKinds = []string{"failure", "success", "diagnose", "status",
+	"register", "fleet-failure", "directives", "batch", "report", "other"}
 
 type requestMetrics struct {
 	total   *obs.Counter
@@ -61,6 +69,12 @@ type protoMetrics struct {
 
 	diagnoseSeconds *obs.Histogram
 	requests        map[string]requestMetrics
+
+	fleetTenants   *obs.Gauge
+	fleetArmed     *obs.Gauge
+	fleetQuotaHave *obs.Gauge
+	fleetQuotaWant *obs.Gauge
+	fleetReports   *obs.Counter
 }
 
 func newProtoMetrics(reg *obs.Registry) *protoMetrics {
@@ -87,6 +101,16 @@ func newProtoMetrics(reg *obs.Registry) *protoMetrics {
 		diagnoseSeconds: reg.Histogram(MetricDiagnoseSeconds,
 			"Wall-clock seconds per diagnosis, semaphore wait excluded.", nil),
 		requests: make(map[string]requestMetrics, len(requestKinds)),
+		fleetTenants: reg.Gauge(MetricFleetTenants,
+			"Programs registered as fleet tenants."),
+		fleetArmed: reg.Gauge(MetricFleetArmedDirectives,
+			"Collection directives currently armed (cases still collecting)."),
+		fleetQuotaHave: reg.Gauge(MetricFleetQuotaHave,
+			"Success snapshots accepted toward armed directives' quotas."),
+		fleetQuotaWant: reg.Gauge(MetricFleetQuotaWant,
+			"Success snapshots wanted by armed directives in total."),
+		fleetReports: reg.Counter(MetricFleetReports,
+			"Fleet diagnosis reports published."),
 	}
 	for _, kind := range requestKinds {
 		m.requests[kind] = requestMetrics{

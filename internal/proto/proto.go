@@ -41,27 +41,60 @@ import (
 
 // Request is a client→server message.
 type Request struct {
-	// Kind is "failure", "success", "diagnose" or "status".
+	// Kind is "failure", "success", "diagnose" or "status" for the
+	// single-program session protocol, or "register", "fleet-failure",
+	// "directives", "batch" or "report" for fleet mode (see fleet.go).
 	Kind string
-	// Failure accompanies "failure" requests.
+	// Failure accompanies "failure" and "fleet-failure" requests.
 	Failure *core.FailureReport
-	// Snapshot accompanies "failure" and "success" requests.
+	// Snapshot accompanies "failure", "success" and "fleet-failure"
+	// requests.
 	Snapshot *pt.Snapshot
+	// ModuleText is the canonical IR text of the program being
+	// registered ("register" requests).
+	ModuleText string
+	// Tenant scopes fleet requests to a registered program.
+	Tenant TenantID
+	// Case identifies the diagnosis case ("batch", "report").
+	Case CaseID
+	// Client names the uploading agent and Seq is the 1-based sequence
+	// number of Snapshots[0] in that agent's per-case upload stream;
+	// together they deduplicate replayed batches ("batch" requests).
+	Client string
+	Seq    uint64
+	// Snapshots carries a batch of triggered success snapshots
+	// ("batch" requests).
+	Snapshots []*pt.Snapshot
 }
 
 // Response is a server→client message.
 type Response struct {
-	// Kind is "armed", "ack", "diagnosis", "status" or "error".
+	// Kind is "armed", "ack", "diagnosis", "status" or "error" for the
+	// session protocol, or "registered", "case", "directives", "batch"
+	// or "report" for fleet mode.
 	Kind string
 	// TriggerPC tells the client where to snapshot successful
 	// executions ("armed" responses).
 	TriggerPC ir.PC
-	// Diagnosis accompanies "diagnosis" responses.
+	// Diagnosis accompanies "diagnosis" and "report" responses (nil on
+	// a "report" response whose case is still collecting).
 	Diagnosis *core.Diagnosis
 	// Status accompanies "status" responses.
 	Status *ServerStatus
 	// Err describes "error" responses.
 	Err string
+	// Tenant and Case echo the fleet scope ("registered", "case",
+	// "directives", "batch", "report" responses).
+	Tenant TenantID
+	Case   CaseID
+	// Directives carries the armed collection directives ("case" and
+	// "directives" responses).
+	Directives []Directive
+	// Accepted counts batch snapshots newly admitted toward the quota;
+	// Done reports whether the case's diagnosis is published ("case",
+	// "batch" and "report" responses).
+	Accepted int
+	Done     bool
 }
 
 // ServerError is an "error" reply from the server: a deterministic
@@ -145,13 +178,27 @@ type Server struct {
 	// serving; a message so large it trips the frame limit closes the
 	// connection, since a half-read gob stream cannot be resumed.
 	MaxSnapshotBytes int64
-	// MaxSuccessesPerConn caps success traces spooled per connection;
-	// 0 means DefaultMaxSuccessesPerConn, negative means unlimited.
-	// Excess uploads get an "error" reply and are not spooled.
+	// MaxSuccessesPerConn caps success traces spooled for a
+	// connection's current diagnosis session; each new failure report
+	// starts a fresh spool, so it bounds live memory, not the
+	// connection's lifetime total. 0 means DefaultMaxSuccessesPerConn,
+	// negative means unlimited. Excess uploads get an "error" reply and
+	// are not spooled.
 	MaxSuccessesPerConn int
+	// FleetQuota is the per-case success-trace quota in fleet mode;
+	// 0 means DefaultFleetQuota (the paper's 10×).
+	FleetQuota int
+	// DisableRegistration rejects client "register" requests, limiting
+	// fleet mode to programs pre-registered with RegisterProgram.
+	DisableRegistration bool
 
 	once sync.Once
 	sem  chan struct{}
+
+	// fleetMu guards the tenant registry and every case inside it
+	// (see fleet.go).
+	fleetMu sync.Mutex
+	tenants map[TenantID]*tenant
 
 	// om holds the registry handles every operational counter lives
 	// in; the registry itself belongs to Core, so protocol, pipeline
@@ -249,11 +296,13 @@ func snapshotBytes(snap *pt.Snapshot) int64 {
 	return n
 }
 
-// diagnose runs one bounded diagnosis, maintaining the queue/active
-// counters the status response reports. A panicking diagnosis — a
-// poisoned failing trace driving the analysis somewhere impossible —
-// is recovered into an error so the connection (and server) survive.
-func (s *Server) diagnose(failing *core.RunReport, successes []*core.RunReport) (d *core.Diagnosis, err error) {
+// diagnose runs one bounded diagnosis on the given analysis server
+// (s.Core for the session protocol, a tenant's core in fleet mode),
+// maintaining the queue/active counters the status response reports.
+// A panicking diagnosis — a poisoned failing trace driving the
+// analysis somewhere impossible — is recovered into an error so the
+// connection (and server) survive.
+func (s *Server) diagnose(cs *core.Server, failing *core.RunReport, successes []*core.RunReport) (d *core.Diagnosis, err error) {
 	s.init()
 	s.om.queued.Inc()
 	s.sem <- struct{}{}
@@ -274,7 +323,7 @@ func (s *Server) diagnose(failing *core.RunReport, successes []*core.RunReport) 
 			s.om.completed.Inc()
 		}
 	}()
-	return s.Core.Diagnose(failing, successes)
+	return cs.Diagnose(failing, successes)
 }
 
 // Status snapshots the server's counters. Every field is read from
@@ -572,7 +621,7 @@ func (s *Server) serveRequest(req Request, failing **core.RunReport, successes *
 		if *failing == nil {
 			return reply(Response{Kind: "error", Err: "diagnose before failure report"})
 		}
-		d, err := s.diagnose(*failing, *successes)
+		d, err := s.diagnose(s.Core, *failing, *successes)
 		if err != nil {
 			return reply(Response{Kind: "error", Err: err.Error()})
 		}
@@ -581,7 +630,10 @@ func (s *Server) serveRequest(req Request, failing **core.RunReport, successes *
 		st := s.Status()
 		return reply(Response{Kind: "status", Status: &st})
 	default:
-		return reply(Response{Kind: "error", Err: fmt.Sprintf("unknown request %q", req.Kind)})
+		// Fleet kinds (and the unknown-request rejection) route through
+		// the multi-tenant layer; none of them touch the connection's
+		// single-program session state.
+		return s.serveFleetRequest(req, reply)
 	}
 }
 

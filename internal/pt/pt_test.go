@@ -49,6 +49,59 @@ func TestRingOversizedWrite(t *testing.T) {
 	}
 }
 
+// TestRingExactFillNotWrapped is the false-wrap regression test: a
+// write sequence that exactly fills the ring overwrites nothing, so
+// the snapshot must keep every byte AND report wrapped=false — a true
+// report would make the decoder treat a clean stream's prefix as
+// possibly mid-packet and scan forward to the next sync point.
+func TestRingExactFillNotWrapped(t *testing.T) {
+	t.Run("single exact-cap write", func(t *testing.T) {
+		r := newRing(8)
+		r.write([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+		data, wrapped := r.snapshot()
+		if wrapped {
+			t.Error("exact-fill write reported wrapped=true, but no byte was overwritten")
+		}
+		if !bytes.Equal(data, []byte{1, 2, 3, 4, 5, 6, 7, 8}) {
+			t.Errorf("data = %v, want all 8 written bytes", data)
+		}
+	})
+	t.Run("incremental exact fill", func(t *testing.T) {
+		r := newRing(8)
+		r.write([]byte{1, 2, 3})
+		r.write([]byte{4, 5, 6, 7, 8})
+		data, wrapped := r.snapshot()
+		if wrapped {
+			t.Error("incremental exact fill reported wrapped=true, but no byte was overwritten")
+		}
+		if !bytes.Equal(data, []byte{1, 2, 3, 4, 5, 6, 7, 8}) {
+			t.Errorf("data = %v, want all 8 written bytes", data)
+		}
+	})
+	t.Run("one byte past exact fill wraps", func(t *testing.T) {
+		r := newRing(8)
+		r.write([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+		r.write([]byte{9})
+		data, wrapped := r.snapshot()
+		if !wrapped {
+			t.Error("overwriting write reported wrapped=false")
+		}
+		if !bytes.Equal(data, []byte{2, 3, 4, 5, 6, 7, 8, 9}) {
+			t.Errorf("data = %v", data)
+		}
+	})
+	t.Run("oversized first write wraps", func(t *testing.T) {
+		// len(p) > cap on an empty ring drops a prefix of p itself:
+		// history was lost, so wrapped must be true.
+		r := newRing(4)
+		r.write([]byte{1, 2, 3, 4, 5})
+		data, wrapped := r.snapshot()
+		if !wrapped || !bytes.Equal(data, []byte{2, 3, 4, 5}) {
+			t.Errorf("data = %v wrapped = %v, want [2 3 4 5] true", data, wrapped)
+		}
+	})
+}
+
 func TestRingMatchesTailProperty(t *testing.T) {
 	// Property: for any write sequence, the snapshot equals the tail
 	// of the concatenated writes.
@@ -60,14 +113,14 @@ func TestRingMatchesTailProperty(t *testing.T) {
 			r.write(c)
 			all = append(all, c...)
 		}
-		data, _ := r.snapshot()
+		data, wrapped := r.snapshot()
 		want := all
 		if len(all) > capacity {
 			want = all[len(all)-capacity:]
 		}
-		// An exactly-full unwrapped ring reports w=0 only after wrap;
-		// compare contents regardless of the wrapped flag.
-		return bytes.Equal(data, want)
+		// wrapped means "bytes were overwritten": exactly when the
+		// total written exceeds capacity.
+		return bytes.Equal(data, want) && wrapped == (len(all) > capacity)
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)

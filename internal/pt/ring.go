@@ -4,10 +4,9 @@ package pt
 // full, like the in-memory trace buffer of the paper's Intel PT
 // driver (§5). It never allocates after construction.
 type ring struct {
-	buf     []byte
-	w       int   // next write index
-	wrapped bool  // true once the buffer has overwritten old data
-	total   int64 // total bytes ever written
+	buf   []byte
+	w     int   // next write index
+	total int64 // total bytes ever written
 }
 
 func newRing(capacity int) *ring {
@@ -23,33 +22,38 @@ func (r *ring) write(p []byte) {
 	if len(p) >= len(r.buf) {
 		copy(r.buf, p[len(p)-len(r.buf):])
 		r.w = 0
-		r.wrapped = true
 		return
 	}
 	n := copy(r.buf[r.w:], p)
 	if n < len(p) {
 		copy(r.buf, p[n:])
 		r.w = len(p) - n
-		r.wrapped = true
 	} else {
 		r.w += n
 		if r.w == len(r.buf) {
 			r.w = 0
-			r.wrapped = true
 		}
 	}
 }
 
+// wrapped reports whether any byte has been overwritten. A write that
+// exactly fills the ring (total == capacity) still holds every byte
+// ever written, so the snapshot's prefix is a packet boundary, not a
+// mid-packet cut; only total > capacity loses history.
+func (r *ring) wrapped() bool { return r.total > int64(len(r.buf)) }
+
 // snapshot returns the buffered bytes oldest-first, plus whether the
 // ring has wrapped (meaning the prefix may start mid-packet).
 func (r *ring) snapshot() (data []byte, wrapped bool) {
-	if !r.wrapped {
+	if r.total < int64(len(r.buf)) {
 		out := make([]byte, r.w)
 		copy(out, r.buf[:r.w])
 		return out, false
 	}
+	// The buffer is full: the oldest byte lives at the write index
+	// (which is 0 when the fill was exact and nothing was overwritten).
 	out := make([]byte, len(r.buf))
 	n := copy(out, r.buf[r.w:])
 	copy(out[n:], r.buf[:r.w])
-	return out, true
+	return out, r.wrapped()
 }

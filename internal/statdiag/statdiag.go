@@ -38,6 +38,77 @@ func (s Score) String() string {
 	return fmt.Sprintf("%s F1=%.3f (P=%.3f R=%.3f)", s.Pattern.Key(), s.F1, s.Precision, s.Recall)
 }
 
+// The ratios behind a Score are exact rationals over its count triple:
+//
+//	precision = pf / (pf + po)
+//	recall    = pf / (pf + af)
+//	F1        = 2·pf / (2·pf + po + af)
+//
+// (the last by substituting P and R into 2PR/(P+R)). Ties must be
+// detected on these integers, not on the rounded float64 fields:
+// mathematically equal ratios computed from different triples — e.g.
+// (pf,po,af) = (1,0,1) and (3,1,2), both F1 = 2/3 — can land on
+// different float64 values after the two-division round trip, and a
+// spurious strict inequality there flips which pattern is reported as
+// the root cause and whether the verdict counts as unique.
+
+// cmpFrac compares the rationals an/ad and bn/bd by integer cross
+// product. A zero denominator means the ratio is undefined and scores
+// as 0 (the convention the float fields follow).
+func cmpFrac(an, ad, bn, bd int64) int {
+	if ad == 0 {
+		an, ad = 0, 1
+	}
+	if bd == 0 {
+		bn, bd = 0, 1
+	}
+	switch l, r := an*bd, bn*ad; {
+	case l < r:
+		return -1
+	case l > r:
+		return 1
+	}
+	return 0
+}
+
+func (s Score) f1Frac() (num, den int64) {
+	pf, po, af := int64(s.PresentFailed), int64(s.PresentOK), int64(s.AbsentFailed)
+	return 2 * pf, 2*pf + po + af
+}
+
+func (s Score) precisionFrac() (num, den int64) {
+	pf, po := int64(s.PresentFailed), int64(s.PresentOK)
+	return pf, pf + po
+}
+
+func (s Score) recallFrac() (num, den int64) {
+	pf, af := int64(s.PresentFailed), int64(s.AbsentFailed)
+	return pf, pf + af
+}
+
+// CompareF1 orders two scores by their exact F1 ratios: -1, 0 or +1 as
+// a's F1 is less than, equal to, or greater than b's. Equal ratios
+// compare equal regardless of which count triples produced them.
+func CompareF1(a, b Score) int {
+	an, ad := a.f1Frac()
+	bn, bd := b.f1Frac()
+	return cmpFrac(an, ad, bn, bd)
+}
+
+// ComparePrecision orders two scores by their exact precision ratios.
+func ComparePrecision(a, b Score) int {
+	an, ad := a.precisionFrac()
+	bn, bd := b.precisionFrac()
+	return cmpFrac(an, ad, bn, bd)
+}
+
+// CompareRecall orders two scores by their exact recall ratios.
+func CompareRecall(a, b Score) int {
+	an, ad := a.recallFrac()
+	bn, bd := b.recallFrac()
+	return cmpFrac(an, ad, bn, bd)
+}
+
 // Rank scores every pattern over the observations and returns the
 // scores sorted by descending F1 (ties broken by the pattern's type
 // rank, then key, for determinism).
@@ -76,8 +147,8 @@ func Rank(patterns []*pattern.Pattern, obs []Observation) []Score {
 	}
 	sort.Slice(scores, func(i, j int) bool {
 		si, sj := scores[i], scores[j]
-		if si.F1 != sj.F1 {
-			return si.F1 > sj.F1
+		if c := CompareF1(si, sj); c != 0 {
+			return c > 0
 		}
 		// Specificity: a pattern constraining more events (an
 		// atomicity triple) subsumes a coarser one (the order pair it
@@ -106,6 +177,7 @@ func Best(scores []Score) (Score, bool) {
 		return scores[0], true
 	}
 	a, b := scores[0], scores[1]
-	unique := a.F1 > b.F1 || (a.F1 == b.F1 && len(a.Pattern.PCs) > len(b.Pattern.PCs))
+	c := CompareF1(a, b)
+	unique := c > 0 || (c == 0 && len(a.Pattern.PCs) > len(b.Pattern.PCs))
 	return a, unique
 }

@@ -172,6 +172,88 @@ func TestF1Boundaries(t *testing.T) {
 	}
 }
 
+// TestExactRatioComparisons tables the integer cross-product
+// comparators against count triples whose float ratios round apart
+// (or together) misleadingly.
+func TestExactRatioComparisons(t *testing.T) {
+	sc := func(pf, po, af int) Score {
+		return Score{PresentFailed: pf, PresentOK: po, AbsentFailed: af}
+	}
+	cases := []struct {
+		name string
+		a, b Score
+		cmp  func(a, b Score) int
+		want int
+	}{
+		// The ISSUE's example: precision 30/90 vs 1/3 is the same ratio
+		// from different counts.
+		{"precision 30/90 == 1/3", sc(30, 60, 0), sc(1, 2, 0), ComparePrecision, 0},
+		{"recall 30/90 == 1/3", sc(30, 0, 60), sc(1, 0, 2), CompareRecall, 0},
+		{"f1 equal from unequal triples", sc(2, 8, 0), sc(1, 3, 1), CompareF1, 0},
+		{"f1 equal, scaled", sc(3, 12, 0), sc(1, 2, 2), CompareF1, 0},
+		{"f1 strictly greater", sc(2, 0, 0), sc(1, 1, 1), CompareF1, 1},
+		{"f1 strictly smaller", sc(1, 3, 3), sc(1, 1, 1), CompareF1, -1},
+		{"undefined precision scores zero", sc(0, 0, 2), sc(1, 99, 0), ComparePrecision, -1},
+		{"undefined recall scores zero", sc(0, 2, 0), sc(1, 0, 99), CompareRecall, -1},
+		{"both undefined tie at zero", sc(0, 0, 0), sc(0, 0, 0), CompareF1, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.cmp(tc.a, tc.b); got != tc.want {
+				t.Errorf("cmp = %d, want %d", got, tc.want)
+			}
+			// Antisymmetry: swapping the arguments must negate.
+			if got := tc.cmp(tc.b, tc.a); got != -tc.want {
+				t.Errorf("swapped cmp = %d, want %d", got, -tc.want)
+			}
+		})
+	}
+}
+
+// TestFloatF1TieNotFlipped is the tie-break regression test: two
+// patterns whose F1 ratios are mathematically equal (1/3) but whose
+// float64 computations round to different values must be treated as
+// tied — ranked by the deterministic key order and reported as
+// non-unique — instead of letting ulp noise pick the root cause.
+func TestFloatF1TieNotFlipped(t *testing.T) {
+	// a: present in both failing runs and 8 successes → (pf,po,af) = (2,8,0).
+	// b: present in one failing run and 3 successes  → (pf,po,af) = (1,3,1).
+	// Exact F1: 4/12 = 1/3 and 2/6 = 1/3. Float F1: they differ in the
+	// last ulp (0.333…37 vs 0.333…31), so float comparison declares a
+	// strict winner.
+	a := pat(pattern.KindOrderViolation, "WR", 1, 9)
+	b := pat(pattern.KindOrderViolation, "WR", 2, 9)
+	observations := []Observation{
+		obs(true, a.Key(), b.Key()),
+		obs(true, a.Key()),
+	}
+	for i := 0; i < 3; i++ {
+		observations = append(observations, obs(false, a.Key(), b.Key()))
+	}
+	for i := 0; i < 5; i++ {
+		observations = append(observations, obs(false, a.Key()))
+	}
+	observations = append(observations, obs(false), obs(false))
+
+	scores := Rank([]*pattern.Pattern{a, b}, observations)
+	sa, sb := scores[0], scores[1]
+	if sa.Pattern != a || sb.Pattern != b {
+		// Same kind, same PC count, same rank: the key (smaller first
+		// PC) must decide the order, not float noise.
+		t.Fatalf("order = %s, %s; want the key-ordered a, b",
+			scores[0].Pattern.Key(), scores[1].Pattern.Key())
+	}
+	if sa.F1 == sb.F1 {
+		t.Fatal("float F1s rounded equal; the fixture no longer exercises the float-tie bug")
+	}
+	if CompareF1(sa, sb) != 0 {
+		t.Fatalf("exact F1s differ: %+v vs %+v", sa, sb)
+	}
+	if _, unique := Best(scores); unique {
+		t.Error("mathematically tied patterns reported as a unique best")
+	}
+}
+
 // TestBestSpecificityTieBreak covers Best's uniqueness contract on
 // exact F1 ties: more constrained events win; equally constrained
 // ties are reported as ambiguous.

@@ -33,9 +33,21 @@ type ServeConfig struct {
 	// MaxSnapshotBytes caps one uploaded snapshot's total ring bytes.
 	// 0 applies a 64 MB default; negative means unlimited.
 	MaxSnapshotBytes int64
-	// MaxSuccessesPerConn caps success traces per connection session.
-	// 0 applies a default of 1024; negative means unlimited.
+	// MaxSuccessesPerConn caps success traces spooled for a
+	// connection's current diagnosis session; each new failure report
+	// starts a fresh spool. 0 applies a default of 1024; negative
+	// means unlimited.
 	MaxSuccessesPerConn int
+	// Programs pre-registers fleet tenants beyond the server's primary
+	// program: each becomes a tenant clients can report failures under
+	// without uploading the program themselves.
+	Programs []*Program
+	// SuccessQuota is the per-case success-trace quota in fleet mode;
+	// 0 applies the paper's 10× default.
+	SuccessQuota int
+	// DisableRegistration rejects client-side program registration,
+	// restricting fleet mode to the pre-registered Programs.
+	DisableRegistration bool
 }
 
 // Server is a diagnosis server that can be drained gracefully. Zero
@@ -44,7 +56,9 @@ type Server struct {
 	ps *proto.Server
 }
 
-// NewServer builds a diagnosis server for prog.
+// NewServer builds a diagnosis server for prog. Additional programs in
+// cfg.Programs (and, unless registration is disabled, programs clients
+// register at runtime) are served as fleet tenants alongside it.
 func NewServer(prog *Program, cfg ServeConfig) *Server {
 	cs := core.NewServer(prog.mod)
 	cs.Workers = cfg.Workers
@@ -54,7 +68,20 @@ func NewServer(prog *Program, cfg ServeConfig) *Server {
 	ps.WriteTimeout = cfg.WriteTimeout
 	ps.MaxSnapshotBytes = cfg.MaxSnapshotBytes
 	ps.MaxSuccessesPerConn = cfg.MaxSuccessesPerConn
-	return &Server{ps: ps}
+	ps.FleetQuota = cfg.SuccessQuota
+	ps.DisableRegistration = cfg.DisableRegistration
+	s := &Server{ps: ps}
+	s.RegisterProgram(prog)
+	for _, p := range cfg.Programs {
+		s.RegisterProgram(p)
+	}
+	return s
+}
+
+// RegisterProgram registers prog as a fleet tenant (idempotently, by
+// module fingerprint) and returns its tenant id.
+func (s *Server) RegisterProgram(prog *Program) TenantID {
+	return s.ps.RegisterProgram(prog.mod)
 }
 
 // Serve accepts and serves connections until the listener closes or

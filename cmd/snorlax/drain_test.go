@@ -1,0 +1,48 @@
+package main
+
+// The drain exit code is the supervisor contract: a store flush error
+// at shutdown means acknowledged state may not be on disk, and the
+// process must not exit 0 and look healthy.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"snorlax/internal/core"
+	"snorlax/internal/corpus"
+	"snorlax/internal/proto"
+	"snorlax/internal/store"
+)
+
+// failFlushStore accepts every append but fails the final flush, the
+// shape of a disk going bad between the last sync and the drain.
+type failFlushStore struct{ flushErr error }
+
+func (f *failFlushStore) Append(*store.Record) error { return nil }
+func (f *failFlushStore) Flush() error               { return f.flushErr }
+func (f *failFlushStore) Close() error               { return nil }
+func (f *failFlushStore) Stats() store.Stats         { return store.Stats{} }
+
+func newDrainServer(t *testing.T) *proto.Server {
+	t.Helper()
+	mod := corpus.ByID("pbzip2-1").Build(corpus.Variant{Failing: true}).Mod
+	return proto.NewServer(core.NewServer(mod))
+}
+
+func TestDrainExitCode(t *testing.T) {
+	t.Run("clean", func(t *testing.T) {
+		ps := newDrainServer(t)
+		ps.Store = &failFlushStore{}
+		if code := drain(ps, time.Second); code != 0 {
+			t.Errorf("clean drain exited %d, want 0", code)
+		}
+	})
+	t.Run("flush-error", func(t *testing.T) {
+		ps := newDrainServer(t)
+		ps.Store = &failFlushStore{flushErr: errors.New("disk on fire")}
+		if code := drain(ps, time.Second); code != 1 {
+			t.Errorf("drain with a failing store flush exited %d, want 1", code)
+		}
+	})
+}

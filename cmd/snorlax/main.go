@@ -33,6 +33,7 @@ import (
 	"snorlax/internal/ir"
 	"snorlax/internal/obs"
 	"snorlax/internal/proto"
+	"snorlax/internal/store"
 )
 
 var (
@@ -54,6 +55,8 @@ var (
 	drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "-serve: how long SIGINT/SIGTERM shutdown waits for in-flight work")
 	retries      = flag.Int("retries", 8, "-remote: attempts per operation before giving up")
 	metricsAddr  = flag.String("metrics-addr", "", "-serve: also serve GET /metrics (Prometheus text format) and /debug/pprof/* on this address (e.g. 127.0.0.1:9090); empty = disabled")
+	stateDir     = flag.String("state-dir", "", "-serve: persist fleet state (cases, accepted traces, published reports) to a write-ahead log in this directory and recover it on restart; empty = in-memory only")
+	syncPolicy   = flag.String("sync", "interval", "-serve: when the state log is fsynced: always, interval or never")
 )
 
 func main() {
@@ -146,14 +149,40 @@ func runServer(addr string) {
 	ps.MaxSnapshotBytes = *maxSnapshot
 	ps.MaxSuccessesPerConn = *maxSucc
 	ps.FleetQuota = *quota
+	if *stateDir != "" {
+		pol, err := store.ParseSyncPolicy(*syncPolicy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		w, err := store.Open(*stateDir, store.Options{SyncPolicy: pol, Registry: ps.Metrics()})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ps.Store = w
+		if err := ps.Restore(w.RecoveredState()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		st := w.Stats()
+		fmt.Printf("durable state in %s (sync=%s, recovered through lsn %d, %d torn-tail truncations)\n",
+			*stateDir, pol, st.LastLSN, st.TruncatedRecoveries)
+	}
+	register := func(m *ir.Module) {
+		if _, err := ps.RegisterProgram(m); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if *fleetMode {
 		registered := 0
 		if *bugID != "" {
-			ps.RegisterProgram(mod)
+			register(mod)
 			registered = 1
 		} else {
 			for _, b := range corpus.All() {
-				ps.RegisterProgram(b.Build(corpus.Variant{Failing: true}).Mod)
+				register(b.Build(corpus.Variant{Failing: true}).Mod)
 				registered++
 			}
 		}
@@ -182,17 +211,14 @@ func runServer(addr string) {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	done := make(chan struct{})
+	exitCode := 0
 	go func() {
 		defer close(done)
 		s := <-sig
 		fmt.Printf("%s: draining (up to %s)...\n", s, *drainTimeout)
-		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
-		defer cancel()
-		if err := ps.Shutdown(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
-		}
+		exitCode = drain(ps, *drainTimeout)
 		if msrv != nil {
-			msrv.Shutdown(ctx)
+			msrv.Shutdown(context.Background())
 		}
 		st := ps.Status()
 		fmt.Printf("served %d diagnoses (%d failed, %d dropped traces, %d panics recovered)\n",
@@ -203,6 +229,22 @@ func runServer(addr string) {
 		os.Exit(1)
 	}
 	<-done
+	os.Exit(exitCode)
+}
+
+// drain shuts the server down gracefully and maps the outcome to the
+// process exit code. A failed drain is an operational failure — in
+// particular a store flush error, which means state the server
+// acknowledged may not be on disk — so it must not exit 0 and look
+// healthy to the supervisor.
+func drain(ps *proto.Server, timeout time.Duration) int {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := ps.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+		return 1
+	}
+	return 0
 }
 
 // remoteDiagnose plays the production-client side: reproduce the

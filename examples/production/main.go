@@ -17,9 +17,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"time"
 
 	snorlax "snorlax"
 )
@@ -65,19 +68,29 @@ func main() {
 	okProg := cacheProgram(false)
 
 	// Central multi-tenant analysis server. The deployed program is
-	// pre-registered; clients could also upload it themselves.
+	// pre-registered; clients could also upload it themselves. Fleet
+	// state is durable: every case transition is write-ahead logged
+	// under the state directory before it is acknowledged.
+	stateDir, err := os.MkdirTemp("", "snorlax-state-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(stateDir)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer ln.Close()
-	srv := snorlax.NewServer(failProg, snorlax.ServeConfig{})
+	srv, err := snorlax.NewServer(failProg, snorlax.ServeConfig{StateDir: stateDir})
+	if err != nil {
+		log.Fatal(err)
+	}
 	go func() {
 		if err := srv.Serve(ln); err != nil {
 			log.Print(err)
 		}
 	}()
-	fmt.Printf("fleet analysis server listening on %s\n", ln.Addr())
+	fmt.Printf("fleet analysis server listening on %s (state in %s)\n", ln.Addr(), stateDir)
 
 	// A fleet of four production replicas: each registers the program,
 	// reproduces the failure, reports it (all four join one case), then
@@ -95,4 +108,49 @@ func main() {
 	fmt.Println(report.Format())
 	fmt.Printf("published verdict: %v (%s), confidence F1=%.2f\n",
 		report.Kind, report.Pattern, report.F1)
+
+	// The server restarts — deliberately, here; a crash recovers the
+	// same way, minus at most the last unsynced flush interval. The
+	// write-ahead log is replayed, and the published report is served
+	// straight from disk: no re-diagnosis, no re-collection.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	st := srv.Store()
+	fmt.Printf("\nserver restarting: %d records logged (%d bytes, %d fsyncs)\n",
+		st.AppendedRecords, st.AppendedBytes, st.Fsyncs)
+
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln2.Close()
+	srv2, err := snorlax.NewServer(failProg, snorlax.ServeConfig{StateDir: stateDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := srv2.Serve(ln2); err != nil {
+			log.Print(err)
+		}
+	}()
+	defer srv2.Shutdown(context.Background())
+
+	fc, err := snorlax.DialFleet("tcp", ln2.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fc.Close()
+	recovered, done, err := fc.FetchReport(failProg, res.Tenant, res.Case)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !done || recovered == nil {
+		log.Fatalf("case %d not re-served after recovery", res.Case)
+	}
+	fmt.Printf("recovered server re-serves case %d from disk: %v (%s), F1=%.2f — %d diagnoses run since restart\n",
+		res.Case, recovered.Kind, recovered.Pattern, recovered.F1,
+		srv2.Status().CompletedDiagnoses)
 }

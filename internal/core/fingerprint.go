@@ -1,0 +1,35 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+)
+
+// Fingerprint hashes the diagnosis verdict — the scored patterns, the
+// winner, its uniqueness, the anchor — into a stable hex digest. Stage
+// timings, cache hit/miss counts and worker counts are excluded: two
+// diagnoses of the same failing trace over the same success traces
+// fingerprint equal no matter which host ran them, how warm its caches
+// were, or whether one of the runs happened after a crash recovery.
+// The trace counts stay in, because a diagnosis over different inputs
+// is a different diagnosis. The crash-injection tests lean on this to
+// assert bit-identical verdicts across every recovery point.
+func (d *Diagnosis) Fingerprint() string {
+	clean := *d
+	clean.Stats = StageStats{
+		SuccessTraces:    d.Stats.SuccessTraces,
+		DroppedSuccesses: d.Stats.DroppedSuccesses,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&clean); err != nil {
+		// Diagnosis is a closed, gob-friendly struct; encoding it can
+		// only fail on programmer error (an unencodable field added
+		// later), which tests should see immediately.
+		panic(fmt.Sprintf("core: fingerprinting diagnosis: %v", err))
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,241 @@
+package fleet_test
+
+// Restart-mid-collection e2e: a WAL-backed fleet server is killed
+// after k traces have been accepted — before the fleet even registers
+// (k=0), mid-collection (k=5), and one trace short of the quota (k=9)
+// — and a recovered server takes over on the same address. The agents
+// never learn a restart happened: their idempotent retry loops carry
+// them across the gap, the recovered directive asks only for the
+// missing traces, the server stops at exactly the 10× quota, and the
+// published report is bit-identical to a direct diagnosis of the
+// accepted traces. The whole flow runs through seeded network chaos on
+// top of the restart.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"snorlax/internal/core"
+	"snorlax/internal/corpus"
+	"snorlax/internal/faultnet"
+	"snorlax/internal/fleet"
+	"snorlax/internal/ir"
+	"snorlax/internal/proto"
+	"snorlax/internal/store"
+)
+
+func startDurableFleetServer(t *testing.T, mod *ir.Module, stateDir string,
+	ln net.Listener, inj *faultnet.Injector) *proto.Server {
+	t.Helper()
+	w, err := store.Open(stateDir, store.Options{SyncPolicy: store.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := proto.NewServer(core.NewServer(mod))
+	srv.IdleTimeout = 10 * time.Second
+	srv.WriteTimeout = 10 * time.Second
+	srv.Store = w
+	if err := srv.Restore(w.RecoveredState()); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(inj.Listener(ln))
+	return srv
+}
+
+func shutdownFleetServer(t *testing.T, srv *proto.Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// acceptedTraces polls the server for how many successes the bug's
+// case has accepted so far; 0 while the case does not exist yet.
+func acceptedTraces(srv *proto.Server, tenant proto.TenantID) int {
+	_, successes, ok := srv.FleetCaseTraces(tenant, 1)
+	if !ok {
+		return 0
+	}
+	return len(successes)
+}
+
+func restartFleetAt(t *testing.T, k int) {
+	bug := corpus.ByID("httpd-4")
+	failInst := bug.Build(corpus.Variant{Failing: true})
+	okInst := bug.Build(corpus.Variant{Failing: false})
+	tenant := proto.ModuleFingerprint(failInst.Mod)
+	stateDir := t.TempDir()
+
+	inj := faultnet.New(faultnet.Config{
+		Seed: 1, FaultEvery: 3, MaxFaults: 8, Stall: 2 * time.Millisecond})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	srv1 := startDurableFleetServer(t, failInst.Mod, stateDir, ln, inj)
+
+	// The fleet runs in the background while the test plays fate: wait
+	// for k accepted traces, then kill the server under it. MaxAttempts
+	// is generous because every agent must retry across the restart gap
+	// on top of the injected chaos.
+	resCh := make(chan *fleet.Result, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := fleet.Run(
+			fleet.Program{Fail: failInst.Mod, OK: okInst.Mod},
+			fleet.Config{
+				Dial:        inj.Dialer(func() (net.Conn, error) { return net.Dial("tcp", addr) }),
+				Clients:     4,
+				MaxAttempts: 40,
+			})
+		if err != nil {
+			errCh <- err
+			return
+		}
+		resCh <- res
+	}()
+
+	deadline := time.Now().Add(60 * time.Second)
+	for acceptedTraces(srv1, tenant) < k {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never reached %d accepted traces", k)
+		}
+		select {
+		case err := <-errCh:
+			t.Fatalf("fleet failed before the restart: %v", err)
+		default:
+		}
+		time.Sleep(time.Millisecond)
+	}
+	shutdownFleetServer(t, srv1)
+
+	// Rebind the same address and recover from the WAL. The recovered
+	// directive must resume at exactly the logged count — never
+	// re-requesting (or double-counting) an accepted trace.
+	// The serve goroutine may still be releasing the socket (an early
+	// shutdown can beat Serve to its own listener registration), so the
+	// rebind retries briefly — as a restarting process would.
+	var ln2 net.Listener
+	for rebind := time.Now().Add(10 * time.Second); ; {
+		ln2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(rebind) {
+			t.Fatalf("rebinding %s: %v", addr, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	w2, err := store.Open(stateDir, store.Options{SyncPolicy: store.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logged := 0
+	collecting := false
+	if p := w2.RecoveredState().Program(string(tenant)); p != nil && p.Cases[1] != nil {
+		logged = len(p.Cases[1].Successes)
+		collecting = p.Cases[1].Collecting
+	}
+	if logged < k {
+		t.Errorf("WAL recovered %d accepted traces, but the live server had at least %d", logged, k)
+	}
+	srv2 := proto.NewServer(core.NewServer(failInst.Mod))
+	srv2.IdleTimeout = 10 * time.Second
+	srv2.WriteTimeout = 10 * time.Second
+	srv2.Store = w2
+	if err := srv2.Restore(w2.RecoveredState()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { shutdownFleetServer(t, srv2) })
+	reg := srv2.Metrics()
+	if collecting {
+		if v := reg.Find(proto.MetricFleetQuotaHave).Gauge.Value(); v != int64(logged) {
+			t.Errorf("recovered quota-have gauge = %d, want the logged %d", v, logged)
+		}
+		if v := reg.Find(proto.MetricFleetQuotaWant).Gauge.Value(); v != proto.DefaultFleetQuota {
+			t.Errorf("recovered quota-want gauge = %d, want %d", v, proto.DefaultFleetQuota)
+		}
+		if v := reg.Find(proto.MetricFleetArmedDirectives).Gauge.Value(); v != 1 {
+			t.Errorf("recovered armed-directives gauge = %d, want 1", v)
+		}
+	}
+	go srv2.Serve(inj.Listener(ln2))
+
+	var res *fleet.Result
+	select {
+	case res = <-resCh:
+	case err := <-errCh:
+		t.Fatalf("fleet failed across the restart: %v", err)
+	case <-time.After(120 * time.Second):
+		t.Fatal("fleet never finished after the restart")
+	}
+	if res.Diagnosis == nil {
+		t.Fatal("fleet returned no diagnosis")
+	}
+
+	// Exact quota stop, server-side: the recovered collection plus the
+	// replayed batches landed on precisely 10 accepted traces. The
+	// client-side count can only undercount (an ack lost to chaos or
+	// the restart is retried and deduplicated to zero), never exceed.
+	failing, successes, ok := srv2.FleetCaseTraces(res.Tenant, res.Case)
+	if !ok {
+		t.Fatalf("recovered server has no case %d for tenant %s", res.Case, res.Tenant)
+	}
+	if len(successes) != proto.DefaultFleetQuota {
+		t.Fatalf("server accepted %d success traces across the restart, want exactly %d",
+			len(successes), proto.DefaultFleetQuota)
+	}
+	if res.Accepted > proto.DefaultFleetQuota {
+		t.Errorf("agents saw %d accepted uploads, cannot exceed the %d quota",
+			res.Accepted, proto.DefaultFleetQuota)
+	}
+
+	// Bit-identity with a direct diagnosis of the exact accepted traces.
+	want, err := core.NewServer(failInst.Mod).Diagnose(failing, successes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Diagnosis
+	if !reflect.DeepEqual(got.Scores, want.Scores) {
+		t.Errorf("restarted fleet scores diverge from direct diagnosis:\n got %v\nwant %v",
+			got.Scores, want.Scores)
+	}
+	if !reflect.DeepEqual(got.Best, want.Best) || got.Unique != want.Unique {
+		t.Errorf("fleet best = %v (unique=%v), direct = %v (unique=%v)",
+			got.Best, got.Unique, want.Best, want.Unique)
+	}
+	if got.AnchorPC != want.AnchorPC {
+		t.Errorf("fleet anchor = %d, direct = %d", got.AnchorPC, want.AnchorPC)
+	}
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Error("fleet diagnosis fingerprint diverges from the direct diagnosis")
+	}
+	truth := core.Truth{Kind: failInst.TruthKind, Sub: failInst.TruthSub,
+		PCs: failInst.TruthPCs, Absence: failInst.TruthAbsence}
+	if !core.MatchesTruth(got.Best.Pattern, truth) {
+		t.Errorf("restarted fleet diagnosis %v does not match ground truth", got.Best.Pattern.Key())
+	}
+	if v := reg.Find(proto.MetricFleetReports).Counter.Value(); v != 1 {
+		t.Errorf("published reports counter = %d, want 1", v)
+	}
+	if v := reg.Find(proto.MetricFleetArmedDirectives).Gauge.Value(); v != 0 {
+		t.Errorf("armed directives gauge = %d after publication, want 0", v)
+	}
+}
+
+func TestFleetRestartMidCollection(t *testing.T) {
+	for _, k := range []int{0, 5, 9} {
+		k := k
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			restartFleetAt(t, k)
+		})
+	}
+}

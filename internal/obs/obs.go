@@ -104,6 +104,14 @@ var DefDurationBuckets = []float64{
 	1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1, 2.5, 10,
 }
 
+// DefByteBuckets are the default histogram bounds for payload sizes,
+// in bytes: 64 B to 4 MB in powers of four. WAL records span tiny
+// lifecycle markers to multi-ring trace snapshots; the top bucket sits
+// under the protocol's snapshot cap so an outlier is visible as +Inf.
+var DefByteBuckets = []float64{
+	64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20,
+}
+
 // Histogram is a fixed-bucket distribution with atomic buckets, an
 // atomic float sum, and snapshot/reset semantics. Buckets are upper
 // bounds; an implicit +Inf bucket catches the tail.

@@ -25,6 +25,7 @@ import (
 	"snorlax/internal/core"
 	"snorlax/internal/ir"
 	"snorlax/internal/pt"
+	"snorlax/internal/store"
 )
 
 // TenantID identifies a registered program: the hex SHA-256 of its
@@ -106,34 +107,64 @@ func (s *Server) fleetQuota() int {
 	return DefaultFleetQuota
 }
 
+// logFleet appends one record to the durable store, when configured.
+// Every caller holds fleetMu across the append and the state mutation
+// it describes, so log order always equals state-transition order —
+// the invariant recovery replay depends on. An append error means the
+// transition must not happen (the client sees an "error" reply and
+// retries; every fleet operation is idempotent).
+func (s *Server) logFleet(rec *store.Record) error {
+	if s.Store == nil {
+		return nil
+	}
+	return s.Store.Append(rec)
+}
+
 // RegisterProgram registers mod as a tenant (idempotently) and returns
 // its id. The tenant's analysis server shares the module-identity
 // points-to cache across every connection diagnosing this program, and
 // registers its pipeline metrics on the server's one registry, so
 // fleet-wide counters aggregate across tenants.
-func (s *Server) RegisterProgram(mod *ir.Module) TenantID {
+func (s *Server) RegisterProgram(mod *ir.Module) (TenantID, error) {
 	s.init()
 	id := ModuleFingerprint(mod)
 	s.fleetMu.Lock()
 	defer s.fleetMu.Unlock()
+	if s.tenants[id] != nil {
+		return id, nil
+	}
+	if err := s.logFleet(&store.Record{Type: store.RecProgramRegistered,
+		Tenant: string(id), ModuleText: ir.Print(mod)}); err != nil {
+		return "", err
+	}
+	s.addTenantLocked(id, mod)
+	return id, nil
+}
+
+// addTenantLocked creates (or finds) the tenant's in-memory state
+// without logging — registration and recovery share it, the former
+// after logging the record, the latter while replaying one.
+func (s *Server) addTenantLocked(id TenantID, mod *ir.Module) *tenant {
 	if s.tenants == nil {
 		s.tenants = make(map[TenantID]*tenant)
 	}
-	if _, ok := s.tenants[id]; !ok {
-		cs := core.NewServer(mod)
-		cs.Workers = s.Core.Workers
-		cs.PT = s.Core.PT
-		cs.MaxSuccessTraces = s.Core.MaxSuccessTraces
-		cs.UseRegistry(s.Core.Metrics())
-		s.tenants[id] = &tenant{
-			id:    id,
-			core:  cs,
-			cases: make(map[CaseID]*fleetCase),
-			byPC:  make(map[ir.PC]CaseID),
-		}
-		s.om.fleetTenants.Inc()
+	if t, ok := s.tenants[id]; ok {
+		return t
 	}
-	return id
+	cs := core.NewServer(mod)
+	cs.Workers = s.Core.Workers
+	cs.PT = s.Core.PT
+	cs.MaxSuccessTraces = s.Core.MaxSuccessTraces
+	cs.UseRegistry(s.Core.Metrics())
+	t := &tenant{
+		id:    id,
+		core:  cs,
+		cases: make(map[CaseID]*fleetCase),
+		byPC:  make(map[ir.PC]CaseID),
+	}
+	s.tenants[id] = t
+	s.om.fleetTenants.Inc()
+	return t
 }
 
 // registerText parses and registers a client-uploaded program.
@@ -142,7 +173,7 @@ func (s *Server) registerText(text string) (TenantID, error) {
 	if err != nil {
 		return "", fmt.Errorf("parsing module: %w", err)
 	}
-	return s.RegisterProgram(mod), nil
+	return s.RegisterProgram(mod)
 }
 
 func (s *Server) tenantByID(id TenantID) *tenant {
@@ -154,18 +185,27 @@ func (s *Server) tenantByID(id TenantID) *tenant {
 // openCase opens (or joins) the case for a failure. Reports of a PC
 // whose case already exists — collecting or already diagnosed — join
 // it; the first report's snapshot is the failing trace of record.
-func (s *Server) openCase(t *tenant, failure *core.FailureReport, snap *pt.Snapshot) *fleetCase {
+// Opening a new case is logged before the case exists, so a crash on
+// either side of the append leaves log and state agreeing.
+func (s *Server) openCase(t *tenant, failure *core.FailureReport, snap *pt.Snapshot) (*fleetCase, error) {
 	s.fleetMu.Lock()
 	defer s.fleetMu.Unlock()
 	if id, ok := t.byPC[failure.PC]; ok {
-		return t.cases[id]
+		return t.cases[id], nil
 	}
-	t.nextCase++
+	id := t.nextCase + 1
+	want := s.fleetQuota()
+	if err := s.logFleet(&store.Record{Type: store.RecCaseOpened, Tenant: string(t.id),
+		Case: uint64(id), TriggerPC: failure.PC, Want: want,
+		Failure: failure, Snapshot: snap}); err != nil {
+		return nil, err
+	}
+	t.nextCase = id
 	c := &fleetCase{
-		id:         t.nextCase,
+		id:         id,
 		triggerPC:  failure.PC,
 		failing:    &core.RunReport{Failure: failure, Snapshot: snap},
-		want:       s.fleetQuota(),
+		want:       want,
 		seen:       make(map[string]uint64),
 		collecting: true,
 	}
@@ -173,7 +213,7 @@ func (s *Server) openCase(t *tenant, failure *core.FailureReport, snap *pt.Snaps
 	t.byPC[failure.PC] = c.id
 	s.om.fleetArmed.Inc()
 	s.om.fleetQuotaWant.Add(int64(c.want))
-	return c
+	return c, nil
 }
 
 // directives lists the tenant's armed directives, in case order.
@@ -195,7 +235,11 @@ func (s *Server) directives(t *tenant) []Directive {
 // diagnosis). Snapshots are accepted in sequence order; a sequence
 // number at or below the client's ledger is a replay and is skipped
 // without consuming quota.
-func (s *Server) acceptBatch(c *fleetCase, client string, seq uint64, snaps []*pt.Snapshot) (accepted int, crossed bool) {
+// Each admitted snapshot is logged (with its ledger entry) before it
+// joins the case; an append failure stops the batch there, and the
+// unacknowledged tail is simply re-offered by the client's retry and
+// deduplicated against the ledger.
+func (s *Server) acceptBatch(t *tenant, c *fleetCase, client string, seq uint64, snaps []*pt.Snapshot) (accepted int, crossed bool, err error) {
 	s.fleetMu.Lock()
 	defer s.fleetMu.Unlock()
 	seen := c.seen[client]
@@ -211,6 +255,10 @@ func (s *Server) acceptBatch(c *fleetCase, client string, seq uint64, snaps []*p
 			seen = sq
 			continue
 		}
+		if err = s.logFleet(&store.Record{Type: store.RecTraceAccepted, Tenant: string(t.id),
+			Case: uint64(c.id), Client: client, Seq: sq, Snapshot: snap}); err != nil {
+			break
+		}
 		c.successes = append(c.successes, &core.RunReport{Snapshot: snap})
 		seen = sq
 		accepted++
@@ -219,14 +267,21 @@ func (s *Server) acceptBatch(c *fleetCase, client string, seq uint64, snaps []*p
 	if accepted > 0 {
 		s.om.fleetQuotaHave.Add(int64(accepted))
 	}
-	if c.collecting && len(c.successes) >= c.want {
+	if err == nil && c.collecting && len(c.successes) >= c.want {
+		// The disarm is logged before it happens; if the append fails,
+		// the accepted traces above stay good and the next batch (or
+		// recovery) re-detects the full quota and retries the disarm.
+		if err = s.logFleet(&store.Record{Type: store.RecQuotaReached,
+			Tenant: string(t.id), Case: uint64(c.id)}); err != nil {
+			return accepted, false, err
+		}
 		c.collecting = false
 		crossed = true
 		s.om.fleetArmed.Dec()
 		s.om.fleetQuotaWant.Add(-int64(c.want))
 		s.om.fleetQuotaHave.Add(-int64(len(c.successes)))
 	}
-	return accepted, crossed
+	return accepted, crossed, err
 }
 
 // publishCase runs Lazy Diagnosis on the case's accepted traces and
@@ -237,6 +292,20 @@ func (s *Server) publishCase(t *tenant, c *fleetCase) {
 	d, err := s.diagnose(t.core, c.failing, c.successes)
 	s.fleetMu.Lock()
 	defer s.fleetMu.Unlock()
+	rec := &store.Record{Type: store.RecReportPublished, Tenant: string(t.id), Case: uint64(c.id)}
+	if err != nil {
+		rec.DiagErr = err.Error()
+	} else {
+		rec.Diagnosis = d
+	}
+	// An append failure here does not block the publish: the diagnosis
+	// is deterministic, so a recovery that never saw these records
+	// re-runs it and lands on the identical verdict. The store's
+	// sticky error still surfaces at Shutdown.
+	if s.logFleet(rec) == nil {
+		s.logFleet(&store.Record{Type: store.RecCaseClosed,
+			Tenant: string(t.id), Case: uint64(c.id)})
+	}
 	c.done = true
 	if err != nil {
 		c.diagErr = err.Error()
@@ -300,7 +369,10 @@ func (s *Server) serveFleetRequest(req Request, reply func(Response) bool) bool 
 			s.om.oversizeRejects.Inc()
 			return reply(Response{Kind: "error", Err: fmt.Sprintf("failure snapshot exceeds %d-byte cap", cap)})
 		}
-		c := s.openCase(t, req.Failure, req.Snapshot)
+		c, err := s.openCase(t, req.Failure, req.Snapshot)
+		if err != nil {
+			return reply(Response{Kind: "error", Err: err.Error()})
+		}
 		s.fleetMu.Lock()
 		resp := Response{Kind: "case", Tenant: t.id, Case: c.id,
 			Directives: []Directive{c.directive(t.id)}, Done: c.done}
@@ -332,7 +404,10 @@ func (s *Server) serveFleetRequest(req Request, reply func(Response) bool) bool 
 				}
 			}
 		}
-		accepted, crossed := s.acceptBatch(c, req.Client, req.Seq, req.Snapshots)
+		accepted, crossed, err := s.acceptBatch(t, c, req.Client, req.Seq, req.Snapshots)
+		if err != nil {
+			return reply(Response{Kind: "error", Err: err.Error()})
+		}
 		if crossed {
 			s.publishCase(t, c)
 		}

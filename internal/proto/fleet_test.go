@@ -79,7 +79,11 @@ func TestFleetRegistrationIdempotent(t *testing.T) {
 
 	// Server-side pre-registration lands on the same tenant too: the
 	// fingerprint, not the registration path, is the identity.
-	if id := srv.RegisterProgram(fx.mod); id != id1 {
+	id, err := srv.RegisterProgram(fx.mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != id1 {
 		t.Errorf("RegisterProgram = %s, want %s", id, id1)
 	}
 }
@@ -98,7 +102,10 @@ func TestFleetDisableRegistration(t *testing.T) {
 		}
 	}
 	// Pre-registered tenants still serve.
-	id := srv.RegisterProgram(fx.mod)
+	id, err := srv.RegisterProgram(fx.mod)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := c.Directives(id); err != nil {
 		t.Fatalf("pre-registered tenant unusable: %v", err)
 	}

@@ -8,6 +8,7 @@ package proto
 // cross-checks every counter against its registry counterpart.
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http/httptest"
@@ -23,6 +24,7 @@ import (
 	"snorlax/internal/ir"
 	"snorlax/internal/obs"
 	"snorlax/internal/pt"
+	"snorlax/internal/store"
 )
 
 // sessionConn is the client surface both the plain and the retrying
@@ -535,5 +537,102 @@ func TestMetricsEndpointServesValidExposition(t *testing.T) {
 	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/pprof/", nil))
 	if rr.Code != 200 {
 		t.Errorf("GET /debug/pprof/ = %d", rr.Code)
+	}
+}
+
+// TestStoreMetricsConsistency puts the WAL on the fleet server's
+// shared registry, drives a full case over the wire, and cross-checks
+// every store counter three ways: the WAL's Stats view, the registry,
+// and the rendered /metrics page a deployment scrapes.
+func TestStoreMetricsConsistency(t *testing.T) {
+	const quota = 4
+	fx := newFleetFixture(t, quota)
+	srv := NewServer(core.NewServer(fx.mod))
+	srv.FleetQuota = quota
+	w, err := store.Open(t.TempDir(), store.Options{
+		SyncPolicy: store.SyncAlways,
+		Registry:   srv.Metrics(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Store = w
+	if err := srv.Restore(w.RecoveredState()); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+
+	c := dialFleet(t, ln.Addr().String())
+	id, err := c.Register(fx.moduleTx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caseID, _, _, err := c.ReportFleetFailure(id, fx.failing.Failure, fx.failing.Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done, err := c.UploadBatch(id, caseID, "agent-0", 1, fx.okSnaps[:quota]); err != nil || !done {
+		t.Fatalf("quota-filling upload: done=%v, err=%v", done, err)
+	}
+	if _, done, err := c.FetchReport(id, caseID); err != nil || !done {
+		t.Fatalf("report not published: done=%v, err=%v", done, err)
+	}
+
+	// register + open + quota accepts + quota-reached + publish + close.
+	st := w.Stats()
+	if want := uint64(quota + 5); st.AppendedRecords != want {
+		t.Errorf("AppendedRecords = %d, want %d", st.AppendedRecords, want)
+	}
+	reg := srv.Metrics()
+	for name, want := range map[string]uint64{
+		store.MetricStoreAppendedRecords:     st.AppendedRecords,
+		store.MetricStoreAppendedBytes:       st.AppendedBytes,
+		store.MetricStoreFsyncs:              st.Fsyncs,
+		store.MetricStoreSnapshots:           st.Snapshots,
+		store.MetricStoreCompactions:         st.Compactions,
+		store.MetricStoreTruncatedRecoveries: st.TruncatedRecoveries,
+	} {
+		if got := counterVal(t, reg, name); got != want {
+			t.Errorf("%s = %d, Stats says %d", name, got, want)
+		}
+	}
+	if got := gaugeVal(t, reg, store.MetricStoreSegments); got != st.Segments {
+		t.Errorf("%s = %d, Stats says %d", store.MetricStoreSegments, got, st.Segments)
+	}
+	if got := gaugeVal(t, reg, store.MetricStoreLastLSN); got != int64(st.LastLSN) {
+		t.Errorf("%s = %d, Stats says %d", store.MetricStoreLastLSN, got, st.LastLSN)
+	}
+	if m := findMetric(t, reg, store.MetricStoreRecordBytes); m.Histogram.Count() != st.AppendedRecords {
+		t.Errorf("%s count = %d, want %d observations",
+			store.MetricStoreRecordBytes, m.Histogram.Count(), st.AppendedRecords)
+	}
+
+	// The scraped page includes the store families and stays a valid
+	// exposition with them on it.
+	mux := obs.DebugMux(reg)
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("GET /metrics = %d", rr.Code)
+	}
+	body := rr.Body.String()
+	validateExposition(t, body)
+	for _, want := range []string{
+		fmt.Sprintf("%s %d", store.MetricStoreAppendedRecords, st.AppendedRecords),
+		fmt.Sprintf("%s %d", store.MetricStoreLastLSN, st.LastLSN),
+		"# TYPE " + store.MetricStoreRecordBytes + " histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics page is missing %q", want)
+		}
 	}
 }

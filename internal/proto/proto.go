@@ -37,6 +37,7 @@ import (
 	"snorlax/internal/ir"
 	"snorlax/internal/obs"
 	"snorlax/internal/pt"
+	"snorlax/internal/store"
 )
 
 // Request is a client→server message.
@@ -191,6 +192,13 @@ type Server struct {
 	// DisableRegistration rejects client "register" requests, limiting
 	// fleet mode to programs pre-registered with RegisterProgram.
 	DisableRegistration bool
+	// Store, when non-nil, is the durable case store: every fleet
+	// state transition (registration, case open, trace accept, quota,
+	// publish, close) is logged to it before being acknowledged to a
+	// client, and Shutdown flushes and closes it before returning. nil
+	// keeps fleet state in memory only. Set it — and Restore the
+	// recovered state — before serving.
+	Store store.Store
 
 	once sync.Once
 	sem  chan struct{}
@@ -393,8 +401,12 @@ func (s *Server) Serve(ln net.Listener) error {
 // Shutdown stops accepting new connections and drains the server:
 // idle connections are closed immediately, connections serving a
 // request (a running diagnosis) are allowed to finish it, after which
-// their handlers exit. Shutdown returns nil once every connection has
-// drained, or ctx's error after force-closing whatever remains.
+// their handlers exit. Once drained — or once ctx expires and the
+// stragglers are force-closed — the durable store (if any) is flushed,
+// fsynced and closed, so every transition the server acknowledged is
+// on disk before Shutdown returns. Shutdown returns nil after a clean
+// drain with a clean flush; otherwise the drain and store errors are
+// joined.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.init()
 	s.shutdown.Store(true)
@@ -408,7 +420,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	defer ticker.Stop()
 	for {
 		if s.closeIdleConns() == 0 {
-			return nil
+			return s.syncStore(nil)
 		}
 		select {
 		case <-ctx.Done():
@@ -417,10 +429,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 				st.conn.Close()
 			}
 			s.mu.Unlock()
-			return ctx.Err()
+			return s.syncStore(ctx.Err())
 		case <-ticker.C:
 		}
 	}
+}
+
+// syncStore ends a drain by flushing and closing the durable store.
+// Store errors — including a sticky error from an earlier append or
+// background flush nobody was positioned to see — join the drain
+// error rather than being masked by it.
+func (s *Server) syncStore(drainErr error) error {
+	if s.Store == nil {
+		return drainErr
+	}
+	return errors.Join(drainErr, s.Store.Flush(), s.Store.Close())
 }
 
 // closeIdleConns closes every tracked connection not currently serving

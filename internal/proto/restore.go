@@ -1,0 +1,117 @@
+package proto
+
+import (
+	"fmt"
+
+	"snorlax/internal/core"
+	"snorlax/internal/ir"
+	"snorlax/internal/store"
+)
+
+// Restore rebuilds the fleet server's in-memory state from the state
+// a durable store replayed at open: tenants are re-registered (their
+// module text re-parsed and fingerprint-verified), cases re-armed with
+// their accepted traces and per-client dedup ledgers intact, and
+// published reports re-served from disk without re-running diagnosis.
+// Call it once, after setting Store and before serving.
+//
+// Two crash windows need repair on the way in, and both are closed by
+// determinism rather than by guessing: a case whose quota was met but
+// whose disarm or verdict never reached the log is disarmed and
+// diagnosed now — on exactly the logged traces, in logged order — so
+// the published report is bit-identical to what the uninterrupted
+// server would have produced; a case whose verdict was logged but not
+// its close record is closed now.
+func (s *Server) Restore(st *store.State) error {
+	if st == nil {
+		return nil
+	}
+	s.init()
+	type deferredPublish struct {
+		t *tenant
+		c *fleetCase
+	}
+	var publish []deferredPublish
+	s.fleetMu.Lock()
+	for _, p := range st.Programs {
+		mod, err := ir.Parse(p.ModuleText)
+		if err != nil {
+			s.fleetMu.Unlock()
+			return fmt.Errorf("proto: restoring tenant %.12s…: %w", p.Tenant, err)
+		}
+		id := TenantID(p.Tenant)
+		if ModuleFingerprint(mod) != id {
+			s.fleetMu.Unlock()
+			return fmt.Errorf("proto: restoring tenant %.12s…: module text does not match fingerprint", p.Tenant)
+		}
+		t := s.addTenantLocked(id, mod)
+		t.nextCase = CaseID(p.NextCase)
+		for cid := uint64(1); cid <= p.NextCase; cid++ {
+			cs := p.Cases[cid]
+			if cs == nil {
+				continue
+			}
+			c := &fleetCase{
+				id:         CaseID(cs.ID),
+				triggerPC:  cs.TriggerPC,
+				failing:    &core.RunReport{Failure: cs.Failure, Snapshot: cs.FailSnapshot},
+				want:       cs.Want,
+				seen:       make(map[string]uint64, len(cs.Clients)),
+				collecting: cs.Collecting,
+				done:       cs.Done,
+				diag:       cs.Diagnosis,
+				diagErr:    cs.DiagErr,
+			}
+			for client, seq := range cs.Clients {
+				c.seen[client] = seq
+			}
+			for _, snap := range cs.Successes {
+				c.successes = append(c.successes, &core.RunReport{Snapshot: snap})
+			}
+			published := c.diag != nil || c.diagErr != ""
+			if c.collecting && len(c.successes) >= c.want {
+				// Crashed between the last accept and the disarm
+				// record: log the disarm this run.
+				if err := s.logFleet(&store.Record{Type: store.RecQuotaReached,
+					Tenant: p.Tenant, Case: cs.ID}); err != nil {
+					s.fleetMu.Unlock()
+					return err
+				}
+				c.collecting = false
+			}
+			if published && !c.done {
+				// Crashed between the verdict and its close record.
+				if err := s.logFleet(&store.Record{Type: store.RecCaseClosed,
+					Tenant: p.Tenant, Case: cs.ID}); err != nil {
+					s.fleetMu.Unlock()
+					return err
+				}
+				c.done = true
+			}
+			t.cases[c.id] = c
+			t.byPC[c.triggerPC] = c.id
+			if c.collecting {
+				// Re-arm exactly as pre-crash: the gauges resume at the
+				// logged counts, so the directive's remaining quota
+				// never re-requests traces already accepted.
+				s.om.fleetArmed.Inc()
+				s.om.fleetQuotaWant.Add(int64(c.want))
+				s.om.fleetQuotaHave.Add(int64(len(c.successes)))
+			}
+			if c.diag != nil {
+				s.om.fleetReports.Inc()
+			}
+			if !c.collecting && !published {
+				publish = append(publish, deferredPublish{t, c})
+			}
+		}
+	}
+	s.fleetMu.Unlock()
+	// Quota met before the crash but no verdict in the log: diagnose
+	// now, outside the lock, exactly like the batch handler that would
+	// have crossed the quota.
+	for _, d := range publish {
+		s.publishCase(d.t, d.c)
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+package proto
+
+// Regression tests for the durable-store integration: recovery re-arms
+// directives without re-requesting accepted traces, published reports
+// are re-served from disk without re-diagnosis, Shutdown surfaces store
+// errors, and Restore refuses state whose module text does not match
+// its tenant fingerprint.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"snorlax/internal/core"
+	"snorlax/internal/ir"
+	"snorlax/internal/store"
+)
+
+// fakeStore lets tests poison any store operation.
+type fakeStore struct {
+	appendErr error
+	flushErr  error
+	closeErr  error
+	appended  int
+}
+
+func (f *fakeStore) Append(*store.Record) error { f.appended++; return f.appendErr }
+func (f *fakeStore) Flush() error               { return f.flushErr }
+func (f *fakeStore) Close() error               { return f.closeErr }
+func (f *fakeStore) Stats() store.Stats         { return store.Stats{} }
+
+// startDurableServer opens (or reopens) a WAL in dir and serves a
+// fleet server restored from it.
+func startDurableServer(t *testing.T, mod *ir.Module, dir string, quota int) (string, *Server, *store.WAL) {
+	t.Helper()
+	w, err := store.Open(dir, store.Options{SyncPolicy: store.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(core.NewServer(mod))
+	srv.FleetQuota = quota
+	srv.Store = w
+	if err := srv.Restore(w.RecoveredState()); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return ln.Addr().String(), srv, w
+}
+
+func shutdownServer(t *testing.T, srv *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoveryRearmsWithoutReRequesting(t *testing.T) {
+	const quota = 6
+	fx := newFleetFixture(t, quota)
+	dir := t.TempDir()
+	addr, srv, _ := startDurableServer(t, fx.mod, dir, quota)
+
+	c := dialFleet(t, addr)
+	id, err := c.Register(fx.moduleTx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caseID, _, _, err := c.ReportFleetFailure(id, fx.failing.Failure, fx.failing.Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted, _, err := c.UploadBatch(id, caseID, "agent-0", 1, fx.okSnaps[:3]); err != nil || accepted != 3 {
+		t.Fatalf("pre-crash upload accepted %d (%v), want 3", accepted, err)
+	}
+	shutdownServer(t, srv)
+
+	// The restarted server must resume the half-filled collection at
+	// exactly 3/6 — the directive asks only for what is still missing,
+	// and the gauges agree with the pre-crash values.
+	addr2, srv2, _ := startDurableServer(t, fx.mod, dir, quota)
+	reg := srv2.Metrics()
+	if v := gaugeVal(t, reg, MetricFleetArmedDirectives); v != 1 {
+		t.Errorf("armed directives after recovery = %d, want 1", v)
+	}
+	if v := gaugeVal(t, reg, MetricFleetQuotaWant); v != quota {
+		t.Errorf("quota-want after recovery = %d, want %d", v, quota)
+	}
+	if v := gaugeVal(t, reg, MetricFleetQuotaHave); v != 3 {
+		t.Errorf("quota-have after recovery = %d, want 3", v)
+	}
+	c2 := dialFleet(t, addr2)
+	ds, err := c2.Directives(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].Have != 3 || ds[0].Want != quota {
+		t.Fatalf("recovered directives = %+v, want one at 3/%d", ds, quota)
+	}
+
+	// The agent replays its full upload stream (it never saw the acks).
+	// The recovered dedup ledger must admit only the three new traces.
+	if accepted, _, err := c2.UploadBatch(id, caseID, "agent-0", 1, fx.okSnaps[:3]); err != nil || accepted != 0 {
+		t.Fatalf("replayed batch accepted %d (%v), want 0", accepted, err)
+	}
+	accepted, done, err := c2.UploadBatch(id, caseID, "agent-0", 4, fx.okSnaps[3:6])
+	if err != nil || accepted != 3 || !done {
+		t.Fatalf("fresh batch accepted %d (done=%v, %v), want 3 (true)", accepted, done, err)
+	}
+	_, successes, ok := srv2.FleetCaseTraces(id, caseID)
+	if !ok || len(successes) != quota {
+		t.Fatalf("case holds %d accepted traces, want exactly %d", len(successes), quota)
+	}
+	if v := counterVal(t, reg, MetricFleetReports); v != 1 {
+		t.Errorf("reports counter = %d, want 1", v)
+	}
+	if v := gaugeVal(t, reg, MetricFleetArmedDirectives); v != 0 {
+		t.Errorf("armed directives after quota = %d, want 0", v)
+	}
+}
+
+func TestRecoveredReportReServedWithoutRediagnosis(t *testing.T) {
+	const quota = 4
+	fx := newFleetFixture(t, quota)
+	dir := t.TempDir()
+	addr, srv, _ := startDurableServer(t, fx.mod, dir, quota)
+
+	c := dialFleet(t, addr)
+	id, err := c.Register(fx.moduleTx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caseID, _, _, err := c.ReportFleetFailure(id, fx.failing.Failure, fx.failing.Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done, err := c.UploadBatch(id, caseID, "agent-0", 1, fx.okSnaps[:quota]); err != nil || !done {
+		t.Fatalf("quota-filling upload: done=%v, err=%v", done, err)
+	}
+	diag, done, err := c.FetchReport(id, caseID)
+	if err != nil || !done || diag == nil {
+		t.Fatalf("live report: done=%v, diag=%v, err=%v", done, diag, err)
+	}
+	shutdownServer(t, srv)
+
+	addr2, srv2, _ := startDurableServer(t, fx.mod, dir, quota)
+	c2 := dialFleet(t, addr2)
+	diag2, done, err := c2.FetchReport(id, caseID)
+	if err != nil || !done || diag2 == nil {
+		t.Fatalf("recovered report: done=%v, diag=%v, err=%v", done, diag2, err)
+	}
+	if diag2.Fingerprint() != diag.Fingerprint() {
+		t.Error("recovered report differs from the one published live")
+	}
+	if n := srv2.Status().CompletedDiagnoses; n != 0 {
+		t.Errorf("recovered server ran %d diagnoses to re-serve a stored report", n)
+	}
+	if v := counterVal(t, srv2.Metrics(), MetricFleetReports); v != 1 {
+		t.Errorf("reports counter after recovery = %d, want 1", v)
+	}
+	// A late failure report for the same PC joins the recovered case.
+	caseAgain, _, done, err := c2.ReportFleetFailure(id, fx.failing.Failure, fx.failing.Snapshot)
+	if err != nil || caseAgain != caseID || !done {
+		t.Errorf("late report joined case %d (done=%v, %v), want %d (true)", caseAgain, done, err, caseID)
+	}
+}
+
+func TestShutdownSurfacesStoreErrors(t *testing.T) {
+	fx := newFleetFixture(t, 0)
+	for _, tc := range []struct {
+		name string
+		fs   *fakeStore
+		want string
+	}{
+		{"flush error", &fakeStore{flushErr: errors.New("flush: disk full")}, "disk full"},
+		{"close error", &fakeStore{closeErr: errors.New("close: stale handle")}, "stale handle"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := NewServer(core.NewServer(fx.mod))
+			srv.Store = tc.fs
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			err := srv.Shutdown(ctx)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Shutdown = %v, want an error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestAppendFailureRejectsTransition(t *testing.T) {
+	// A transition whose WAL append fails must not be acknowledged or
+	// applied: the client sees a server error and the case stays as it
+	// was, so a retry against a healed store converges.
+	fx := newFleetFixture(t, 2)
+	fs := &fakeStore{}
+	srv := NewServer(core.NewServer(fx.mod))
+	srv.FleetQuota = 2
+	srv.Store = fs
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	c := dialFleet(t, ln.Addr().String())
+
+	fs.appendErr = errors.New("append: no space")
+	if _, err := c.Register(fx.moduleTx); err == nil {
+		t.Fatal("registration acknowledged despite a failed WAL append")
+	}
+	fs.appendErr = nil
+	id, err := c.Register(fx.moduleTx)
+	if err != nil {
+		t.Fatalf("retry after append failure: %v", err)
+	}
+	caseID, _, _, err := c.ReportFleetFailure(id, fx.failing.Failure, fx.failing.Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.appendErr = errors.New("append: no space")
+	if accepted, _, _ := c.UploadBatch(id, caseID, "agent-0", 1, fx.okSnaps[:1]); accepted != 0 {
+		t.Fatalf("upload accepted %d traces despite a failed WAL append", accepted)
+	}
+	_, successes, ok := srv.FleetCaseTraces(id, caseID)
+	if !ok || len(successes) != 0 {
+		t.Fatalf("case holds %d traces after a rejected upload, want 0", len(successes))
+	}
+	fs.appendErr = nil
+	if accepted, _, err := c.UploadBatch(id, caseID, "agent-0", 1, fx.okSnaps[:1]); err != nil || accepted != 1 {
+		t.Fatalf("retried upload accepted %d (%v), want 1", accepted, err)
+	}
+}
+
+func TestRestoreRejectsTamperedState(t *testing.T) {
+	fx := newFleetFixture(t, 0)
+	t.Run("fingerprint mismatch", func(t *testing.T) {
+		srv := NewServer(core.NewServer(fx.mod))
+		st := &store.State{Programs: []*store.ProgramState{{
+			Tenant: "0000000000000000", ModuleText: fx.moduleTx,
+		}}}
+		if err := srv.Restore(st); err == nil {
+			t.Error("Restore accepted a tenant whose module text does not match its fingerprint")
+		}
+	})
+	t.Run("unparsable module", func(t *testing.T) {
+		srv := NewServer(core.NewServer(fx.mod))
+		st := &store.State{Programs: []*store.ProgramState{{
+			Tenant: string(ModuleFingerprint(fx.mod)), ModuleText: "not a module",
+		}}}
+		if err := srv.Restore(st); err == nil {
+			t.Error("Restore accepted unparsable module text")
+		}
+	})
+}

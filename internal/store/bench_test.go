@@ -1,0 +1,97 @@
+package store
+
+import (
+	"testing"
+)
+
+// benchRecord returns the append workload: one trace-accepted record
+// with a realistic snapshot payload, the dominant record type of a
+// collecting fleet.
+func benchRecord(seq uint64) *Record {
+	return &Record{Type: RecTraceAccepted, Tenant: testTenant, Case: 1,
+		Client: "agent-0", Seq: seq, Snapshot: testSnap(byte(seq))}
+}
+
+// BenchmarkWALAppend measures the append path per sync policy —
+// records/s and bytes/s — with snapshots disabled so the numbers are
+// pure log cost. SyncAlways pays an fsync per record; SyncInterval and
+// SyncNever show what moving durability off the append path buys.
+func BenchmarkWALAppend(b *testing.B) {
+	frame, err := encodeRecord(benchRecord(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, policy := range []SyncPolicy{SyncAlways, SyncInterval, SyncNever} {
+		b.Run(policy.String(), func(b *testing.B) {
+			w, err := Open(b.TempDir(), Options{SyncPolicy: policy, SnapshotEvery: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			// Keep the log lifecycle-valid even though validation is off:
+			// a register and an open precede the accepts.
+			if err := w.Append(&Record{Type: RecProgramRegistered, Tenant: testTenant,
+				ModuleText: "module m\n"}); err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Append(&Record{Type: RecCaseOpened, Tenant: testTenant, Case: 1,
+				TriggerPC: 7, Want: 1 << 30}); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(frame)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.Append(benchRecord(uint64(i + 1))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}
+
+// BenchmarkRecoveryReplay measures cold-start recovery: scanning and
+// replaying a multi-thousand-record segment into fleet state, the cost
+// a restarted server pays before it can serve.
+func BenchmarkRecoveryReplay(b *testing.B) {
+	const accepts = 2048
+	dir := b.TempDir()
+	w, err := Open(dir, Options{SyncPolicy: SyncNever, SnapshotEvery: -1, SegmentBytes: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Append(&Record{Type: RecProgramRegistered, Tenant: testTenant,
+		ModuleText: "module m\n"}); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Append(&Record{Type: RecCaseOpened, Tenant: testTenant, Case: 1,
+		TriggerPC: 7, Want: accepts}); err != nil {
+		b.Fatal(err)
+	}
+	for i := 1; i <= accepts; i++ {
+		if err := w.Append(benchRecord(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	records := accepts + 2
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := Open(dir, Options{SyncPolicy: SyncNever, SnapshotEvery: -1, SegmentBytes: 1 << 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := w.Stats().LastLSN; got != uint64(records) {
+			b.Fatalf("recovered LSN %d, want %d", got, records)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}

@@ -1,0 +1,135 @@
+package store
+
+// Checked-in seed corpus for FuzzWALReplay. The files under
+// testdata/fuzz/FuzzWALReplay/ run on every plain `go test` (the
+// fuzzing engine replays seed corpora even without -fuzz), pinning the
+// recovery edge cases — torn headers, torn payloads, flipped bits,
+// checksum-valid non-records — as permanent regressions. Because
+// record encoding is deterministic, the freshness test catches a
+// format change that would silently rot the seeds.
+//
+// Regenerate after an intentional record format change with:
+//
+//	go test ./internal/store/ -run TestWALSeedCorpus -regen-corpus
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var regenCorpus = flag.Bool("regen-corpus", false,
+	"rewrite the checked-in fuzz seed corpus under testdata/fuzz")
+
+const corpusHeader = "go test fuzz v1"
+
+type walCorpusEntry struct {
+	name string
+	data []byte
+}
+
+// walCorpusEntries builds the canonical seed set: a genuine complete
+// lifecycle segment plus every recovery edge the scanner and the
+// replay distinguish.
+func walCorpusEntries(tb testing.TB) []walCorpusEntry {
+	tb.Helper()
+	recs := lifecycle(testTenant, 2)
+	var clean []byte
+	var ends []int
+	for _, rec := range recs {
+		frame, err := encodeRecord(rec)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		clean = append(clean, frame...)
+		ends = append(ends, len(clean))
+	}
+	cut := func(n int) []byte { return append([]byte(nil), clean[:n]...) }
+	flipped := cut(len(clean))
+	flipped[ends[2]-1] ^= 0xFF // corrupt record 3's payload
+
+	unapplied := func() []byte {
+		reg, err := encodeRecord(recs[0])
+		if err != nil {
+			tb.Fatal(err)
+		}
+		orphan, err := encodeRecord(&Record{Type: RecTraceAccepted, Tenant: testTenant,
+			Case: 42, Client: "agent-0", Seq: 1, Snapshot: testSnap(1)})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return append(reg, orphan...)
+	}()
+
+	return []walCorpusEntry{
+		{name: "seed-lifecycle", data: clean},
+		{name: "seed-truncated-header", data: cut(ends[1] + 3)},
+		{name: "seed-truncated-payload", data: cut(ends[3] - 2)},
+		{name: "seed-crc-flip", data: flipped},
+		{name: "seed-unapplied-suffix", data: unapplied},
+		{name: "seed-empty"},
+		{name: "seed-garbage", data: []byte{0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3}},
+	}
+}
+
+func corpusDir() string {
+	return filepath.Join("testdata", "fuzz", "FuzzWALReplay")
+}
+
+func writeCorpusFile(tb testing.TB, path string, data []byte) {
+	tb.Helper()
+	body := fmt.Sprintf("%s\n[]byte(%q)\n", corpusHeader, data)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// readWALCorpusFile parses one FuzzWALReplay corpus file back into its
+// []byte argument.
+func readWALCorpusFile(tb testing.TB, path string) []byte {
+	tb.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 2 || lines[0] != corpusHeader {
+		tb.Fatalf("%s: not a 1-argument corpus file", path)
+	}
+	quoted := strings.TrimSuffix(strings.TrimPrefix(lines[1], "[]byte("), ")")
+	s, err := strconv.Unquote(quoted)
+	if err != nil {
+		tb.Fatalf("%s: bad []byte line %q: %v", path, lines[1], err)
+	}
+	return []byte(s)
+}
+
+// TestWALSeedCorpusIsFresh pins the checked-in FuzzWALReplay corpus to
+// the canonical entries. Record encoding is deterministic, so a
+// mismatch means the on-disk format changed without regenerating the
+// corpus (run go test -run TestWALSeedCorpus -regen-corpus) — which
+// would silently rot the fuzz seeds and, far worse, silently break
+// recovery of logs written by the previous build.
+func TestWALSeedCorpusIsFresh(t *testing.T) {
+	dir := corpusDir()
+	entries := walCorpusEntries(t)
+	if *regenCorpus {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			writeCorpusFile(t, filepath.Join(dir, e.name), e.data)
+		}
+	}
+	for _, e := range entries {
+		data := readWALCorpusFile(t, filepath.Join(dir, e.name))
+		if !bytes.Equal(data, e.data) {
+			t.Errorf("corpus file %s is stale (run go test -run TestWALSeedCorpus -regen-corpus)", e.name)
+		}
+	}
+}

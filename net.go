@@ -12,7 +12,28 @@ import (
 	"snorlax/internal/obs"
 	"snorlax/internal/proto"
 	"snorlax/internal/pt"
+	"snorlax/internal/store"
 )
+
+// SyncPolicy selects when the durable case store fsyncs its
+// write-ahead log (see ServeConfig.StateDir).
+type SyncPolicy = store.SyncPolicy
+
+const (
+	// SyncInterval (the default) syncs from a background flusher every
+	// ServeConfig.SyncInterval, keeping appends off the fsync path;
+	// loss is bounded to that window, and the fleet protocol's
+	// idempotency re-collects a lost tail.
+	SyncInterval = store.SyncInterval
+	// SyncAlways fsyncs every record before it is acknowledged.
+	SyncAlways = store.SyncAlways
+	// SyncNever leaves syncing to the OS, and to Shutdown's flush.
+	SyncNever = store.SyncNever
+)
+
+// StoreStats reports the durable case store's operational counters,
+// as returned by Server.Store.
+type StoreStats = store.Stats
 
 // ServeConfig tunes the diagnosis server's concurrency and its
 // defenses against slow, greedy, or corrupt clients.
@@ -48,6 +69,22 @@ type ServeConfig struct {
 	// DisableRegistration rejects client-side program registration,
 	// restricting fleet mode to the pre-registered Programs.
 	DisableRegistration bool
+	// StateDir, when set, makes fleet state durable: every state
+	// transition (registration, case open, trace accept, quota,
+	// published report) is written to a checksummed write-ahead log
+	// under this directory before it is acknowledged, and NewServer
+	// recovers from it on startup — re-arming directives, restoring
+	// per-client dedup ledgers, and re-serving published reports from
+	// disk without re-running diagnosis. Empty keeps state in memory
+	// only, exactly the pre-durability behaviour.
+	StateDir string
+	// SyncPolicy selects when the log is fsynced: SyncInterval (the
+	// default), SyncAlways, or SyncNever. Shutdown flushes and fsyncs
+	// regardless.
+	SyncPolicy SyncPolicy
+	// SyncInterval is the background flush period under SyncInterval;
+	// 0 means 50ms.
+	SyncInterval time.Duration
 }
 
 // Server is a diagnosis server that can be drained gracefully. Zero
@@ -58,8 +95,11 @@ type Server struct {
 
 // NewServer builds a diagnosis server for prog. Additional programs in
 // cfg.Programs (and, unless registration is disabled, programs clients
-// register at runtime) are served as fleet tenants alongside it.
-func NewServer(prog *Program, cfg ServeConfig) *Server {
+// register at runtime) are served as fleet tenants alongside it. With
+// a StateDir configured, NewServer opens (or recovers) the durable
+// case store before anything is registered; recovery errors and
+// unusable state directories surface here, not mid-serve.
+func NewServer(prog *Program, cfg ServeConfig) (*Server, error) {
 	cs := core.NewServer(prog.mod)
 	cs.Workers = cfg.Workers
 	ps := proto.NewServer(cs)
@@ -70,18 +110,51 @@ func NewServer(prog *Program, cfg ServeConfig) *Server {
 	ps.MaxSuccessesPerConn = cfg.MaxSuccessesPerConn
 	ps.FleetQuota = cfg.SuccessQuota
 	ps.DisableRegistration = cfg.DisableRegistration
-	s := &Server{ps: ps}
-	s.RegisterProgram(prog)
-	for _, p := range cfg.Programs {
-		s.RegisterProgram(p)
+	if cfg.StateDir != "" {
+		w, err := store.Open(cfg.StateDir, store.Options{
+			SyncPolicy:   cfg.SyncPolicy,
+			SyncInterval: cfg.SyncInterval,
+			Registry:     ps.Metrics(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		ps.Store = w
+		if err := ps.Restore(w.RecoveredState()); err != nil {
+			w.Close()
+			return nil, err
+		}
 	}
-	return s
+	s := &Server{ps: ps}
+	progs := append([]*Program{prog}, cfg.Programs...)
+	for _, p := range progs {
+		if _, err := s.RegisterProgram(p); err != nil {
+			if ps.Store != nil {
+				ps.Store.Close()
+			}
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // RegisterProgram registers prog as a fleet tenant (idempotently, by
-// module fingerprint) and returns its tenant id.
-func (s *Server) RegisterProgram(prog *Program) TenantID {
+// module fingerprint) and returns its tenant id. With a durable store,
+// a first-time registration is logged before it is acknowledged; the
+// error reports a failed append.
+func (s *Server) RegisterProgram(prog *Program) (TenantID, error) {
 	return s.ps.RegisterProgram(prog.mod)
+}
+
+// Store reports the durable case store's operational counters —
+// records and bytes appended, fsyncs, snapshots, compactions,
+// truncated-tail recoveries. A server without a StateDir returns zero
+// stats.
+func (s *Server) Store() StoreStats {
+	if s.ps.Store == nil {
+		return StoreStats{}
+	}
+	return s.ps.Store.Stats()
 }
 
 // Serve accepts and serves connections until the listener closes or
@@ -91,7 +164,9 @@ func (s *Server) Serve(ln net.Listener) error { return s.ps.Serve(ln) }
 // Shutdown stops accepting, lets in-flight requests finish, closes
 // idle connections, and returns when everything has drained or the
 // context expires (then remaining connections are force-closed and
-// the context's error is returned).
+// the context's error is returned). The durable store, if any, is
+// flushed, fsynced and closed before Shutdown returns; store errors
+// join the drain error.
 func (s *Server) Shutdown(ctx context.Context) error { return s.ps.Shutdown(ctx) }
 
 // Status reports the server's counters directly, without a client
@@ -126,7 +201,11 @@ func Serve(ln net.Listener, prog *Program) error {
 // ServeConfigured is Serve with explicit concurrency and robustness
 // knobs.
 func ServeConfigured(ln net.Listener, prog *Program, cfg ServeConfig) error {
-	return NewServer(prog, cfg).Serve(ln)
+	s, err := NewServer(prog, cfg)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
 }
 
 // ServerStatus reports a diagnosis server's concurrency, cache, and

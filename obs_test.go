@@ -23,7 +23,10 @@ func TestPublicMetricsSurface(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ln.Close()
-	srv := snorlax.NewServer(failProg, snorlax.ServeConfig{})
+	srv, err := snorlax.NewServer(failProg, snorlax.ServeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	go srv.Serve(ln)
 
 	rd, err := snorlax.Dial("tcp", ln.Addr().String(), failProg)

@@ -313,10 +313,13 @@ func TestHardenedServerAndRetryingClient(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := snorlax.NewServer(failProg, snorlax.ServeConfig{
+	srv, err := snorlax.NewServer(failProg, snorlax.ServeConfig{
 		IdleTimeout:  time.Minute,
 		WriteTimeout: time.Minute,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	served := make(chan error, 1)
 	go func() { served <- srv.Serve(ln) }()
 

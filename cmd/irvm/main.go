@@ -19,6 +19,7 @@ import (
 	"snorlax/internal/pt"
 	"snorlax/internal/racedet"
 	"snorlax/internal/vm"
+	"snorlax/internal/vm/bytecode"
 )
 
 var (
@@ -28,6 +29,8 @@ var (
 	maxSteps = flag.Int64("maxsteps", 0, "instruction budget (0 = default)")
 	dump     = flag.Bool("dump", false, "print the parsed program with PCs and exit")
 	races    = flag.Bool("races", false, "run under the lockset race detector and report races")
+	engine   = flag.String("engine", "bytecode", "execution engine: bytecode or treewalk")
+	disasm   = flag.Bool("disasm", false, "print the compiled bytecode listing and exit")
 )
 
 func main() {
@@ -50,9 +53,26 @@ func main() {
 		})
 		return
 	}
+	if *disasm {
+		prog, err := bytecode.Compile(mod)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(prog.Disasm())
+		return
+	}
+	var eng vm.Engine
+	switch *engine {
+	case "bytecode":
+		eng = vm.EngineBytecode
+	case "treewalk":
+		eng = vm.EngineTreeWalk
+	default:
+		fatal(fmt.Errorf("bad -engine %q (want bytecode or treewalk)", *engine))
+	}
 
 	if *races {
-		found, res := racedet.Detect(mod, vm.Config{Seed: *seed, MaxSteps: *maxSteps})
+		found, res := racedet.Detect(mod, vm.Config{Seed: *seed, MaxSteps: *maxSteps, Engine: eng})
 		for _, r := range found {
 			a, b := mod.InstrAt(r.First), mod.InstrAt(r.Second)
 			fmt.Printf("race: %-36s [%s]\n  vs: %-36s [%s]\n", a, a.Block(), b, b.Block())
@@ -67,7 +87,7 @@ func main() {
 		return
 	}
 
-	cfg := vm.Config{Seed: *seed, MaxSteps: *maxSteps}
+	cfg := vm.Config{Seed: *seed, MaxSteps: *maxSteps, Engine: eng}
 	var enc *pt.Encoder
 	if *trace {
 		enc = pt.NewEncoder(pt.Config{})

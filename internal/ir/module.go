@@ -3,6 +3,7 @@ package ir
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Global is a module-level variable. Its storage is allocated by the
@@ -111,6 +112,23 @@ type Module struct {
 	finalized bool
 	// pcTable maps every PC to its instruction; built by Finalize.
 	pcTable []Instr
+	// funcIndex maps each function to its position in Funcs; built by
+	// Finalize so engines can resolve function values without a scan.
+	funcIndex map[*Func]int
+	// version counts Finalize calls. Any PC-keyed artifact derived
+	// from the module (e.g. a compiled bytecode program) is valid only
+	// for the version it was built against.
+	version uint64
+	// compiled caches one engine-compiled artifact per module (see
+	// SetCompiled). It holds a compiledEntry.
+	compiled atomic.Value
+}
+
+// compiledEntry pairs a cached artifact with the module version it
+// was derived from.
+type compiledEntry struct {
+	version uint64
+	data    any
 }
 
 // NewModule returns an empty module with the given name.
@@ -148,11 +166,14 @@ func (m *Module) StructByName(name string) *StructType {
 
 // Finalize assigns dense PCs to every instruction in layout order,
 // records block parents and indices, and builds the PC lookup table.
-// Finalize is idempotent.
+// Finalize is idempotent, but each call bumps the module version,
+// invalidating any compiled artifact cached with SetCompiled.
 func (m *Module) Finalize() {
 	m.pcTable = m.pcTable[:0]
+	m.funcIndex = make(map[*Func]int, len(m.Funcs))
 	var pc PC
-	for _, f := range m.Funcs {
+	for fi, f := range m.Funcs {
+		m.funcIndex[f] = fi
 		for bi, b := range f.Blocks {
 			b.Parent = f
 			b.Index = bi
@@ -164,10 +185,46 @@ func (m *Module) Finalize() {
 		}
 	}
 	m.finalized = true
+	m.version++
 }
 
 // Finalized reports whether Finalize has run.
 func (m *Module) Finalized() bool { return m.finalized }
+
+// Version identifies the current PC assignment: it increments on
+// every Finalize. Artifacts keyed by PCs (bytecode programs, pattern
+// keys persisted across edits) must be rebuilt when it changes.
+func (m *Module) Version() uint64 { return m.version }
+
+// FuncIndex returns the position of f in Funcs, or -1 when f does not
+// belong to the module. The module must be finalized. Engines use the
+// index to encode function values densely.
+func (m *Module) FuncIndex(f *Func) int {
+	if idx, ok := m.funcIndex[f]; ok {
+		return idx
+	}
+	return -1
+}
+
+// Compiled returns the artifact cached by SetCompiled for the given
+// module version, or nil when none is cached or the module has been
+// re-finalized since. It is safe for concurrent use.
+func (m *Module) Compiled(version uint64) any {
+	if e, ok := m.compiled.Load().(compiledEntry); ok && e.version == version {
+		return e.data
+	}
+	return nil
+}
+
+// SetCompiled caches one engine-compiled artifact (e.g. the bytecode
+// program built by internal/vm/bytecode) against a module version.
+// Storing the cache on the module — rather than in a global map —
+// lets the artifact be garbage collected with the module. It is safe
+// for concurrent use; on a race the last writer wins, which is
+// harmless because compilation is deterministic.
+func (m *Module) SetCompiled(version uint64, data any) {
+	m.compiled.Store(compiledEntry{version: version, data: data})
+}
 
 // NumInstrs returns the number of static instructions in the module.
 // The module must be finalized.

@@ -1,0 +1,474 @@
+package bytecode
+
+import (
+	"fmt"
+	"math"
+
+	"snorlax/internal/ir"
+)
+
+// FuncInfo is the compiled metadata of one IR function.
+type FuncInfo struct {
+	Name string
+	// Start is the code index of the function's first instruction.
+	Start int32
+	// NumRegs is the frame size in registers.
+	NumRegs int32
+	// Params holds the register index of each parameter in order.
+	Params []int32
+	// EntryPC is the PC of the function's first instruction (the
+	// destination of call and thread-start trace events).
+	EntryPC ir.PC
+}
+
+// Program is one module compiled to flat 32-bit word code.
+type Program struct {
+	// Mod is the source module; PCs in Code index into it.
+	Mod *ir.Module
+	// Version is the module version the program was compiled against.
+	Version uint64
+	// Code is the flat instruction stream: [opcode pc operand...]*.
+	Code []int32
+	// Pool holds every compile-time-resolved constant: IR literals,
+	// global addresses, and encoded function values. Operand word w<0
+	// names Pool[^w].
+	Pool []int64
+	// Strings holds assertion messages; Assert's msgIndex names one.
+	Strings []string
+	// Funcs is indexed like Mod.Funcs.
+	Funcs []FuncInfo
+	// IdxOfPC maps each ir.PC to the code index of its compiled
+	// instruction — the PC↔bytecode mapping used by disassembly and
+	// by engines that must materialize a frame at a given PC.
+	IdxOfPC []int32
+	// GlobalAddrs holds the word address of each module global in
+	// declaration order; the compiler derives them from the VM's
+	// deterministic bump allocator, and the engine asserts they match
+	// its own allocation before trusting pool-resolved addresses.
+	GlobalAddrs []int64
+}
+
+// compiler accumulates one Program.
+type compiler struct {
+	mod      *ir.Module
+	p        *Program
+	poolIdx  map[int64]int32
+	strIdx   map[string]int32
+	blockOff map[*ir.Block]int32
+	gaddr    map[*ir.Global]int64
+}
+
+// Compile translates a module to bytecode. The module is finalized if
+// it is not already. Compile never panics on structurally valid
+// (ir.Verify-clean) modules; for modules that would make any engine
+// misbehave — empty or unterminated blocks, aggregates too large for
+// 32-bit operands — it returns an error so callers can fall back to
+// the tree-walking interpreter.
+func Compile(mod *ir.Module) (*Program, error) {
+	if !mod.Finalized() {
+		mod.Finalize()
+	}
+	c := &compiler{
+		mod: mod,
+		p: &Program{
+			Mod:     mod,
+			Version: mod.Version(),
+			IdxOfPC: make([]int32, mod.NumInstrs()),
+		},
+		poolIdx:  make(map[int64]int32),
+		strIdx:   make(map[string]int32),
+		blockOff: make(map[*ir.Block]int32),
+		gaddr:    make(map[*ir.Global]int64),
+	}
+	// Global addresses replicate the VM's startup allocation: a bump
+	// allocator starting at word 1, one allocation per global in
+	// declaration order.
+	next := int64(1)
+	for _, g := range mod.Globals {
+		c.gaddr[g] = next
+		c.p.GlobalAddrs = append(c.p.GlobalAddrs, next)
+		next += wordsOf(g.Typ)
+	}
+	// Pass 1: lay out code offsets so branches can refer forward.
+	off := int64(0)
+	for _, f := range mod.Funcs {
+		if len(f.Blocks) == 0 {
+			return nil, fmt.Errorf("bytecode: function %s has no blocks", f.Name)
+		}
+		info := FuncInfo{
+			Name:    f.Name,
+			Start:   int32(off),
+			NumRegs: int32(len(f.Regs)),
+			EntryPC: f.Blocks[0].FirstPC(),
+		}
+		for _, p := range f.Params {
+			info.Params = append(info.Params, int32(p.Index))
+		}
+		c.p.Funcs = append(c.p.Funcs, info)
+		for _, b := range f.Blocks {
+			if len(b.Instrs) == 0 {
+				return nil, fmt.Errorf("bytecode: empty block %s", b)
+			}
+			if b.Terminator() == nil {
+				return nil, fmt.Errorf("bytecode: block %s does not end in a terminator", b)
+			}
+			c.blockOff[b] = int32(off)
+			for _, in := range b.Instrs {
+				w, err := width(in)
+				if err != nil {
+					return nil, err
+				}
+				off += int64(w)
+				if off > math.MaxInt32 {
+					return nil, fmt.Errorf("bytecode: module %s exceeds 2^31 code words", mod.Name)
+				}
+			}
+		}
+	}
+	// Pass 2: emit.
+	for _, f := range mod.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if err := c.emit(in); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return c.p, nil
+}
+
+// wordsOf mirrors the VM's slot count for a type.
+func wordsOf(t ir.Type) int64 {
+	w := t.Size() / 8
+	if w <= 0 {
+		w = 1
+	}
+	return w
+}
+
+// width returns the number of code words instruction in compiles to.
+func width(in ir.Instr) (int32, error) {
+	n := 0
+	switch i := in.(type) {
+	case *ir.AllocaInstr, *ir.NewInstr:
+		n = 4
+	case *ir.LoadInstr, *ir.StoreInstr, *ir.CastInstr:
+		n = 4
+	case *ir.FieldAddrInstr:
+		n = 5
+	case *ir.IndexAddrInstr:
+		n = 7
+	case *ir.BinInstr:
+		n = 5
+	case *ir.BrInstr:
+		n = 4
+	case *ir.CondBrInstr:
+		n = 7
+	case *ir.CallInstr:
+		n = 5 + len(i.Args)
+	case *ir.SpawnInstr:
+		n = 5 + len(i.Args)
+	case *ir.RetInstr:
+		if i.Val == nil {
+			n = 2
+		} else {
+			n = 3
+		}
+	case *ir.JoinInstr, *ir.LockInstr, *ir.UnlockInstr, *ir.NotifyInstr, *ir.SleepInstr:
+		n = 3
+	case *ir.WaitInstr:
+		n = 4
+	case *ir.AssertInstr:
+		n = 4
+	case *ir.PrintInstr:
+		n = 3 + len(i.Args)
+	default:
+		return 0, fmt.Errorf("bytecode: unsupported instruction %s", in)
+	}
+	return int32(n), nil
+}
+
+// pool interns v in the constant pool and returns its operand word
+// (the ^index encoding, always negative).
+func (c *compiler) pool(v int64) (int32, error) {
+	if idx, ok := c.poolIdx[v]; ok {
+		return ^idx, nil
+	}
+	if len(c.p.Pool) > math.MaxInt32/2 {
+		return 0, fmt.Errorf("bytecode: constant pool overflow")
+	}
+	idx := int32(len(c.p.Pool))
+	c.p.Pool = append(c.p.Pool, v)
+	c.poolIdx[v] = idx
+	return ^idx, nil
+}
+
+// operand encodes a value operand: register index when non-negative,
+// pool reference when negative.
+func (c *compiler) operand(v ir.Value) (int32, error) {
+	switch x := v.(type) {
+	case *ir.Reg:
+		return int32(x.Index), nil
+	case *ir.Const:
+		return c.pool(x.Val)
+	case *ir.GlobalRef:
+		addr, ok := c.gaddr[x.Global]
+		if !ok {
+			return 0, fmt.Errorf("bytecode: reference to global %s not in module", x.Global.Name)
+		}
+		return c.pool(addr)
+	case *ir.FuncRef:
+		idx := c.mod.FuncIndex(x.Func)
+		if idx < 0 {
+			return 0, fmt.Errorf("bytecode: reference to function %s not in module", x.Func.Name)
+		}
+		// Function values use the VM's encoding: -index-1, disjoint
+		// from memory addresses.
+		return c.pool(-int64(idx) - 1)
+	}
+	return 0, fmt.Errorf("bytecode: unknown value %T", v)
+}
+
+func (c *compiler) str(s string) int32 {
+	if idx, ok := c.strIdx[s]; ok {
+		return idx
+	}
+	idx := int32(len(c.p.Strings))
+	c.p.Strings = append(c.p.Strings, s)
+	c.strIdx[s] = idx
+	return idx
+}
+
+// words appends raw code words.
+func (c *compiler) words(ws ...int32) { c.p.Code = append(c.p.Code, ws...) }
+
+// fit converts a compile-time count to an operand word, rejecting
+// values a 32-bit word cannot carry.
+func fit(what string, v int64) (int32, error) {
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		return 0, fmt.Errorf("bytecode: %s %d exceeds 32-bit operand range", what, v)
+	}
+	return int32(v), nil
+}
+
+func (c *compiler) emit(in ir.Instr) error {
+	pc := in.PC()
+	if int(pc) < 0 || int(pc) >= len(c.p.IdxOfPC) {
+		return fmt.Errorf("bytecode: instruction %s has unfinalized PC", in)
+	}
+	c.p.IdxOfPC[pc] = int32(len(c.p.Code))
+	p := int32(pc)
+
+	vals := func(ops ...ir.Value) ([]int32, error) {
+		out := make([]int32, len(ops))
+		for j, o := range ops {
+			w, err := c.operand(o)
+			if err != nil {
+				return nil, err
+			}
+			out[j] = w
+		}
+		return out, nil
+	}
+
+	switch i := in.(type) {
+	case *ir.AllocaInstr:
+		w, err := fit("alloca size", wordsOf(i.Elem))
+		if err != nil {
+			return err
+		}
+		c.words(int32(Alloca), p, int32(i.Dst.Index), w)
+	case *ir.NewInstr:
+		w, err := fit("new size", wordsOf(i.Elem))
+		if err != nil {
+			return err
+		}
+		c.words(int32(New), p, int32(i.Dst.Index), w)
+	case *ir.LoadInstr:
+		ops, err := vals(i.Addr)
+		if err != nil {
+			return err
+		}
+		c.words(int32(Load), p, int32(i.Dst.Index), ops[0])
+	case *ir.StoreInstr:
+		ops, err := vals(i.Val, i.Addr)
+		if err != nil {
+			return err
+		}
+		c.words(int32(Store), p, ops[0], ops[1])
+	case *ir.FieldAddrInstr:
+		st := i.StructType()
+		if st == nil {
+			return fmt.Errorf("bytecode: fieldaddr through non-struct pointer at pc %d", pc)
+		}
+		if i.Field < 0 || i.Field >= len(st.Fields) {
+			return fmt.Errorf("bytecode: fieldaddr index %d out of range for %s", i.Field, st.Name)
+		}
+		off, err := fit("field offset", st.FieldOffset(i.Field))
+		if err != nil {
+			return err
+		}
+		ops, err := vals(i.Base)
+		if err != nil {
+			return err
+		}
+		c.words(int32(FieldAddr), p, int32(i.Dst.Index), ops[0], off)
+	case *ir.IndexAddrInstr:
+		at, ok := ir.Deref(i.Base.Type()).(*ir.ArrayType)
+		if !ok {
+			return fmt.Errorf("bytecode: indexaddr through non-array pointer at pc %d", pc)
+		}
+		alen, err := fit("array length", at.Len)
+		if err != nil {
+			return err
+		}
+		ew, err := fit("element size", wordsOf(at.Elem))
+		if err != nil {
+			return err
+		}
+		ops, err := vals(i.Base, i.Index)
+		if err != nil {
+			return err
+		}
+		c.words(int32(IndexAddr), p, int32(i.Dst.Index), ops[0], ops[1], alen, ew)
+	case *ir.BinInstr:
+		op, ok := binOpcode[i.BOp]
+		if !ok {
+			return fmt.Errorf("bytecode: unknown binary op %d", i.BOp)
+		}
+		ops, err := vals(i.X, i.Y)
+		if err != nil {
+			return err
+		}
+		c.words(int32(op), p, int32(i.Dst.Index), ops[0], ops[1])
+	case *ir.CastInstr:
+		ops, err := vals(i.Val)
+		if err != nil {
+			return err
+		}
+		c.words(int32(Cast), p, int32(i.Dst.Index), ops[0])
+	case *ir.BrInstr:
+		tgt, ok := c.blockOff[i.Target]
+		if !ok {
+			return fmt.Errorf("bytecode: branch to foreign block %s", i.Target)
+		}
+		c.words(int32(Jump), p, tgt, int32(i.Target.FirstPC()))
+	case *ir.CondBrInstr:
+		then, ok1 := c.blockOff[i.Then]
+		els, ok2 := c.blockOff[i.Else]
+		if !ok1 || !ok2 {
+			return fmt.Errorf("bytecode: condbr to foreign block at pc %d", pc)
+		}
+		ops, err := vals(i.Cond)
+		if err != nil {
+			return err
+		}
+		c.words(int32(JumpIf), p, ops[0], then, int32(i.Then.FirstPC()), els, int32(i.Else.FirstPC()))
+	case *ir.CallInstr:
+		return c.emitCallLike(p, Call, CallInd, i.Dst, i.Callee, i.Args)
+	case *ir.SpawnInstr:
+		return c.emitCallLike(p, Spawn, SpawnInd, i.Dst, i.Callee, i.Args)
+	case *ir.RetInstr:
+		if i.Val == nil {
+			c.words(int32(Return), p)
+			return nil
+		}
+		ops, err := vals(i.Val)
+		if err != nil {
+			return err
+		}
+		c.words(int32(ReturnVal), p, ops[0])
+	case *ir.JoinInstr:
+		ops, err := vals(i.Tid)
+		if err != nil {
+			return err
+		}
+		c.words(int32(Join), p, ops[0])
+	case *ir.LockInstr:
+		ops, err := vals(i.Addr)
+		if err != nil {
+			return err
+		}
+		c.words(int32(Lock), p, ops[0])
+	case *ir.UnlockInstr:
+		ops, err := vals(i.Addr)
+		if err != nil {
+			return err
+		}
+		c.words(int32(Unlock), p, ops[0])
+	case *ir.WaitInstr:
+		ops, err := vals(i.Mu, i.Cv)
+		if err != nil {
+			return err
+		}
+		c.words(int32(Wait), p, ops[0], ops[1])
+	case *ir.NotifyInstr:
+		ops, err := vals(i.Cv)
+		if err != nil {
+			return err
+		}
+		c.words(int32(Notify), p, ops[0])
+	case *ir.SleepInstr:
+		ops, err := vals(i.Dur)
+		if err != nil {
+			return err
+		}
+		c.words(int32(Sleep), p, ops[0])
+	case *ir.AssertInstr:
+		ops, err := vals(i.Cond)
+		if err != nil {
+			return err
+		}
+		c.words(int32(Assert), p, ops[0], c.str(i.Msg))
+	case *ir.PrintInstr:
+		ops, err := vals(i.Args...)
+		if err != nil {
+			return err
+		}
+		c.words(int32(Print), p, int32(len(ops)))
+		c.words(ops...)
+	default:
+		return fmt.Errorf("bytecode: unsupported instruction %s", in)
+	}
+	return nil
+}
+
+// emitCallLike compiles call and spawn, which share the
+// direct/indirect split and the inline argument list.
+func (c *compiler) emitCallLike(p int32, direct, indirect Opcode, dst *ir.Reg, callee ir.Value, args []ir.Value) error {
+	d := int32(-1)
+	if dst != nil {
+		d = int32(dst.Index)
+	}
+	argWords := make([]int32, len(args))
+	for j, a := range args {
+		w, err := c.operand(a)
+		if err != nil {
+			return err
+		}
+		argWords[j] = w
+	}
+	if fr, ok := callee.(*ir.FuncRef); ok {
+		idx := c.mod.FuncIndex(fr.Func)
+		if idx < 0 {
+			return fmt.Errorf("bytecode: call of function %s not in module", fr.Func.Name)
+		}
+		c.words(int32(direct), p, d, int32(idx), int32(len(args)))
+	} else {
+		cv, err := c.operand(callee)
+		if err != nil {
+			return err
+		}
+		c.words(int32(indirect), p, d, cv, int32(len(args)))
+	}
+	c.words(argWords...)
+	return nil
+}
+
+// binOpcode maps IR binary operators to their specialized opcodes.
+var binOpcode = map[ir.BinOp]Opcode{
+	ir.Add: Add, ir.Sub: Sub, ir.Mul: Mul, ir.Div: Div, ir.Rem: Rem,
+	ir.And: And, ir.Or: Or, ir.Xor: Xor, ir.Shl: Shl, ir.Shr: Shr,
+	ir.Eq: Eq, ir.Ne: Ne, ir.Lt: Lt, ir.Le: Le, ir.Gt: Gt, ir.Ge: Ge,
+}

@@ -1,0 +1,125 @@
+package bytecode
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disasm renders the whole program as a deterministic, human-readable
+// listing: one section per function, one line per instruction with
+// its code offset, source PC, stringer-generated opcode name and
+// decoded operands. Value operands render registers as %rN and pool
+// references as $<value>; branch targets render as @<code offset>.
+func (p *Program) Disasm() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s (%d words, %d pool, %d strings)\n",
+		p.Mod.Name, len(p.Code), len(p.Pool), len(p.Strings))
+	for fi, fn := range p.Funcs {
+		end := int32(len(p.Code))
+		if fi+1 < len(p.Funcs) {
+			end = p.Funcs[fi+1].Start
+		}
+		fmt.Fprintf(&b, "\nfunc %s (regs=%d params=%d entry-pc=%d)\n",
+			fn.Name, fn.NumRegs, len(fn.Params), fn.EntryPC)
+		for off := fn.Start; off < end; {
+			off = p.disasmInstr(&b, off)
+		}
+	}
+	return b.String()
+}
+
+// DisasmAt renders the single instruction starting at code offset off
+// and returns the offset of the next instruction.
+func (p *Program) DisasmAt(off int32) (string, int32) {
+	var b strings.Builder
+	next := p.disasmInstr(&b, off)
+	return strings.TrimSuffix(b.String(), "\n"), next
+}
+
+func (p *Program) disasmInstr(b *strings.Builder, off int32) int32 {
+	op := Opcode(p.Code[off])
+	pc := p.Code[off+1]
+	args := p.Code[off+2:]
+
+	val := func(w int32) string {
+		if w >= 0 {
+			return fmt.Sprintf("%%r%d", w)
+		}
+		return fmt.Sprintf("$%d", p.Pool[^w])
+	}
+	reg := func(w int32) string {
+		if w < 0 {
+			return "_"
+		}
+		return fmt.Sprintf("%%r%d", w)
+	}
+
+	var ops []string
+	n := int32(2)
+	switch op {
+	case Alloca, New:
+		ops = []string{reg(args[0]), fmt.Sprintf("words=%d", args[1])}
+		n += 2
+	case Load:
+		ops = []string{reg(args[0]), val(args[1])}
+		n += 2
+	case Store:
+		ops = []string{val(args[0]), val(args[1])}
+		n += 2
+	case FieldAddr:
+		ops = []string{reg(args[0]), val(args[1]), fmt.Sprintf("+%d", args[2])}
+		n += 3
+	case IndexAddr:
+		ops = []string{reg(args[0]), val(args[1]), val(args[2]),
+			fmt.Sprintf("len=%d", args[3]), fmt.Sprintf("elem=%d", args[4])}
+		n += 5
+	case Cast:
+		ops = []string{reg(args[0]), val(args[1])}
+		n += 2
+	case Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Eq, Ne, Lt, Le, Gt, Ge:
+		ops = []string{reg(args[0]), val(args[1]), val(args[2])}
+		n += 3
+	case Jump:
+		ops = []string{fmt.Sprintf("@%04d", args[0]), fmt.Sprintf("pc=%d", args[1])}
+		n += 2
+	case JumpIf:
+		ops = []string{val(args[0]),
+			fmt.Sprintf("then=@%04d(pc=%d)", args[1], args[2]),
+			fmt.Sprintf("else=@%04d(pc=%d)", args[3], args[4])}
+		n += 5
+	case Call, Spawn:
+		ops = []string{reg(args[0]), p.Funcs[args[1]].Name}
+		for j := int32(0); j < args[2]; j++ {
+			ops = append(ops, val(args[3+j]))
+		}
+		n += 3 + args[2]
+	case CallInd, SpawnInd:
+		ops = []string{reg(args[0]), "(" + val(args[1]) + ")"}
+		for j := int32(0); j < args[2]; j++ {
+			ops = append(ops, val(args[3+j]))
+		}
+		n += 3 + args[2]
+	case Return:
+	case ReturnVal:
+		ops = []string{val(args[0])}
+		n++
+	case Join, Lock, Unlock, Notify, Sleep:
+		ops = []string{val(args[0])}
+		n++
+	case Wait:
+		ops = []string{val(args[0]), val(args[1])}
+		n += 2
+	case Assert:
+		ops = []string{val(args[0]), fmt.Sprintf("%q", p.Strings[args[1]])}
+		n += 2
+	case Print:
+		for j := int32(0); j < args[0]; j++ {
+			ops = append(ops, val(args[1+j]))
+		}
+		n += 1 + args[0]
+	default:
+		ops = []string{"???"}
+	}
+	fmt.Fprintf(b, "  %04d  pc=%-4d %-10s %s\n", off, pc, op, strings.Join(ops, ", "))
+	return off + n
+}

@@ -1,0 +1,94 @@
+// Package bytecode compiles finalized IR modules to a flat 32-bit
+// word code array with a constant pool, and disassembles the result.
+//
+// The architecture follows goawk's compiler (see SNIPPETS.md): every
+// opcode is one int32 word and its operands follow inline as further
+// int32 words, so the execution engine in internal/vm dispatches with
+// a slice index and an integer switch instead of walking structured
+// ir values through interface type switches.
+//
+// Word layout of one compiled instruction:
+//
+//	[opcode] [pc] [operand...]
+//
+// The second word is always the instruction's ir.PC, which keeps the
+// engine's trace events, watchpoints and failure reports bit-identical
+// to the tree-walking interpreter without a side table on the hot
+// path. Value operands use a sign-split encoding: a non-negative word
+// is a register index into the executing frame; a negative word w is
+// the constant-pool slot ^w. The pool holds every constant resolved
+// at compile time — IR literals, global addresses (the VM's global
+// layout is deterministic, so addresses are known before execution),
+// and encoded function values.
+package bytecode
+
+//go:generate go run golang.org/x/tools/cmd/stringer@latest -type=Opcode
+
+// Opcode identifies one compiled VM instruction. The comment beside
+// each opcode lists the operand words it consumes (after the pc word
+// every instruction carries). "val" operands use the sign-split
+// register/pool encoding; all other operands are plain indices or
+// counts.
+type Opcode int32
+
+const (
+	// Nop exists so the zero word is never a valid instruction.
+	Nop Opcode = iota
+
+	// Memory allocation
+	Alloca // dst elemWords
+	New    // dst elemWords
+
+	// Memory access
+	Load      // dst addrVal
+	Store     // val addrVal
+	FieldAddr // dst baseVal offsetWords
+	IndexAddr // dst baseVal indexVal arrayLen elemWords
+
+	// Value plumbing
+	Cast // dst val
+
+	// Binary operators (dst xVal yVal); one opcode per ir.BinOp so
+	// the engine dispatches once instead of switching twice.
+	Add
+	Sub
+	Mul
+	Div
+	Rem
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	Eq
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+
+	// Control flow. Branch operands carry both the target code index
+	// and the target's first PC (the trace event destination).
+	Jump      // target toPC
+	JumpIf    // condVal thenTarget thenPC elseTarget elsePC
+	Call      // dst funcIndex argc argVal...   (dst -1 = discard)
+	CallInd   // dst calleeVal argc argVal...
+	Return    //
+	ReturnVal // val
+
+	// Threading
+	Spawn    // dst funcIndex argc argVal...
+	SpawnInd // dst calleeVal argc argVal...
+	Join     // tidVal
+
+	// Synchronization
+	Lock   // addrVal
+	Unlock // addrVal
+	Wait   // muVal cvVal
+	Notify // cvVal
+
+	// Time, checks, output
+	Sleep  // durVal
+	Assert // condVal msgIndex
+	Print  // argc argVal...
+)

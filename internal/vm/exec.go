@@ -21,6 +21,7 @@ func (v *VM) step(t *thread) {
 		v.steps++
 		t.state = tSleeping
 		t.wakeAt = v.clock + v.cfg.GateBackoffNS
+		v.nSleeping++
 		return
 	}
 	if v.cfg.WatchPCs[pc] {
@@ -139,6 +140,7 @@ func (v *VM) step(t *thread) {
 		t.stack = t.stack[:len(t.stack)-1]
 		if len(t.stack) == 0 {
 			t.state = tExited
+			v.nLive--
 			v.emit(TraceEvent{Kind: EvThreadEnd, Tid: t.id, Time: v.clock,
 				From: pc, To: ir.NoPC, Live: v.liveCount()})
 			v.wakeJoiners(t.id)
@@ -238,7 +240,7 @@ func (v *VM) step(t *thread) {
 			if w.state == tBlockedLock && w.waitLock == addr {
 				w.state = tRunnable
 				v.emit(TraceEvent{Kind: EvContextSwitch, Tid: w.id, Time: v.clock,
-					From: ir.NoPC, To: w.curInstr().PC(), Live: v.liveCount()})
+					From: ir.NoPC, To: w.curPC(), Live: v.liveCount()})
 			}
 		}
 		delete(v.lockWaiters, addr)
@@ -306,7 +308,7 @@ func (v *VM) step(t *thread) {
 				w.condPhase = 2
 				w.state = tRunnable
 				v.emit(TraceEvent{Kind: EvContextSwitch, Tid: w.id, Time: v.clock,
-					From: ir.NoPC, To: w.curInstr().PC(), Live: v.liveCount()})
+					From: ir.NoPC, To: w.curPC(), Live: v.liveCount()})
 			}
 		}
 		delete(v.condWaiters, cvAddr)
@@ -318,6 +320,7 @@ func (v *VM) step(t *thread) {
 		}
 		t.state = tSleeping
 		t.wakeAt = v.clock + dur
+		v.nSleeping++
 		fr.idx++
 		v.pauseThread(t)
 	case *ir.AssertInstr:
@@ -455,7 +458,7 @@ func (v *VM) wakeJoiners(tid int) {
 		if t.state == tBlockedJoin && t.waitTid == tid {
 			t.state = tRunnable
 			v.emit(TraceEvent{Kind: EvContextSwitch, Tid: t.id, Time: v.clock,
-				From: ir.NoPC, To: t.curInstr().PC(), Live: v.liveCount()})
+				From: ir.NoPC, To: t.curPC(), Live: v.liveCount()})
 		}
 	}
 }

@@ -5,7 +5,38 @@ import (
 	"math/rand"
 
 	"snorlax/internal/ir"
+	"snorlax/internal/vm/bytecode"
 )
+
+// Engine selects the execution engine.
+type Engine int
+
+// The available engines. Both engines honor every Config knob and
+// produce bit-identical results — the differential suite and fuzz
+// target in this package enforce that across the whole corpus.
+const (
+	// EngineDefault resolves to EngineBytecode (the production
+	// engine) unless the module cannot be compiled, in which case the
+	// VM falls back to the tree-walking interpreter.
+	EngineDefault Engine = iota
+	// EngineBytecode compiles the module to flat 32-bit word code
+	// (internal/vm/bytecode) and runs a tight dispatch loop.
+	EngineBytecode
+	// EngineTreeWalk interprets ir structures directly. It is kept as
+	// the differential-testing oracle; traces are bit-identical to
+	// the bytecode engine.
+	EngineTreeWalk
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineBytecode:
+		return "bytecode"
+	case EngineTreeWalk:
+		return "treewalk"
+	}
+	return "default"
+}
 
 // Config controls one execution.
 type Config struct {
@@ -43,9 +74,19 @@ type Config struct {
 	// GateBackoffNS is how long a vetoed thread sleeps before
 	// retrying (default 500).
 	GateBackoffNS int64
+	// Engine selects the execution engine (default: bytecode, with
+	// automatic fallback to the tree-walker when compilation fails).
+	// Every other Config field is engine-independent: both engines
+	// honor Seed, MaxSteps, InstrCost, QuantumMin/Max, CtxSwitchCost,
+	// MaxThreads, WatchPCs, Sink, Hook, Gate, Access and
+	// GateBackoffNS identically.
+	Engine Engine
 }
 
 func (c Config) withDefaults() Config {
+	if c.Engine == EngineDefault {
+		c.Engine = EngineBytecode
+	}
 	if c.MaxSteps == 0 {
 		c.MaxSteps = 20_000_000
 	}
@@ -84,14 +125,25 @@ const (
 	tExited
 )
 
+// frame is one function activation. The tree-walking interpreter
+// positions it with (block, idx); the bytecode engine positions it
+// with (code, cip) where cip indexes the program's flat code array.
+// Exactly one of the two position encodings is active per execution.
 type frame struct {
 	fn    *ir.Func
 	block *ir.Block
 	idx   int
 	regs  []int64
 	// retDst is the caller-frame register receiving the return
-	// value, or nil.
+	// value, or nil (tree-walk encoding).
 	retDst *ir.Reg
+	// code/cip position the frame for the bytecode engine; code is
+	// nil under the tree-walker.
+	code []int32
+	cip  int32
+	// retReg is the caller-frame register index receiving the return
+	// value, or -1 (bytecode encoding).
+	retReg int32
 }
 
 type thread struct {
@@ -111,10 +163,15 @@ type thread struct {
 
 func (t *thread) top() *frame { return t.stack[len(t.stack)-1] }
 
-// curInstr returns the instruction the thread will execute next.
-func (t *thread) curInstr() ir.Instr {
+// curPC returns the PC of the instruction the thread will execute
+// next, under either engine. Every compiled instruction carries its
+// PC in the word after the opcode, so the bytecode path is one load.
+func (t *thread) curPC() ir.PC {
 	f := t.top()
-	return f.block.Instrs[f.idx]
+	if f.code != nil {
+		return ir.PC(f.code[f.cip+1])
+	}
+	return f.block.Instrs[f.idx].PC()
 }
 
 // VM executes one module once. Create a fresh VM (or call Run) per
@@ -141,6 +198,20 @@ type VM struct {
 	output    []string
 	watch     []WatchEvent
 	failure   *Failure
+
+	// prog is the compiled program when the bytecode engine is
+	// active; nil selects the tree-walking interpreter.
+	prog *bytecode.Program
+	// nLive and nSleeping maintain the live and sleeping thread
+	// counts incrementally so the hot loop never scans all threads.
+	nLive     int
+	nSleeping int
+	// watchDense is WatchPCs as a dense PC-indexed slice (bytecode
+	// engine fast path); nil when no PCs are watched.
+	watchDense []bool
+	// runnableBuf is scratch storage for the bytecode run loop's
+	// runnable-thread list.
+	runnableBuf []int
 }
 
 // New prepares a VM for one execution of mod. The module must be
@@ -167,12 +238,69 @@ func New(mod *ir.Module, cfg Config) *VM {
 			v.mem.store(addr, g.Init.Val)
 		}
 	}
+	if cfg.Engine == EngineBytecode {
+		if prog, err := compiledProgram(mod); err == nil && v.globalsMatch(prog) {
+			v.prog = prog
+		}
+	}
+	if len(cfg.WatchPCs) > 0 && v.prog != nil {
+		v.watchDense = make([]bool, mod.NumInstrs())
+		for pc, on := range cfg.WatchPCs {
+			if on && int(pc) >= 0 && int(pc) < len(v.watchDense) {
+				v.watchDense[pc] = true
+			}
+		}
+	}
 	main := mod.FuncByName("main")
 	if main == nil {
 		panic("vm: module has no main")
 	}
 	v.spawnThread(main, nil)
 	return v
+}
+
+// Engine reports the engine this VM actually uses, after default
+// resolution and compile fallback.
+func (v *VM) Engine() Engine {
+	if v.prog != nil {
+		return EngineBytecode
+	}
+	return EngineTreeWalk
+}
+
+// globalsMatch asserts that the compiler's precomputed global
+// addresses agree with the VM's allocator — the invariant that lets
+// compiled code resolve @global operands to pool constants. The two
+// derivations share one formula, so a mismatch is a bug; refusing the
+// program falls back to the tree-walker rather than corrupting memory.
+func (v *VM) globalsMatch(prog *bytecode.Program) bool {
+	if len(prog.GlobalAddrs) != len(v.mod.Globals) {
+		return false
+	}
+	for i, g := range v.mod.Globals {
+		if v.globalAddr[g] != prog.GlobalAddrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// compiledProgram returns the module's compiled bytecode, building
+// and caching it on the module on first use. The cache is keyed by
+// module version, so re-finalizing invalidates it; a compile error is
+// cached too, keeping the fallback decision O(1) on every Run.
+func compiledProgram(mod *ir.Module) (*bytecode.Program, error) {
+	type entry struct {
+		prog *bytecode.Program
+		err  error
+	}
+	ver := mod.Version()
+	if e, ok := mod.Compiled(ver).(*entry); ok {
+		return e.prog, e.err
+	}
+	prog, err := bytecode.Compile(mod)
+	mod.SetCompiled(ver, &entry{prog: prog, err: err})
+	return prog, err
 }
 
 // Run executes mod to completion under cfg and returns the result.
@@ -202,29 +330,36 @@ func (v *VM) LoadWord(addr int64) int64 { return v.mem.load(addr) }
 
 func (v *VM) spawnThread(fn *ir.Func, args []int64) int {
 	id := len(v.threads)
-	fr := &frame{fn: fn, block: fn.Entry(), regs: make([]int64, len(fn.Regs))}
-	for i, a := range args {
-		fr.regs[fn.Params[i].Index] = a
+	var fr *frame
+	if v.prog != nil {
+		fi := v.mod.FuncIndex(fn)
+		info := &v.prog.Funcs[fi]
+		fr = &frame{fn: fn, code: v.prog.Code, cip: info.Start,
+			regs: make([]int64, info.NumRegs), retReg: -1}
+		for i, a := range args {
+			fr.regs[info.Params[i]] = a
+		}
+	} else {
+		fr = &frame{fn: fn, block: fn.Entry(), regs: make([]int64, len(fn.Regs)), retReg: -1}
+		for i, a := range args {
+			fr.regs[fn.Params[i].Index] = a
+		}
 	}
 	t := &thread{id: id, stack: []*frame{fr}, state: tRunnable}
 	v.threads = append(v.threads, t)
-	if live := v.liveCount(); live > v.maxLive {
-		v.maxLive = live
+	v.nLive++
+	if v.nLive > v.maxLive {
+		v.maxLive = v.nLive
 	}
 	v.emit(TraceEvent{Kind: EvThreadStart, Tid: id, Time: v.clock,
 		From: ir.NoPC, To: fn.Entry().FirstPC(), Live: v.liveCount()})
 	return id
 }
 
-func (v *VM) liveCount() int {
-	n := 0
-	for _, t := range v.threads {
-		if t.state != tExited {
-			n++
-		}
-	}
-	return n
-}
+// liveCount returns the number of live (non-exited) threads. It is
+// maintained incrementally — spawn increments, thread exit decrements
+// — so trace-event construction stays O(1).
+func (v *VM) liveCount() int { return v.nLive }
 
 func (v *VM) emit(ev TraceEvent) {
 	if v.cfg.Sink != nil {
@@ -253,11 +388,14 @@ func (v *VM) fail(kind FailureKind, pc ir.PC, tid int, format string, args ...an
 
 // Run executes the program until completion, failure, or step limit.
 func (v *VM) Run() *Result {
+	if v.prog != nil {
+		return v.runBytecode()
+	}
 	for v.failure == nil {
 		if v.steps >= v.cfg.MaxSteps {
 			pc := ir.NoPC
 			if t := v.threads[v.cur]; t.state == tRunnable {
-				pc = t.curInstr().PC()
+				pc = t.curPC()
 			}
 			v.fail(FailStep, pc, v.cur, "exceeded %d steps", v.cfg.MaxSteps)
 			break
@@ -290,14 +428,18 @@ func (v *VM) Run() *Result {
 }
 
 func (v *VM) wakeSleepers() {
+	if v.nSleeping == 0 {
+		return
+	}
 	for _, t := range v.threads {
 		if t.state == tSleeping && t.wakeAt <= v.clock {
 			t.state = tRunnable
+			v.nSleeping--
 			// A wake is a resume point even when no thread switch
 			// happens (the sleeper may be the only runnable thread),
 			// so tracers sync here too.
 			v.emit(TraceEvent{Kind: EvContextSwitch, Tid: t.id, Time: t.wakeAt,
-				From: ir.NoPC, To: t.curInstr().PC(), Switched: false, Live: v.liveCount()})
+				From: ir.NoPC, To: t.curPC(), Switched: false, Live: v.liveCount()})
 		}
 	}
 }
@@ -352,7 +494,7 @@ func (v *VM) schedule(runnable []int) {
 	// resumed thread's stream here (PC + timestamp), matching the
 	// PGE packets hardware tracers emit when tracing resumes.
 	v.emit(TraceEvent{Kind: EvContextSwitch, Tid: next, Time: v.clock,
-		From: ir.NoPC, To: t.curInstr().PC(), Switched: switched, Live: v.liveCount()})
+		From: ir.NoPC, To: t.curPC(), Switched: switched, Live: v.liveCount()})
 	v.cur = next
 }
 
@@ -363,7 +505,7 @@ func (v *VM) pauseThread(t *thread) {
 		return
 	}
 	v.emit(TraceEvent{Kind: EvPause, Tid: t.id, Time: v.clock,
-		From: ir.NoPC, To: t.curInstr().PC(), Live: v.liveCount()})
+		From: ir.NoPC, To: t.curPC(), Live: v.liveCount()})
 }
 
 // reportHang fires when no thread can make progress. If a waits-for
@@ -388,10 +530,10 @@ func (v *VM) reportHang() {
 	if cycle := findCycle(waitsFor); len(cycle) > 0 {
 		pcs := make([]ir.PC, 0, len(cycle))
 		for _, tid := range cycle {
-			pcs = append(pcs, v.threads[tid].curInstr().PC())
+			pcs = append(pcs, v.threads[tid].curPC())
 		}
 		head := cycle[0]
-		v.fail(FailDeadlock, v.threads[head].curInstr().PC(), head,
+		v.fail(FailDeadlock, v.threads[head].curPC(), head,
 			"deadlock among %d threads", len(cycle))
 		v.failure.DeadlockPCs = pcs
 		v.failure.DeadlockTids = append([]int(nil), cycle...)
@@ -402,7 +544,7 @@ func (v *VM) reportHang() {
 	// diagnosis can find the mis-ordered notify.
 	for _, t := range v.threads {
 		if t.state == tBlockedCond {
-			v.fail(FailDeadlock, t.curInstr().PC(), t.id,
+			v.fail(FailDeadlock, t.curPC(), t.id,
 				"hang: thread %d waits on a condition that is never notified", t.id)
 			return
 		}
@@ -411,7 +553,7 @@ func (v *VM) reportHang() {
 	// lock whose owner exited).
 	for _, t := range v.threads {
 		if t.state == tBlockedLock || t.state == tBlockedJoin {
-			v.fail(FailDeadlock, t.curInstr().PC(), t.id, "hang: no runnable threads")
+			v.fail(FailDeadlock, t.curPC(), t.id, "hang: no runnable threads")
 			return
 		}
 	}
@@ -464,9 +606,9 @@ func (v *VM) checkDeadlockFrom(tid int) {
 		if next == tid {
 			pcs := make([]ir.PC, 0, len(path))
 			for _, id := range path {
-				pcs = append(pcs, v.threads[id].curInstr().PC())
+				pcs = append(pcs, v.threads[id].curPC())
 			}
-			v.fail(FailDeadlock, v.threads[tid].curInstr().PC(), tid,
+			v.fail(FailDeadlock, v.threads[tid].curPC(), tid,
 				"deadlock among %d threads", len(path))
 			v.failure.DeadlockPCs = pcs
 			v.failure.DeadlockTids = append([]int(nil), path...)

@@ -1,0 +1,287 @@
+// Command benchgate compares two `go test -bench` result files and
+// fails (exit 1) when a benchmark regressed: its median ns/op grew by
+// more than -threshold AND the shift is statistically significant at
+// -alpha under an exact two-sided Mann–Whitney U test — the same test
+// benchstat uses, reimplemented here so the CI gate needs no module
+// dependency and has a stable output format.
+//
+// Absolute nanoseconds differ across CI runner generations, so the
+// gate normalizes: with -norm NAME, every sample in a file is divided
+// by that file's median of NAME before comparison. Machine speed then
+// cancels and only relative regressions (e.g. the bytecode engine
+// slowing down relative to the tree-walker) trip the gate.
+//
+// -ratio A,B,MIN additionally requires median(A)/median(B) >= MIN in
+// the new file — this is how CI enforces the bytecode engine's >=3x
+// speedup over the tree-walker independent of hardware.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		oldPath   = fs.String("old", "", "baseline benchmark results file")
+		newPath   = fs.String("new", "", "candidate benchmark results file")
+		norm      = fs.String("norm", "", "benchmark name used to normalize each file (optional)")
+		threshold = fs.Float64("threshold", 0.10, "maximum tolerated median regression (0.10 = +10%)")
+		alpha     = fs.Float64("alpha", 0.05, "significance level for the Mann-Whitney test")
+		ratio     = fs.String("ratio", "", "A,B,MIN: require median(A)/median(B) >= MIN in -new")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(stderr, "benchgate: -old and -new are required")
+		return 2
+	}
+
+	oldS, err := parseBench(*oldPath)
+	if err == nil {
+		var newS map[string][]float64
+		newS, err = parseBench(*newPath)
+		if err == nil && *norm != "" {
+			err = normalize(oldS, *norm, *oldPath)
+			if err == nil {
+				err = normalize(newS, *norm, *newPath)
+			}
+		}
+		if err == nil {
+			return gate(oldS, newS, *newPath, *threshold, *alpha, *ratio, stdout, stderr)
+		}
+	}
+	fmt.Fprintln(stderr, "benchgate:", err)
+	return 2
+}
+
+func gate(oldS, newS map[string][]float64, newPath string, threshold, alpha float64, ratio string, stdout, stderr io.Writer) int {
+	failed := false
+	names := commonNames(oldS, newS)
+	if len(names) == 0 {
+		fmt.Fprintln(stdout, "benchgate: no common benchmarks; nothing to gate")
+	}
+	for _, name := range names {
+		o, n := oldS[name], newS[name]
+		om, nm := median(o), median(n)
+		delta := (nm - om) / om
+		p := mannWhitneyP(o, n)
+		verdict := "ok"
+		if delta > threshold && p < alpha {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(stdout, "%-55s old=%.4g new=%.4g delta=%+.1f%% p=%.3f n=%d+%d %s\n",
+			name, om, nm, 100*delta, p, len(o), len(n), verdict)
+	}
+
+	if ratio != "" {
+		parts := strings.Split(ratio, ",")
+		if len(parts) != 3 {
+			fmt.Fprintln(stderr, "benchgate: -ratio wants A,B,MIN")
+			return 2
+		}
+		min, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchgate:", err)
+			return 2
+		}
+		a, okA := newS[parts[0]]
+		b, okB := newS[parts[1]]
+		switch {
+		case !okA || !okB:
+			fmt.Fprintf(stderr, "benchgate: ratio benchmarks missing from %s\n", newPath)
+			failed = true
+		default:
+			got := median(a) / median(b)
+			verdict := "ok"
+			if got < min {
+				verdict = "BELOW FLOOR"
+				failed = true
+			}
+			fmt.Fprintf(stdout, "speedup %s / %s = %.2fx (floor %.2fx) %s\n",
+				parts[0], parts[1], got, min, verdict)
+		}
+	}
+
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// parseBench extracts ns/op samples per benchmark name (the trailing
+// -GOMAXPROCS suffix is stripped so files from different machines
+// align).
+func parseBench(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string][]float64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad ns/op %q", path, fields[i])
+				}
+				out[name] = append(out[name], v)
+				break
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+func normalize(s map[string][]float64, name, path string) error {
+	ref, ok := s[name]
+	if !ok {
+		return fmt.Errorf("%s: normalization benchmark %q not present", path, name)
+	}
+	m := median(ref)
+	for k, vs := range s {
+		out := make([]float64, len(vs))
+		for i, v := range vs {
+			out[i] = v / m
+		}
+		s[k] = out
+	}
+	return nil
+}
+
+func commonNames(a, b map[string][]float64) []string {
+	var names []string
+	for k := range a {
+		if _, ok := b[k]; ok {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func median(vs []float64) float64 {
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// mannWhitneyP computes the exact two-sided p-value of the
+// Mann–Whitney U test by enumerating every assignment of the pooled
+// midranks to the first sample (exact even with ties). For pools
+// larger than 22 samples it falls back to the normal approximation
+// with tie correction.
+func mannWhitneyP(x, y []float64) float64 {
+	n, m := len(x), len(y)
+	if n == 0 || m == 0 {
+		return 1
+	}
+	ranks, tieAdj := midranks(x, y)
+	var r1 float64
+	for i := 0; i < n; i++ {
+		r1 += ranks[i]
+	}
+	u := r1 - float64(n*(n+1))/2
+	if n+m > 22 {
+		return normalApproxP(u, n, m, tieAdj)
+	}
+	// Exact: distribution of R1 over all C(n+m, n) subsets.
+	total, extreme := 0, 0
+	mean := float64(n*(n+m+1)) / 2
+	obs := math.Abs(r1 - mean)
+	const eps = 1e-9
+	var walk func(idx, picked int, sum float64)
+	walk = func(idx, picked int, sum float64) {
+		if picked == n {
+			total++
+			if math.Abs(sum-mean) >= obs-eps {
+				extreme++
+			}
+			return
+		}
+		if len(ranks)-idx < n-picked {
+			return
+		}
+		walk(idx+1, picked+1, sum+ranks[idx])
+		walk(idx+1, picked, sum)
+	}
+	walk(0, 0, 0)
+	return float64(extreme) / float64(total)
+}
+
+// midranks pools x and y and returns the midrank of every pooled
+// sample (x's first), plus the tie adjustment term sum(t^3 - t).
+func midranks(x, y []float64) ([]float64, float64) {
+	type item struct {
+		v   float64
+		idx int
+	}
+	all := make([]item, 0, len(x)+len(y))
+	for i, v := range x {
+		all = append(all, item{v, i})
+	}
+	for i, v := range y {
+		all = append(all, item{v, len(x) + i})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+	ranks := make([]float64, len(all))
+	tieAdj := 0.0
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[all[k].idx] = mid
+		}
+		t := float64(j - i)
+		tieAdj += t*t*t - t
+		i = j
+	}
+	return ranks, tieAdj
+}
+
+func normalApproxP(u float64, n, m int, tieAdj float64) float64 {
+	nf, mf := float64(n), float64(m)
+	mean := nf * mf / 2
+	nTot := nf + mf
+	variance := nf * mf / 12 * (nTot + 1 - tieAdj/(nTot*(nTot-1)))
+	if variance <= 0 {
+		return 1
+	}
+	z := math.Abs(u-mean) / math.Sqrt(variance)
+	// Two-sided tail of the standard normal.
+	return math.Erfc(z / math.Sqrt2)
+}

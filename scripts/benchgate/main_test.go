@@ -1,0 +1,153 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.txt")
+	content := `goos: linux
+goarch: amd64
+pkg: snorlax/internal/vm
+BenchmarkVMExecute/loop/treewalk-8   	     324	   4303184 ns/op	        20.45 Minstr/s	  719543 B/op	   88051 allocs/op
+BenchmarkVMExecute/loop/treewalk-8   	     330	   4200000 ns/op	        21.00 Minstr/s	  719543 B/op	   88051 allocs/op
+BenchmarkVMExecute/loop/bytecode-8   	    1560	    896815 ns/op	        98.15 Minstr/s	   15328 B/op	      28 allocs/op
+PASS
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := got["BenchmarkVMExecute/loop/treewalk"]
+	if len(tw) != 2 || tw[0] != 4303184 || tw[1] != 4200000 {
+		t.Errorf("treewalk samples = %v", tw)
+	}
+	bc := got["BenchmarkVMExecute/loop/bytecode"]
+	if len(bc) != 1 || bc[0] != 896815 {
+		t.Errorf("bytecode samples = %v", bc)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("median odd = %v, want 2", m)
+	}
+	if m := median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("median even = %v, want 2.5", m)
+	}
+}
+
+func TestMannWhitneyP(t *testing.T) {
+	// Identical samples: no evidence of a shift.
+	same := []float64{5, 5, 5, 5, 5, 5}
+	if p := mannWhitneyP(same, same); p < 0.99 {
+		t.Errorf("identical samples: p = %v, want ~1", p)
+	}
+	// Fully separated samples of size 6: the most extreme of the
+	// C(12,6)=924 assignments on each side, p = 2/924.
+	lo := []float64{1, 2, 3, 4, 5, 6}
+	hi := []float64{10, 11, 12, 13, 14, 15}
+	p := mannWhitneyP(lo, hi)
+	want := 2.0 / 924.0
+	if p < want-1e-9 || p > want+1e-9 {
+		t.Errorf("separated samples: p = %v, want %v", p, want)
+	}
+	// Overlapping noisy samples must not be significant.
+	a := []float64{100, 103, 98, 101, 99, 102}
+	b := []float64{101, 99, 102, 100, 103, 98}
+	if p := mannWhitneyP(a, b); p < 0.5 {
+		t.Errorf("overlapping samples: p = %v, want > 0.5", p)
+	}
+}
+
+// benchFile writes a bench results file with the given per-benchmark
+// ns/op samples and returns its path.
+func benchFile(t *testing.T, name string, samples map[string][]float64) string {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("goos: linux\npkg: snorlax/internal/vm\n")
+	for bench, vs := range samples {
+		for _, v := range vs {
+			fmt.Fprintf(&sb, "%s-8   \t     100\t   %.0f ns/op\t  128 B/op\t  2 allocs/op\n", bench, v)
+		}
+	}
+	sb.WriteString("PASS\n")
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	base := map[string][]float64{
+		"BenchmarkVMExecute/loop/treewalk": {4000, 4100, 3900, 4050, 3950, 4000},
+		"BenchmarkVMExecute/loop/bytecode": {1000, 1020, 980, 1010, 990, 1000},
+	}
+	regressed := map[string][]float64{
+		"BenchmarkVMExecute/loop/treewalk": {4000, 4100, 3900, 4050, 3950, 4000},
+		"BenchmarkVMExecute/loop/bytecode": {1500, 1520, 1480, 1510, 1490, 1500},
+	}
+	old := benchFile(t, "old.txt", base)
+	ratio := "BenchmarkVMExecute/loop/treewalk,BenchmarkVMExecute/loop/bytecode,3.0"
+	gateArgs := func(new string) []string {
+		return []string{"-old", old, "-new", new,
+			"-norm", "BenchmarkVMExecute/loop/treewalk",
+			"-threshold", "0.10", "-alpha", "0.05", "-ratio", ratio}
+	}
+
+	var out, errOut strings.Builder
+	if code := run(gateArgs(benchFile(t, "same.txt", base)), &out, &errOut); code != 0 {
+		t.Errorf("self-compare: exit %d, want 0\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "= 4.00x (floor 3.00x) ok") {
+		t.Errorf("self-compare output missing speedup line:\n%s", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run(gateArgs(benchFile(t, "bad.txt", regressed)), &out, &errOut); code != 1 {
+		t.Errorf("regressed compare: exit %d, want 1\n%s%s", code, out.String(), errOut.String())
+	}
+	for _, want := range []string{"REGRESSION", "BELOW FLOOR"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("regressed output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunBadUsage(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("missing flags: exit %d, want 2", code)
+	}
+	if code := run([]string{"-old", "nope.txt", "-new", "nope.txt"}, &out, &errOut); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+}
+
+func TestNormalizeCancelsMachineSpeed(t *testing.T) {
+	// Same relative shape measured on a machine 2x slower: after
+	// normalization the samples must be identical.
+	fast := map[string][]float64{"ref": {100, 100}, "x": {300, 310}}
+	slow := map[string][]float64{"ref": {200, 200}, "x": {600, 620}}
+	if err := normalize(fast, "ref", "fast"); err != nil {
+		t.Fatal(err)
+	}
+	if err := normalize(slow, "ref", "slow"); err != nil {
+		t.Fatal(err)
+	}
+	for i := range fast["x"] {
+		if fast["x"][i] != slow["x"][i] {
+			t.Errorf("normalized x[%d]: fast %v, slow %v", i, fast["x"][i], slow["x"][i])
+		}
+	}
+}

@@ -5,13 +5,16 @@ package main
 // process must not exit 0 and look healthy.
 
 import (
+	"bytes"
 	"errors"
+	"net"
 	"testing"
 	"time"
 
 	"snorlax/internal/core"
 	"snorlax/internal/corpus"
 	"snorlax/internal/proto"
+	"snorlax/internal/shard"
 	"snorlax/internal/store"
 )
 
@@ -23,6 +26,7 @@ func (f *failFlushStore) Append(*store.Record) error { return nil }
 func (f *failFlushStore) Flush() error               { return f.flushErr }
 func (f *failFlushStore) Close() error               { return nil }
 func (f *failFlushStore) Stats() store.Stats         { return store.Stats{} }
+func (f *failFlushStore) Err() error                 { return nil }
 
 func newDrainServer(t *testing.T) *proto.Server {
 	t.Helper()
@@ -45,4 +49,44 @@ func TestDrainExitCode(t *testing.T) {
 			t.Errorf("drain with a failing store flush exited %d, want 1", code)
 		}
 	})
+}
+
+// TestRouteDrainGolden pins the router's SIGINT/SIGTERM drain output:
+// the message sequence an operator (and the supervisor's logs) see
+// when the router is asked to go away. The router is stateless and
+// idle here, so the output is fully deterministic.
+func TestRouteDrainGolden(t *testing.T) {
+	shardLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shardLn.Close()
+	ps := newDrainServer(t)
+	go ps.Serve(shardLn)
+	defer ps.Shutdown(t.Context())
+
+	r, err := shard.NewRouter(shard.RouterConfig{
+		Members: []shard.Member{{Name: "shard-0", Addr: shardLn.Addr().String()}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- r.Serve(ln) }()
+
+	var buf bytes.Buffer
+	if code := drainRouter(&buf, r, "terminated", 5*time.Second); code != 0 {
+		t.Fatalf("idle router drain exited %d, want 0\n%s", code, buf.String())
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve after drain: %v", err)
+	}
+	if err := r.Ready(); err == nil {
+		t.Error("drained router still reports ready")
+	}
+	checkGolden(t, "route-drain.golden", buf.String())
 }

@@ -13,6 +13,13 @@
 //
 //	snorlax -serve :7007 -fleet
 //	snorlax -remote :7007 -bug pbzip2-1 -agent 4
+//
+// Sharded fleet tier (router + durable shards + load generator):
+//
+//	snorlax -serve :7101 -fleet -state-dir /var/lib/snorlax/s0 -case-base 0
+//	snorlax -serve :7102 -fleet -state-dir /var/lib/snorlax/s1 -case-base 4294967296
+//	snorlax -route :7100 -shards "s0=127.0.0.1:7101,s1=127.0.0.1:7102"
+//	snorlax -loadgen 127.0.0.1:7100 -load-agents 1000 -bench-out BENCH_fleet.json
 package main
 
 import (
@@ -62,6 +69,12 @@ var (
 func main() {
 	flag.Parse()
 	switch {
+	case *route != "":
+		runRouter(*route)
+	case *loadgen != "":
+		if !runLoadgen(*loadgen) {
+			os.Exit(1)
+		}
 	case *serve != "":
 		runServer(*serve)
 	case *remote != "" && *agents > 0:
@@ -149,6 +162,7 @@ func runServer(addr string) {
 	ps.MaxSnapshotBytes = *maxSnapshot
 	ps.MaxSuccessesPerConn = *maxSucc
 	ps.FleetQuota = *quota
+	ps.CaseBase = *caseBase
 	if *stateDir != "" {
 		pol, err := store.ParseSyncPolicy(*syncPolicy)
 		if err != nil {
@@ -200,7 +214,7 @@ func runServer(addr string) {
 			os.Exit(1)
 		}
 		fmt.Printf("metrics on http://%s/metrics (pprof on /debug/pprof/)\n", mln.Addr())
-		msrv = &http.Server{Handler: obs.DebugMux(ps.Metrics())}
+		msrv = &http.Server{Handler: obs.DebugMux(ps.Metrics(), ps.Ready)}
 		go func() {
 			if err := msrv.Serve(mln); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)

@@ -83,7 +83,7 @@ func TestServerDurabilityAcrossRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer fc.Close()
-	recovered, done, err := fc.FetchReport(failProg, res.Tenant, res.Case)
+	recovered, done, err := fc.FetchReport(failProg, res.Tenant, res.Case, res.TriggerPC)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -143,7 +143,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer fc.Close()
-	recovered, done, err := fc.FetchReport(failProg, res.Tenant, res.Case)
+	recovered, done, err := fc.FetchReport(failProg, res.Tenant, res.Case, res.TriggerPC)
 	if err != nil {
 		log.Fatal(err)
 	}

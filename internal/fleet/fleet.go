@@ -15,6 +15,7 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -42,6 +43,11 @@ type Config struct {
 	// Dial opens one connection to the analysis server; each agent
 	// dials its own.
 	Dial func() (net.Conn, error)
+	// Context, when non-nil, bounds the whole run: agents abandon
+	// retries, collection loops and report polling as soon as it is
+	// done, and Run returns the context's error. nil means
+	// context.Background() — only OpTimeout bounds the run.
+	Context context.Context
 	// Clients is how many agents run (default 4).
 	Clients int
 	// BatchSize is how many triggered snapshots an agent buffers
@@ -111,6 +117,13 @@ func (c Config) pollInterval() time.Duration {
 	return c.PollInterval
 }
 
+func (c Config) context() context.Context {
+	if c.Context == nil {
+		return context.Background()
+	}
+	return c.Context
+}
+
 // Result is the fleet's collective outcome.
 type Result struct {
 	Tenant proto.TenantID
@@ -129,10 +142,14 @@ type Result struct {
 // which is safe because every fleet operation is idempotent. Server
 // "error" replies are deterministic rejections and are returned.
 type agentConn struct {
+	ctx       context.Context
 	dial      func() (net.Conn, error)
 	attempts  int
 	opTimeout time.Duration
 	conn      *proto.Conn
+	// retried counts attempts beyond the first across all operations —
+	// the transport retries the idempotent protocol absorbed.
+	retried int
 }
 
 func (a *agentConn) close() {
@@ -145,8 +162,19 @@ func (a *agentConn) close() {
 func (a *agentConn) do(fn func(c *proto.Conn) error) error {
 	var lastErr error
 	for i := 0; i < a.attempts; i++ {
+		if err := a.ctx.Err(); err != nil {
+			if lastErr != nil {
+				return fmt.Errorf("fleet: %w (last attempt: %v)", err, lastErr)
+			}
+			return err
+		}
 		if i > 0 {
-			time.Sleep(time.Duration(i) * 5 * time.Millisecond)
+			a.retried++
+			select {
+			case <-a.ctx.Done():
+				return a.ctx.Err()
+			case <-time.After(time.Duration(i) * 5 * time.Millisecond):
+			}
 		}
 		if a.conn == nil {
 			nc, err := a.dial()
@@ -236,7 +264,8 @@ func reproduceFailure(mod *ir.Module) *core.RunReport {
 }
 
 func runAgent(p Program, cfg Config, idx int) (*Result, error) {
-	a := &agentConn{dial: cfg.Dial, attempts: cfg.maxAttempts(), opTimeout: cfg.opTimeout()}
+	ctx := cfg.context()
+	a := &agentConn{ctx: ctx, dial: cfg.Dial, attempts: cfg.maxAttempts(), opTimeout: cfg.opTimeout()}
 	defer a.close()
 	clientID := fmt.Sprintf("agent-%d", idx)
 
@@ -279,7 +308,7 @@ func runAgent(p Program, cfg Config, idx int) (*Result, error) {
 		var accepted int
 		err := a.do(func(c *proto.Conn) error {
 			var err error
-			accepted, done, err = c.UploadBatch(tenant, caseID, clientID, seq, batch)
+			accepted, done, err = c.UploadBatch(tenant, caseID, directive.TriggerPC, clientID, seq, batch)
 			return err
 		})
 		if err != nil {
@@ -293,6 +322,9 @@ func runAgent(p Program, cfg Config, idx int) (*Result, error) {
 	}
 	seed := cfg.seedBase() + int64(idx)*100_000
 	for runs := 0; !done && runs < cfg.maxRuns(); runs++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("%s: collection: %w", clientID, err)
+		}
 		seed++
 		okRep := okClient.Run(seed, directive.TriggerPC)
 		if okRep.Failed() || !okRep.Triggered || okRep.Snapshot == nil {
@@ -319,7 +351,10 @@ func runAgent(p Program, cfg Config, idx int) (*Result, error) {
 		}
 		armed := false
 		for _, d := range ds {
-			if d.Case == caseID {
+			// Match on the trigger PC, not the case id: in a sharded
+			// deployment the directive listing is a fan-out merge, and
+			// the PC is the routing key that is stable across shards.
+			if d.TriggerPC == directive.TriggerPC {
 				armed, directive = true, d
 			}
 		}
@@ -336,7 +371,9 @@ func runAgent(p Program, cfg Config, idx int) (*Result, error) {
 	}
 
 	// Fetch the published report, polling while the case is still
-	// collecting (other agents may hold the last uploads).
+	// collecting (other agents may hold the last uploads). The poll
+	// loop is doubly bounded: by the operation timeout and by the
+	// run's context, whichever ends first.
 	deadline := time.Now().Add(cfg.opTimeout())
 	for {
 		var (
@@ -345,7 +382,7 @@ func runAgent(p Program, cfg Config, idx int) (*Result, error) {
 		)
 		if err := a.do(func(c *proto.Conn) error {
 			var err error
-			diag, reported, err = c.FetchReport(tenant, caseID)
+			diag, reported, err = c.FetchReport(tenant, caseID, directive.TriggerPC)
 			return err
 		}); err != nil {
 			return nil, fmt.Errorf("%s: fetch report: %w", clientID, err)
@@ -357,6 +394,10 @@ func runAgent(p Program, cfg Config, idx int) (*Result, error) {
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("%s: case %d never published (quota starved?)", clientID, caseID)
 		}
-		time.Sleep(cfg.pollInterval())
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%s: fetch report: %w", clientID, ctx.Err())
+		case <-time.After(cfg.pollInterval()):
+		}
 	}
 }

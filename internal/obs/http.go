@@ -5,6 +5,10 @@ import (
 	"net/http/pprof"
 )
 
+// ReadyCheck reports one readiness condition: nil means ready, an
+// error says what is not (its text becomes the /readyz payload).
+type ReadyCheck func() error
+
 // Handler serves the registry in Prometheus text exposition format.
 func Handler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
@@ -14,13 +18,35 @@ func Handler(r *Registry) http.Handler {
 }
 
 // DebugMux builds the opt-in operational endpoint: GET /metrics in
-// Prometheus text format plus the /debug/pprof/* profiling handlers.
-// The handlers are mounted on an explicit mux, so the debug surface
-// is reachable only on the listener the operator opted into — nothing
-// here serves http.DefaultServeMux.
-func DebugMux(r *Registry) *http.ServeMux {
+// Prometheus text format, the /debug/pprof/* profiling handlers, and
+// the /healthz and /readyz probes. The handlers are mounted on an
+// explicit mux, so the debug surface is reachable only on the listener
+// the operator opted into — nothing here serves http.DefaultServeMux.
+//
+// /healthz is pure liveness: it answers 200 "ok" as long as the
+// process serves HTTP at all. /readyz runs the given checks in order
+// and answers 200 "ok" only if every one passes; the first failure
+// turns into a 503 whose body names the failing condition — the
+// payload a load balancer or the shard router reads before sending
+// traffic.
+func DebugMux(r *Registry, ready ...ReadyCheck) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, check := range ready {
+			if err := check(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				w.Write([]byte(err.Error() + "\n"))
+				return
+			}
+		}
+		w.Write([]byte("ok\n"))
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

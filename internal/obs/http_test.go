@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, mux *http.ServeMux, path string) (int, string) {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+	return rr.Code, rr.Body.String()
+}
+
+func TestHealthzAlwaysOK(t *testing.T) {
+	// Liveness is unconditional: even a mux whose readiness checks all
+	// fail answers /healthz 200 — the process is up, just not ready.
+	mux := DebugMux(NewRegistry(), func() error { return errors.New("not yet") })
+	code, body := get(t, mux, "/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Errorf("/healthz = %d %q, want 200 \"ok\"", code, body)
+	}
+}
+
+func TestReadyzReflectsChecks(t *testing.T) {
+	restoring := errors.New("durable state not yet restored")
+	poisoned := errors.New("durable store poisoned: disk full")
+	var checkErrs []error
+	checks := []ReadyCheck{}
+	for i := range [2]int{} {
+		i := i
+		checks = append(checks, func() error { return checkErrs[i] })
+	}
+	mux := DebugMux(NewRegistry(), checks...)
+
+	// All checks pass.
+	checkErrs = []error{nil, nil}
+	if code, body := get(t, mux, "/readyz"); code != http.StatusOK || body != "ok\n" {
+		t.Errorf("ready /readyz = %d %q, want 200 \"ok\"", code, body)
+	}
+	// The first failing check names the condition, 503.
+	checkErrs = []error{restoring, poisoned}
+	code, body := get(t, mux, "/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("unready /readyz = %d, want 503", code)
+	}
+	if !strings.Contains(body, "not yet restored") {
+		t.Errorf("/readyz body %q does not name the failing condition", body)
+	}
+	// Readiness is re-evaluated per request: the same mux flips back.
+	checkErrs = []error{nil, nil}
+	if code, _ := get(t, mux, "/readyz"); code != http.StatusOK {
+		t.Errorf("recovered /readyz = %d, want 200", code)
+	}
+}
+
+func TestReadyzNoChecksIsReady(t *testing.T) {
+	mux := DebugMux(NewRegistry())
+	if code, _ := get(t, mux, "/readyz"); code != http.StatusOK {
+		t.Errorf("checkless /readyz = %d, want 200", code)
+	}
+}

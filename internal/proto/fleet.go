@@ -21,6 +21,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"sort"
 
 	"snorlax/internal/core"
 	"snorlax/internal/ir"
@@ -157,10 +158,13 @@ func (s *Server) addTenantLocked(id TenantID, mod *ir.Module) *tenant {
 	cs.MaxSuccessTraces = s.Core.MaxSuccessTraces
 	cs.UseRegistry(s.Core.Metrics())
 	t := &tenant{
-		id:    id,
-		core:  cs,
-		cases: make(map[CaseID]*fleetCase),
-		byPC:  make(map[ir.PC]CaseID),
+		id:   id,
+		core: cs,
+		// Case numbering starts above the shard's base, so ids from
+		// different shards never collide.
+		nextCase: CaseID(s.CaseBase),
+		cases:    make(map[CaseID]*fleetCase),
+		byPC:     make(map[ir.PC]CaseID),
 	}
 	s.tenants[id] = t
 	s.om.fleetTenants.Inc()
@@ -217,15 +221,19 @@ func (s *Server) openCase(t *tenant, failure *core.FailureReport, snap *pt.Snaps
 }
 
 // directives lists the tenant's armed directives, in case order.
+// (Iterating the map and sorting — rather than counting up from 1 —
+// keeps this correct under a nonzero CaseBase, where ids start far
+// above zero.)
 func (s *Server) directives(t *tenant) []Directive {
 	s.fleetMu.Lock()
 	defer s.fleetMu.Unlock()
 	var out []Directive
-	for id := CaseID(1); id <= t.nextCase; id++ {
-		if c, ok := t.cases[id]; ok && c.collecting {
+	for _, c := range t.cases {
+		if c.collecting {
 			out = append(out, c.directive(t.id))
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Case < out[j].Case })
 	return out
 }
 
@@ -360,7 +368,7 @@ func (s *Server) serveFleetRequest(req Request, reply func(Response) bool) bool 
 	case "fleet-failure":
 		t := s.tenantByID(req.Tenant)
 		if t == nil {
-			return reply(Response{Kind: "error", Err: fmt.Sprintf("unknown tenant %q", req.Tenant)})
+			return reply(Response{Kind: "error", Code: CodeUnknownTenant, Err: fmt.Sprintf("unknown tenant %q", req.Tenant)})
 		}
 		if req.Failure == nil || req.Snapshot == nil {
 			return reply(Response{Kind: "error", Err: "fleet-failure request missing report or snapshot"})
@@ -381,17 +389,17 @@ func (s *Server) serveFleetRequest(req Request, reply func(Response) bool) bool 
 	case "directives":
 		t := s.tenantByID(req.Tenant)
 		if t == nil {
-			return reply(Response{Kind: "error", Err: fmt.Sprintf("unknown tenant %q", req.Tenant)})
+			return reply(Response{Kind: "error", Code: CodeUnknownTenant, Err: fmt.Sprintf("unknown tenant %q", req.Tenant)})
 		}
 		return reply(Response{Kind: "directives", Tenant: t.id, Directives: s.directives(t)})
 	case "batch":
 		t := s.tenantByID(req.Tenant)
 		if t == nil {
-			return reply(Response{Kind: "error", Err: fmt.Sprintf("unknown tenant %q", req.Tenant)})
+			return reply(Response{Kind: "error", Code: CodeUnknownTenant, Err: fmt.Sprintf("unknown tenant %q", req.Tenant)})
 		}
 		c := s.caseByID(t, req.Case)
 		if c == nil {
-			return reply(Response{Kind: "error", Err: fmt.Sprintf("unknown case %d", req.Case)})
+			return reply(Response{Kind: "error", Code: CodeUnknownCase, Err: fmt.Sprintf("unknown case %d", req.Case)})
 		}
 		if req.Client == "" || req.Seq == 0 {
 			return reply(Response{Kind: "error", Err: "batch request missing client id or sequence number"})
@@ -419,11 +427,11 @@ func (s *Server) serveFleetRequest(req Request, reply func(Response) bool) bool 
 	case "report":
 		t := s.tenantByID(req.Tenant)
 		if t == nil {
-			return reply(Response{Kind: "error", Err: fmt.Sprintf("unknown tenant %q", req.Tenant)})
+			return reply(Response{Kind: "error", Code: CodeUnknownTenant, Err: fmt.Sprintf("unknown tenant %q", req.Tenant)})
 		}
 		c := s.caseByID(t, req.Case)
 		if c == nil {
-			return reply(Response{Kind: "error", Err: fmt.Sprintf("unknown case %d", req.Case)})
+			return reply(Response{Kind: "error", Code: CodeUnknownCase, Err: fmt.Sprintf("unknown case %d", req.Case)})
 		}
 		s.fleetMu.Lock()
 		defer s.fleetMu.Unlock()
@@ -482,15 +490,18 @@ func (c *Conn) Directives(t TenantID) ([]Directive, error) {
 	return resp.Directives, nil
 }
 
-// UploadBatch uploads triggered success snapshots for a case. client
-// names the uploading agent and seq is the 1-based sequence number of
-// snaps[0] in that agent's per-case upload stream; together they make
-// the upload idempotent — a batch replayed after a lost reply is
+// UploadBatch uploads triggered success snapshots for a case. pc is
+// the case's trigger PC (from the directive), which routes the request
+// to the owning shard in a sharded deployment. client names the
+// uploading agent and seq is the 1-based sequence number of snaps[0]
+// in that agent's per-case upload stream; together they make the
+// upload idempotent — a batch replayed after a lost reply is
 // recognized and not double-counted toward the quota. It returns how
 // many snapshots were newly accepted and whether the case's report is
 // now published.
-func (c *Conn) UploadBatch(t TenantID, id CaseID, client string, seq uint64, snaps []*pt.Snapshot) (accepted int, done bool, err error) {
+func (c *Conn) UploadBatch(t TenantID, id CaseID, pc ir.PC, client string, seq uint64, snaps []*pt.Snapshot) (accepted int, done bool, err error) {
 	resp, err := c.roundTrip(Request{Kind: "batch", Tenant: t, Case: id,
+		RoutePC: pc, Routed: true,
 		Client: client, Seq: seq, Snapshots: snaps})
 	if err != nil {
 		return 0, false, err
@@ -501,11 +512,14 @@ func (c *Conn) UploadBatch(t TenantID, id CaseID, client string, seq uint64, sna
 	return resp.Accepted, resp.Done, nil
 }
 
-// FetchReport fetches a case's published diagnosis. done is false
-// while the case is still collecting or diagnosing (poll again);
-// a diagnosis that failed surfaces as a *ServerError.
-func (c *Conn) FetchReport(t TenantID, id CaseID) (d *core.Diagnosis, done bool, err error) {
-	resp, err := c.roundTrip(Request{Kind: "report", Tenant: t, Case: id})
+// FetchReport fetches a case's published diagnosis; pc is the case's
+// trigger PC, which routes the request to the owning shard in a
+// sharded deployment. done is false while the case is still collecting
+// or diagnosing (poll again); a diagnosis that failed surfaces as a
+// *ServerError.
+func (c *Conn) FetchReport(t TenantID, id CaseID, pc ir.PC) (d *core.Diagnosis, done bool, err error) {
+	resp, err := c.roundTrip(Request{Kind: "report", Tenant: t, Case: id,
+		RoutePC: pc, Routed: true})
 	if err != nil {
 		return nil, false, err
 	}

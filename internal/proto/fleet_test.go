@@ -167,7 +167,7 @@ func TestFleetBatchDedupe(t *testing.T) {
 	}
 
 	batch := fx.okSnaps[:2]
-	accepted, done, err := c.UploadBatch(id, caseID, "agent-0", 1, batch)
+	accepted, done, err := c.UploadBatch(id, caseID, fx.failing.Failure.PC, "agent-0", 1, batch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func TestFleetBatchDedupe(t *testing.T) {
 	}
 	// The reply was "lost"; the agent replays the identical batch. The
 	// sequence ledger must not double-count it.
-	accepted, _, err = c.UploadBatch(id, caseID, "agent-0", 1, batch)
+	accepted, _, err = c.UploadBatch(id, caseID, fx.failing.Failure.PC, "agent-0", 1, batch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +184,7 @@ func TestFleetBatchDedupe(t *testing.T) {
 		t.Fatalf("replayed batch accepted %d snapshots, want 0", accepted)
 	}
 	// A partially replayed batch (one old, one new) admits only the new.
-	accepted, _, err = c.UploadBatch(id, caseID, "agent-0", 2, fx.okSnaps[1:3])
+	accepted, _, err = c.UploadBatch(id, caseID, fx.failing.Failure.PC, "agent-0", 2, fx.okSnaps[1:3])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestFleetBatchDedupe(t *testing.T) {
 		t.Fatalf("overlapping batch accepted %d snapshots, want 1", accepted)
 	}
 	// A different agent's sequence numbers are an independent stream.
-	accepted, _, err = c.UploadBatch(id, caseID, "agent-1", 1, fx.okSnaps[3:4])
+	accepted, _, err = c.UploadBatch(id, caseID, fx.failing.Failure.PC, "agent-1", 1, fx.okSnaps[3:4])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +220,7 @@ func TestFleetReportPendingUntilQuota(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diag, done, err := c.FetchReport(id, caseID)
+	diag, done, err := c.FetchReport(id, caseID, fx.failing.Failure.PC)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +228,7 @@ func TestFleetReportPendingUntilQuota(t *testing.T) {
 		t.Fatal("report published before any successes arrived")
 	}
 
-	accepted, done, err := c.UploadBatch(id, caseID, "agent-0", 1, fx.okSnaps)
+	accepted, done, err := c.UploadBatch(id, caseID, fx.failing.Failure.PC, "agent-0", 1, fx.okSnaps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +236,7 @@ func TestFleetReportPendingUntilQuota(t *testing.T) {
 		t.Fatalf("quota-filling batch accepted %d (done=%v), want %d (true)",
 			accepted, done, DefaultFleetQuota)
 	}
-	diag, done, err = c.FetchReport(id, caseID)
+	diag, done, err = c.FetchReport(id, caseID, fx.failing.Failure.PC)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +254,7 @@ func TestFleetReportPendingUntilQuota(t *testing.T) {
 	if len(ds) != 0 {
 		t.Errorf("directives after quota = %+v, want none", ds)
 	}
-	accepted, done, err = c.UploadBatch(id, caseID, "agent-1", 1, fx.okSnaps[:1])
+	accepted, done, err = c.UploadBatch(id, caseID, fx.failing.Failure.PC, "agent-1", 1, fx.okSnaps[:1])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +290,7 @@ func TestFleetUnknownTenantAndCase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := c.FetchReport(id, 42); !errors.As(err, &se) {
+	if _, _, err := c.FetchReport(id, 42, 0); !errors.As(err, &se) {
 		t.Errorf("unknown case: err = %v, want ServerError", err)
 	}
 	if _, err := c.Register("not a module"); !errors.As(err, &se) {

@@ -580,10 +580,10 @@ func TestStoreMetricsConsistency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, done, err := c.UploadBatch(id, caseID, "agent-0", 1, fx.okSnaps[:quota]); err != nil || !done {
+	if _, done, err := c.UploadBatch(id, caseID, fx.failing.Failure.PC, "agent-0", 1, fx.okSnaps[:quota]); err != nil || !done {
 		t.Fatalf("quota-filling upload: done=%v, err=%v", done, err)
 	}
-	if _, done, err := c.FetchReport(id, caseID); err != nil || !done {
+	if _, done, err := c.FetchReport(id, caseID, fx.failing.Failure.PC); err != nil || !done {
 		t.Fatalf("report not published: done=%v, err=%v", done, err)
 	}
 

@@ -66,6 +66,13 @@ type Request struct {
 	// Snapshots carries a batch of triggered success snapshots
 	// ("batch" requests).
 	Snapshots []*pt.Snapshot
+	// RoutePC is the routing hint for sharded deployments: the case's
+	// trigger (failure) PC, which together with Tenant forms the
+	// consistent-hash routing key. Routed distinguishes an explicit
+	// PC 0 from an unset hint. The server itself ignores both; the
+	// shard router routes "batch" and "report" requests by them.
+	RoutePC ir.PC
+	Routed  bool
 }
 
 // Response is a server→client message.
@@ -82,8 +89,12 @@ type Response struct {
 	Diagnosis *core.Diagnosis
 	// Status accompanies "status" responses.
 	Status *ServerStatus
-	// Err describes "error" responses.
-	Err string
+	// Err describes "error" responses; Code, when set, classifies
+	// them machine-readably (see the Code* constants) so a router can
+	// distinguish "this shard does not own that case" from a real
+	// rejection without parsing prose.
+	Err  string
+	Code string
 	// Tenant and Case echo the fleet scope ("registered", "case",
 	// "directives", "batch", "report" responses).
 	Tenant TenantID
@@ -98,11 +109,27 @@ type Response struct {
 	Done     bool
 }
 
+// Machine-readable error codes on "error" responses.
+const (
+	// CodeUnknownTenant rejects a fleet request naming a tenant this
+	// server has not registered.
+	CodeUnknownTenant = "unknown-tenant"
+	// CodeUnknownCase rejects a fleet request naming a case this
+	// server has not opened. On a sharded deployment it also means
+	// "not my shard" — the router's fallback scan keys off it.
+	CodeUnknownCase = "unknown-case"
+)
+
 // ServerError is an "error" reply from the server: a deterministic
 // protocol-level rejection (unknown request, oversize snapshot,
 // failed diagnosis), not a transport failure. Retrying clients do not
 // retry these — resending the same request would be rejected again.
-type ServerError struct{ Msg string }
+type ServerError struct {
+	Msg string
+	// Code classifies the rejection when the server set one (the
+	// Code* constants); "" otherwise.
+	Code string
+}
 
 func (e *ServerError) Error() string { return "proto: server: " + e.Msg }
 
@@ -189,6 +216,11 @@ type Server struct {
 	// FleetQuota is the per-case success-trace quota in fleet mode;
 	// 0 means DefaultFleetQuota (the paper's 10×).
 	FleetQuota int
+	// CaseBase offsets this server's case numbering: the first case
+	// opened gets CaseBase+1. In a sharded deployment each shard gets
+	// a disjoint base (say shard i << 32), so case ids are unique
+	// fleet-wide and a merged directive listing is unambiguous.
+	CaseBase uint64
 	// DisableRegistration rejects client "register" requests, limiting
 	// fleet mode to programs pre-registered with RegisterProgram.
 	DisableRegistration bool
@@ -217,6 +249,9 @@ type Server struct {
 	// shutdown flips once Shutdown begins; handlers exit between
 	// requests and Serve loops return instead of re-accepting.
 	shutdown atomic.Bool
+	// restored flips when Restore completes; Ready gates on it for
+	// servers with a durable store.
+	restored atomic.Bool
 	// mu guards the listener and connection registries Shutdown
 	// drains.
 	mu         sync.Mutex
@@ -358,6 +393,26 @@ func (s *Server) Status() ServerStatus {
 		OversizeRejects:    s.om.oversizeRejects.Value(),
 		PanicsRecovered:    s.om.panicsRecovered.Value(),
 	}
+}
+
+// Ready reports whether the server can usefully accept traffic: it
+// is not draining, recovery (Restore) has completed when a durable
+// store is configured, and the store has not been poisoned by a
+// write error. The error says which condition failed — the payload
+// of the /readyz endpoint and the router's health checks.
+func (s *Server) Ready() error {
+	if s.shutdown.Load() {
+		return errors.New("proto: server is draining")
+	}
+	if s.Store != nil {
+		if !s.restored.Load() {
+			return errors.New("proto: durable state not yet restored")
+		}
+		if err := s.Store.Err(); err != nil {
+			return fmt.Errorf("proto: durable store poisoned: %w", err)
+		}
+	}
+	return nil
 }
 
 // Serve accepts connections until the listener closes or Shutdown is
@@ -699,7 +754,24 @@ func (c *Conn) roundTrip(req Request) (Response, error) {
 		return Response{}, err
 	}
 	if resp.Kind == "error" {
-		return resp, &ServerError{Msg: resp.Err}
+		return resp, &ServerError{Msg: resp.Err, Code: resp.Code}
+	}
+	return resp, nil
+}
+
+// RoundTrip sends one raw request and decodes one response — the
+// forwarding primitive the shard router is built on. Unlike the typed
+// client methods, a server "error" reply is returned as the Response
+// with a nil error, so a forwarder can relay it to its own client
+// verbatim; a non-nil error always means the transport or the gob
+// stream failed and the connection is unusable.
+func (c *Conn) RoundTrip(req Request) (Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, err
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, err
 	}
 	return resp, nil
 }

@@ -2,6 +2,7 @@ package proto
 
 import (
 	"fmt"
+	"sort"
 
 	"snorlax/internal/core"
 	"snorlax/internal/ir"
@@ -24,6 +25,7 @@ import (
 // its close record is closed now.
 func (s *Server) Restore(st *store.State) error {
 	if st == nil {
+		s.restored.Store(true)
 		return nil
 	}
 	s.init()
@@ -45,12 +47,19 @@ func (s *Server) Restore(st *store.State) error {
 			return fmt.Errorf("proto: restoring tenant %.12s…: module text does not match fingerprint", p.Tenant)
 		}
 		t := s.addTenantLocked(id, mod)
-		t.nextCase = CaseID(p.NextCase)
-		for cid := uint64(1); cid <= p.NextCase; cid++ {
+		if n := CaseID(p.NextCase); n > t.nextCase {
+			t.nextCase = n
+		}
+		// Case numbers are strictly increasing but not contiguous
+		// (shards namespace theirs under CaseBase), so walk the case
+		// map in sorted order rather than counting from 1.
+		cids := make([]uint64, 0, len(p.Cases))
+		for cid := range p.Cases {
+			cids = append(cids, cid)
+		}
+		sort.Slice(cids, func(i, j int) bool { return cids[i] < cids[j] })
+		for _, cid := range cids {
 			cs := p.Cases[cid]
-			if cs == nil {
-				continue
-			}
 			c := &fleetCase{
 				id:         CaseID(cs.ID),
 				triggerPC:  cs.TriggerPC,
@@ -113,5 +122,6 @@ func (s *Server) Restore(st *store.State) error {
 	for _, d := range publish {
 		s.publishCase(d.t, d.c)
 	}
+	s.restored.Store(true)
 	return nil
 }

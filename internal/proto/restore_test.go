@@ -24,6 +24,7 @@ type fakeStore struct {
 	appendErr error
 	flushErr  error
 	closeErr  error
+	stickyErr error
 	appended  int
 }
 
@@ -31,6 +32,44 @@ func (f *fakeStore) Append(*store.Record) error { f.appended++; return f.appendE
 func (f *fakeStore) Flush() error               { return f.flushErr }
 func (f *fakeStore) Close() error               { return f.closeErr }
 func (f *fakeStore) Stats() store.Stats         { return store.Stats{} }
+func (f *fakeStore) Err() error                 { return f.stickyErr }
+
+// TestReadyGating pins the readiness contract the /readyz probe and
+// the shard router's health checks build on: a durable server is not
+// ready until Restore completes, turns unready when its store is
+// poisoned, and a store-less server is ready immediately.
+func TestReadyGating(t *testing.T) {
+	mod := newFleetFixture(t, 0).mod
+
+	memSrv := NewServer(core.NewServer(mod))
+	if err := memSrv.Ready(); err != nil {
+		t.Errorf("store-less server not ready: %v", err)
+	}
+
+	fs := &fakeStore{}
+	srv := NewServer(core.NewServer(mod))
+	srv.Store = fs
+	if err := srv.Ready(); err == nil || !strings.Contains(err.Error(), "not yet restored") {
+		t.Errorf("pre-Restore Ready() = %v, want a not-restored error", err)
+	}
+	if err := srv.Restore(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Ready(); err != nil {
+		t.Errorf("post-Restore Ready() = %v, want nil", err)
+	}
+	fs.stickyErr = errors.New("wal: disk full")
+	if err := srv.Ready(); err == nil || !strings.Contains(err.Error(), "poisoned") {
+		t.Errorf("poisoned-store Ready() = %v, want a poisoned error", err)
+	}
+	fs.stickyErr = nil
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+	if err := srv.Ready(); err == nil || !strings.Contains(err.Error(), "draining") {
+		t.Errorf("draining Ready() = %v, want a draining error", err)
+	}
+}
 
 // startDurableServer opens (or reopens) a WAL in dir and serves a
 // fleet server restored from it.
@@ -83,7 +122,7 @@ func TestRecoveryRearmsWithoutReRequesting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if accepted, _, err := c.UploadBatch(id, caseID, "agent-0", 1, fx.okSnaps[:3]); err != nil || accepted != 3 {
+	if accepted, _, err := c.UploadBatch(id, caseID, fx.failing.Failure.PC, "agent-0", 1, fx.okSnaps[:3]); err != nil || accepted != 3 {
 		t.Fatalf("pre-crash upload accepted %d (%v), want 3", accepted, err)
 	}
 	shutdownServer(t, srv)
@@ -113,10 +152,10 @@ func TestRecoveryRearmsWithoutReRequesting(t *testing.T) {
 
 	// The agent replays its full upload stream (it never saw the acks).
 	// The recovered dedup ledger must admit only the three new traces.
-	if accepted, _, err := c2.UploadBatch(id, caseID, "agent-0", 1, fx.okSnaps[:3]); err != nil || accepted != 0 {
+	if accepted, _, err := c2.UploadBatch(id, caseID, fx.failing.Failure.PC, "agent-0", 1, fx.okSnaps[:3]); err != nil || accepted != 0 {
 		t.Fatalf("replayed batch accepted %d (%v), want 0", accepted, err)
 	}
-	accepted, done, err := c2.UploadBatch(id, caseID, "agent-0", 4, fx.okSnaps[3:6])
+	accepted, done, err := c2.UploadBatch(id, caseID, fx.failing.Failure.PC, "agent-0", 4, fx.okSnaps[3:6])
 	if err != nil || accepted != 3 || !done {
 		t.Fatalf("fresh batch accepted %d (done=%v, %v), want 3 (true)", accepted, done, err)
 	}
@@ -147,10 +186,10 @@ func TestRecoveredReportReServedWithoutRediagnosis(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, done, err := c.UploadBatch(id, caseID, "agent-0", 1, fx.okSnaps[:quota]); err != nil || !done {
+	if _, done, err := c.UploadBatch(id, caseID, fx.failing.Failure.PC, "agent-0", 1, fx.okSnaps[:quota]); err != nil || !done {
 		t.Fatalf("quota-filling upload: done=%v, err=%v", done, err)
 	}
-	diag, done, err := c.FetchReport(id, caseID)
+	diag, done, err := c.FetchReport(id, caseID, fx.failing.Failure.PC)
 	if err != nil || !done || diag == nil {
 		t.Fatalf("live report: done=%v, diag=%v, err=%v", done, diag, err)
 	}
@@ -158,7 +197,7 @@ func TestRecoveredReportReServedWithoutRediagnosis(t *testing.T) {
 
 	addr2, srv2, _ := startDurableServer(t, fx.mod, dir, quota)
 	c2 := dialFleet(t, addr2)
-	diag2, done, err := c2.FetchReport(id, caseID)
+	diag2, done, err := c2.FetchReport(id, caseID, fx.failing.Failure.PC)
 	if err != nil || !done || diag2 == nil {
 		t.Fatalf("recovered report: done=%v, diag=%v, err=%v", done, diag2, err)
 	}
@@ -236,7 +275,7 @@ func TestAppendFailureRejectsTransition(t *testing.T) {
 		t.Fatal(err)
 	}
 	fs.appendErr = errors.New("append: no space")
-	if accepted, _, _ := c.UploadBatch(id, caseID, "agent-0", 1, fx.okSnaps[:1]); accepted != 0 {
+	if accepted, _, _ := c.UploadBatch(id, caseID, fx.failing.Failure.PC, "agent-0", 1, fx.okSnaps[:1]); accepted != 0 {
 		t.Fatalf("upload accepted %d traces despite a failed WAL append", accepted)
 	}
 	_, successes, ok := srv.FleetCaseTraces(id, caseID)
@@ -244,7 +283,7 @@ func TestAppendFailureRejectsTransition(t *testing.T) {
 		t.Fatalf("case holds %d traces after a rejected upload, want 0", len(successes))
 	}
 	fs.appendErr = nil
-	if accepted, _, err := c.UploadBatch(id, caseID, "agent-0", 1, fx.okSnaps[:1]); err != nil || accepted != 1 {
+	if accepted, _, err := c.UploadBatch(id, caseID, fx.failing.Failure.PC, "agent-0", 1, fx.okSnaps[:1]); err != nil || accepted != 1 {
 		t.Fatalf("retried upload accepted %d (%v), want 1", accepted, err)
 	}
 }

@@ -1,0 +1,150 @@
+// Package shard turns the single-process fleet tier into a sharded
+// deployment: N analysis-server shards, each owning its own WAL, with
+// diagnosis cases placed on shards by a consistent hash of the routing
+// key (module fingerprint, failure PC), and a thin stateless router in
+// front that speaks the existing fleet wire protocol to clients and
+// forwards every request to the owning shard.
+//
+// Placement is deterministic — any router (or any replica of the
+// router) computes the same owner for a key from nothing but the
+// member list — and movement on membership change is minimal: adding
+// or removing one shard reassigns only the keys adjacent to its
+// points on the ring, roughly 1/N of the keyspace, never the whole
+// map. A shard that crashes and restarts keeps its identity and its
+// WAL, so its keys never move at all; recovery is the shard's own
+// Restore path, and the router simply resumes forwarding.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"snorlax/internal/ir"
+	"snorlax/internal/proto"
+)
+
+// DefaultVnodes is how many points each member projects onto the
+// ring. More points smooth the distribution (the per-member share
+// concentrates around 1/N) at the cost of a larger sorted table;
+// 128 keeps 2–16 member rings within a few percent of even.
+const DefaultVnodes = 128
+
+// Key is a case routing key: the pair the paper's fleet tier shards
+// on. Every request that names a case carries enough to rebuild it —
+// fleet-failure from the failure report itself, batch and report from
+// the directive's trigger PC.
+type Key struct {
+	Tenant proto.TenantID
+	PC     ir.PC
+}
+
+// String renders the key in the canonical hashed form.
+func (k Key) String() string { return fmt.Sprintf("%s/%d", k.Tenant, k.PC) }
+
+// Ring is a consistent-hash ring over named shard members. The zero
+// value is not usable; construct with NewRing. A Ring is immutable —
+// With and Without return rebuilt rings — so a reader never observes
+// a half-updated table and membership changes are explicit events.
+type Ring struct {
+	vnodes  int
+	members []string
+	points  []point
+}
+
+type point struct {
+	hash   uint64
+	member string
+}
+
+// NewRing builds a ring over the given member names with vnodes
+// points per member (0 means DefaultVnodes). Member order does not
+// matter: rings over permutations of the same set place every key
+// identically. Duplicate names collapse to one member.
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	seen := make(map[string]bool, len(members))
+	var uniq []string
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	sort.Strings(uniq)
+	r := &Ring{vnodes: vnodes, members: uniq}
+	r.points = make([]point, 0, len(uniq)*vnodes)
+	for _, m := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", m, i)), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A full 64-bit hash collision between two members' points is
+		// vanishingly rare but must still break deterministically.
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// Members returns the ring's member names, sorted.
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// Size reports how many members the ring has.
+func (r *Ring) Size() int { return len(r.members) }
+
+// With returns a new ring with m added (a no-op copy if present).
+func (r *Ring) With(m string) *Ring {
+	return NewRing(append(r.Members(), m), r.vnodes)
+}
+
+// Without returns a new ring with m removed (a no-op copy if absent).
+func (r *Ring) Without(m string) *Ring {
+	var keep []string
+	for _, x := range r.members {
+		if x != m {
+			keep = append(keep, x)
+		}
+	}
+	return NewRing(keep, r.vnodes)
+}
+
+// Owner returns the member owning key: the first ring point at or
+// after the key's hash, wrapping at the top. An empty ring owns
+// nothing and returns "".
+func (r *Ring) Owner(key Key) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key.String())
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// hash64 is FNV-1a with a splitmix64 finalizer: dependency-free and
+// stable across processes and Go releases — the property that lets
+// every router compute identical placement without coordination. Raw
+// FNV of short, similar strings ("shard-3#17") clusters noticeably;
+// the finalizer's avalanche spreads the points evenly.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

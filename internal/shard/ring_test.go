@@ -1,0 +1,161 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"snorlax/internal/ir"
+	"snorlax/internal/proto"
+)
+
+// testKeys fabricates a corpus-shaped key population: a handful of
+// tenants (distinct fingerprints) times many failure PCs.
+func testKeys(tenants, pcs int) []Key {
+	var keys []Key
+	for t := 0; t < tenants; t++ {
+		id := proto.TenantID(fmt.Sprintf("%064x", t+1))
+		for pc := 0; pc < pcs; pc++ {
+			keys = append(keys, Key{Tenant: id, PC: ir.PC(pc)})
+		}
+	}
+	return keys
+}
+
+func members(n int) []string {
+	var ms []string
+	for i := 0; i < n; i++ {
+		ms = append(ms, fmt.Sprintf("shard-%d", i))
+	}
+	return ms
+}
+
+func TestRingPlacementDeterministic(t *testing.T) {
+	keys := testKeys(8, 64)
+	tests := []struct {
+		name    string
+		mk      func() *Ring
+		against func() *Ring
+	}{
+		{"same members, fresh ring", func() *Ring { return NewRing(members(4), 0) },
+			func() *Ring { return NewRing(members(4), 0) }},
+		{"permuted member order", func() *Ring { return NewRing(members(5), 0) },
+			func() *Ring {
+				ms := members(5)
+				ms[0], ms[4], ms[2], ms[1] = ms[4], ms[0], ms[1], ms[2]
+				return NewRing(ms, 0)
+			}},
+		{"duplicate members collapse", func() *Ring { return NewRing(members(3), 0) },
+			func() *Ring { return NewRing(append(members(3), members(3)...), 0) }},
+		{"add then remove is identity", func() *Ring { return NewRing(members(6), 0) },
+			func() *Ring { return NewRing(members(6), 0).With("extra").Without("extra") }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := tc.mk(), tc.against()
+			for _, k := range keys {
+				if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+					t.Fatalf("key %s placed on %q vs %q", k, ao, bo)
+				}
+			}
+		})
+	}
+}
+
+// Distribution: with vnode smoothing, every member's share of a large
+// key population stays within a loose band around the fair share.
+// The band is deliberately wide (±60% relative) — consistent hashing
+// trades perfect balance for minimal movement — but it catches the
+// failure mode that matters: a member owning almost nothing or almost
+// everything.
+func TestRingDistributionBounds(t *testing.T) {
+	keys := testKeys(16, 256) // 4096 keys
+	for n := 2; n <= 16; n++ {
+		n := n
+		t.Run(fmt.Sprintf("%d shards", n), func(t *testing.T) {
+			r := NewRing(members(n), 0)
+			counts := make(map[string]int)
+			for _, k := range keys {
+				counts[r.Owner(k)]++
+			}
+			if len(counts) != n {
+				t.Fatalf("keys landed on %d of %d members", len(counts), n)
+			}
+			fair := float64(len(keys)) / float64(n)
+			for m, c := range counts {
+				if ratio := float64(c) / fair; ratio < 0.4 || ratio > 1.6 {
+					t.Errorf("%s owns %d keys (%.2fx fair share %.0f), outside [0.4, 1.6]",
+						m, c, ratio, fair)
+				}
+			}
+		})
+	}
+}
+
+// Minimal movement: a membership change may move only the keys whose
+// owner changed to/from the changed member — no key may move between
+// two members that were present before and after.
+func TestRingMinimalMovement(t *testing.T) {
+	keys := testKeys(16, 256)
+	tests := []struct {
+		name string
+		from int
+		with string // "" means remove tests[0] member instead
+	}{
+		{"join 4->5", 4, "shard-new"},
+		{"join 8->9", 8, "shard-new"},
+		{"leave 5->4", 5, ""},
+		{"leave 16->15", 16, ""},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			before := NewRing(members(tc.from), 0)
+			var after *Ring
+			changed := tc.with
+			if tc.with != "" {
+				after = before.With(tc.with)
+			} else {
+				changed = "shard-0"
+				after = before.Without(changed)
+			}
+			moved, toOrFromChanged := 0, 0
+			for _, k := range keys {
+				a, b := before.Owner(k), after.Owner(k)
+				if a == b {
+					continue
+				}
+				moved++
+				if a == changed || b == changed {
+					toOrFromChanged++
+				} else {
+					t.Errorf("key %s moved %q -> %q, neither of which is the changed member %q",
+						k, a, b, changed)
+				}
+			}
+			if moved == 0 {
+				t.Fatal("membership change moved no keys at all")
+			}
+			// The moved fraction should be about 1/N of the keyspace —
+			// never a wholesale reshuffle. Allow 3x slack over fair.
+			fairFrac := 1.0 / float64(after.Size()+1)
+			if frac := float64(moved) / float64(len(keys)); frac > 3*fairFrac {
+				t.Errorf("membership change moved %.1f%% of keys, want about %.1f%%",
+					100*frac, 100*fairFrac)
+			}
+		})
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	if o := NewRing(nil, 0).Owner(Key{Tenant: "t", PC: 1}); o != "" {
+		t.Errorf("empty ring owner = %q, want \"\"", o)
+	}
+	one := NewRing([]string{"only"}, 0)
+	for _, k := range testKeys(4, 16) {
+		if o := one.Owner(k); o != "only" {
+			t.Fatalf("single-member ring placed %s on %q", k, o)
+		}
+	}
+	if got := NewRing([]string{"b", "", "a", "b"}, 0).Members(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Members() = %v, want [a b]", got)
+	}
+}

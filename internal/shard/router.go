@@ -1,0 +1,711 @@
+package shard
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"snorlax/internal/obs"
+	"snorlax/internal/proto"
+)
+
+// Router metric names (Prometheus conventions: _total for counters).
+const (
+	// MetricRouterRequests counts client requests by kind.
+	MetricRouterRequests = "snorlax_router_requests_total"
+	// MetricRouterForwards counts requests forwarded per shard.
+	MetricRouterForwards = "snorlax_router_forwards_total"
+	// MetricRouterRetries counts forwarding retries per shard — the
+	// router-side degradation counter; zero means no shard ever made
+	// the router ask twice.
+	MetricRouterRetries = "snorlax_router_forward_retries_total"
+	// MetricRouterDroppedConns counts client connections the router
+	// dropped because a shard stayed unreachable through the whole
+	// retry budget. Dropping the transport (rather than replying
+	// "error") keeps the client's own reconnect-and-retry loop alive:
+	// fleet clients treat error replies as deterministic rejections.
+	MetricRouterDroppedConns = "snorlax_router_dropped_conns_total"
+	// MetricRouterShardUp is 1 while the shard's last health probe
+	// succeeded, 0 after it failed.
+	MetricRouterShardUp = "snorlax_router_shard_up"
+	// MetricRouterHealthFails counts failed health probes per shard.
+	MetricRouterHealthFails = "snorlax_router_health_check_failures_total"
+)
+
+// Member is one shard behind the router.
+type Member struct {
+	// Name is the shard's stable ring identity. It must survive
+	// crashes and restarts — placement hashes the name, so a renamed
+	// shard is a different shard and its keys move.
+	Name string
+	// Addr is the shard's fleet wire address (host:port).
+	Addr string
+	// HealthURL, when set, is the shard's readiness probe (the
+	// /readyz endpoint of its debug mux); the router polls it and
+	// exports the result. "" falls back to a plain dial probe.
+	HealthURL string
+}
+
+// RouterConfig configures a Router.
+type RouterConfig struct {
+	// Members are the shards. Placement is a pure function of their
+	// names, so every router replica configured with the same set
+	// routes identically.
+	Members []Member
+	// Vnodes is the ring's points-per-member (0 = DefaultVnodes).
+	Vnodes int
+	// Dial opens a connection to a shard address. nil means net.Dial
+	// ("tcp"); tests inject fault-wrapped dialers here.
+	Dial func(addr string) (net.Conn, error)
+	// Retry tunes per-request forwarding: attempts, jittered
+	// exponential backoff between them, and the per-round-trip
+	// deadline — the same knobs (and defaults) as the retrying
+	// session client.
+	Retry proto.RetryConfig
+	// HealthInterval is the shard health probe period (0 = 500ms).
+	HealthInterval time.Duration
+	// IdleTimeout bounds how long the router waits for a client's
+	// next request; 0 means wait forever.
+	IdleTimeout time.Duration
+	// FrameLimit caps one client message's bytes before gob decodes
+	// it (0 = the protocol's default snapshot cap plus slack).
+	FrameLimit int64
+	// Registry receives the router's metrics (nil = a fresh one).
+	Registry *obs.Registry
+}
+
+// Router is the thin, stateless front of a sharded fleet deployment.
+// It speaks the fleet wire protocol to clients and forwards every
+// request to the owning shard: registrations broadcast to all shards
+// (they are idempotent, and any shard may later own a case for the
+// tenant), failure reports route by the consistent hash of (tenant,
+// failure PC), directive listings fan out and merge, and batch and
+// report requests follow the routing hint stamped by the client — or,
+// for old clients that do not stamp one, an ordered scan keyed off
+// the shards' machine-readable "unknown case" rejection.
+//
+// The router holds no durable state: every case lives in exactly one
+// shard's WAL. A router restart loses nothing; a shard restart is
+// invisible (same name, same keys, recovery via the shard's own
+// Restore), surfacing only as retried forwards while it was down.
+type Router struct {
+	cfg     RouterConfig
+	ring    *Ring
+	members []Member // sorted by name; fallback-scan order
+	dial    func(addr string) (net.Conn, error)
+
+	reg      *obs.Registry
+	requests map[string]*obs.Counter // by request kind
+	forwards map[string]*obs.Counter // by shard name
+	retries  map[string]*obs.Counter
+	up       map[string]*obs.Gauge
+	hcFails  map[string]*obs.Counter
+	dropped  *obs.Counter
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	shutdown   atomic.Bool
+	healthOnce sync.Once
+	healthStop chan struct{}
+	healthDone chan struct{}
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[*routerConn]struct{}
+}
+
+// routerConn tracks one client connection for drain: busy is set
+// while a request is in flight, so Shutdown closes idle connections
+// and lets forwarded requests finish.
+type routerConn struct {
+	conn net.Conn
+	busy atomic.Bool
+}
+
+// routedKinds lists the fleet request kinds the router understands.
+var routedKinds = []string{"register", "fleet-failure", "directives", "batch", "report", "status"}
+
+// NewRouter builds a router over the given shards.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("shard: router needs at least one member")
+	}
+	seen := make(map[string]bool, len(cfg.Members))
+	members := append([]Member(nil), cfg.Members...)
+	var names []string
+	for _, m := range members {
+		if m.Name == "" || m.Addr == "" {
+			return nil, fmt.Errorf("shard: member needs a name and an address (got %q, %q)", m.Name, m.Addr)
+		}
+		if seen[m.Name] {
+			return nil, fmt.Errorf("shard: duplicate member name %q", m.Name)
+		}
+		seen[m.Name] = true
+		names = append(names, m.Name)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].Name < members[j].Name })
+	r := &Router{
+		cfg:        cfg,
+		ring:       NewRing(names, cfg.Vnodes),
+		members:    members,
+		dial:       cfg.Dial,
+		reg:        cfg.Registry,
+		healthStop: make(chan struct{}),
+		healthDone: make(chan struct{}),
+		listeners:  make(map[net.Listener]struct{}),
+		conns:      make(map[*routerConn]struct{}),
+	}
+	if r.dial == nil {
+		r.dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if r.reg == nil {
+		r.reg = obs.NewRegistry()
+	}
+	seed := cfg.Retry.JitterSeed
+	if seed == 0 {
+		seed = 1
+	}
+	r.rng = rand.New(rand.NewSource(seed))
+	r.requests = make(map[string]*obs.Counter, len(routedKinds))
+	for _, kind := range routedKinds {
+		r.requests[kind] = r.reg.Counter(MetricRouterRequests,
+			"Client requests received by the shard router.", obs.L("kind", kind))
+	}
+	r.forwards = make(map[string]*obs.Counter, len(members))
+	r.retries = make(map[string]*obs.Counter, len(members))
+	r.up = make(map[string]*obs.Gauge, len(members))
+	r.hcFails = make(map[string]*obs.Counter, len(members))
+	for _, m := range members {
+		l := obs.L("shard", m.Name)
+		r.forwards[m.Name] = r.reg.Counter(MetricRouterForwards, "Requests forwarded per shard.", l)
+		r.retries[m.Name] = r.reg.Counter(MetricRouterRetries, "Forwarding retries per shard.", l)
+		r.up[m.Name] = r.reg.Gauge(MetricRouterShardUp, "1 while the shard's last health probe succeeded.", l)
+		r.up[m.Name].Set(1) // optimistic until the first probe says otherwise
+		r.hcFails[m.Name] = r.reg.Counter(MetricRouterHealthFails, "Failed health probes per shard.", l)
+	}
+	r.dropped = r.reg.Counter(MetricRouterDroppedConns,
+		"Client connections dropped because a shard stayed unreachable.")
+	return r, nil
+}
+
+// Ring exposes the router's placement ring (for tests and tooling
+// that predict ownership).
+func (r *Router) Ring() *Ring { return r.ring }
+
+// Metrics returns the router's metrics registry.
+func (r *Router) Metrics() *obs.Registry { return r.reg }
+
+// Owner returns the member owning the routing key.
+func (r *Router) Owner(key Key) Member {
+	name := r.ring.Owner(key)
+	for _, m := range r.members {
+		if m.Name == name {
+			return m
+		}
+	}
+	return Member{}
+}
+
+// Ready reports whether the router can usefully forward: it is not
+// draining and at least one shard's last health probe succeeded. A
+// single down shard degrades (its keys stall and retry) but does not
+// flip the router unready — the other shards' cases still flow.
+func (r *Router) Ready() error {
+	if r.shutdown.Load() {
+		return errors.New("shard: router is draining")
+	}
+	for _, m := range r.members {
+		if r.up[m.Name].Value() == 1 {
+			return nil
+		}
+	}
+	return errors.New("shard: no shard is healthy")
+}
+
+// DebugMux returns the router's operational HTTP surface: /metrics,
+// /healthz, /readyz and /debug/pprof/*.
+func (r *Router) DebugMux() *http.ServeMux { return obs.DebugMux(r.reg, r.Ready) }
+
+func (r *Router) healthInterval() time.Duration {
+	if r.cfg.HealthInterval <= 0 {
+		return 500 * time.Millisecond
+	}
+	return r.cfg.HealthInterval
+}
+
+// probe runs one health check against a member: its readiness
+// endpoint when configured, otherwise a plain dial.
+func (r *Router) probe(m Member) error {
+	if m.HealthURL != "" {
+		client := &http.Client{Timeout: 2 * time.Second}
+		resp, err := client.Get(m.HealthURL)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("shard %s: readyz returned %s", m.Name, resp.Status)
+		}
+		return nil
+	}
+	c, err := r.dial(m.Addr)
+	if err != nil {
+		return err
+	}
+	return c.Close()
+}
+
+// healthLoop polls every member until Shutdown.
+func (r *Router) healthLoop() {
+	defer close(r.healthDone)
+	ticker := time.NewTicker(r.healthInterval())
+	defer ticker.Stop()
+	for {
+		for _, m := range r.members {
+			if err := r.probe(m); err != nil {
+				r.up[m.Name].Set(0)
+				r.hcFails[m.Name].Inc()
+			} else {
+				r.up[m.Name].Set(1)
+			}
+		}
+		select {
+		case <-r.healthStop:
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// Serve accepts client connections until the listener closes or
+// Shutdown is called, mirroring the analysis server's accept loop
+// (transient-error backoff included). The health prober starts with
+// the first Serve call.
+func (r *Router) Serve(ln net.Listener) error {
+	if !r.trackListener(ln) {
+		ln.Close()
+		return nil
+	}
+	defer r.untrackListener(ln)
+	r.healthOnce.Do(func() { go r.healthLoop() })
+	var delay time.Duration
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if r.shutdown.Load() || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			if te, ok := err.(interface{ Temporary() bool }); ok && te.Temporary() {
+				if delay == 0 {
+					delay = 5 * time.Millisecond
+				} else {
+					delay *= 2
+				}
+				if delay > time.Second {
+					delay = time.Second
+				}
+				time.Sleep(delay)
+				continue
+			}
+			return err
+		}
+		delay = 0
+		go r.handle(conn)
+	}
+}
+
+// Shutdown drains the router: listeners close, idle client
+// connections close immediately, in-flight forwards finish (up to
+// ctx), and the health prober stops. The router has no durable state
+// to flush, so a drained router can simply be replaced.
+func (r *Router) Shutdown(ctx context.Context) error {
+	r.shutdown.Store(true)
+	r.mu.Lock()
+	for ln := range r.listeners {
+		ln.Close()
+	}
+	r.mu.Unlock()
+	r.healthOnce.Do(func() { close(r.healthDone) }) // never served: nothing to stop
+	select {
+	case <-r.healthDone:
+	default:
+		close(r.healthStop)
+		<-r.healthDone
+	}
+
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		if r.closeIdleConns() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			r.mu.Lock()
+			for st := range r.conns {
+				st.conn.Close()
+			}
+			r.mu.Unlock()
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+func (r *Router) closeIdleConns() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for st := range r.conns {
+		if !st.busy.Load() {
+			st.conn.Close()
+		}
+	}
+	return len(r.conns)
+}
+
+func (r *Router) trackListener(ln net.Listener) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.shutdown.Load() {
+		return false
+	}
+	r.listeners[ln] = struct{}{}
+	return true
+}
+
+func (r *Router) untrackListener(ln net.Listener) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.listeners, ln)
+}
+
+func (r *Router) trackConn(st *routerConn) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.shutdown.Load() {
+		return false
+	}
+	r.conns[st] = struct{}{}
+	return true
+}
+
+func (r *Router) untrackConn(st *routerConn) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.conns, st)
+}
+
+func (r *Router) frameLimit() int64 {
+	if r.cfg.FrameLimit > 0 {
+		return r.cfg.FrameLimit
+	}
+	return proto.DefaultMaxSnapshotBytes + 64<<10
+}
+
+// meteredReader is the router's decode-layer frame cap (the same
+// defense the analysis server mounts): bytes handed to the gob
+// decoder are budgeted per message, so an oversized frame fails fast
+// instead of filling the router's heap.
+type meteredReader struct {
+	r         io.Reader
+	limit     int64
+	remaining int64
+}
+
+func (l *meteredReader) reset() { l.remaining = l.limit }
+
+func (l *meteredReader) Read(p []byte) (int, error) {
+	if l.remaining <= 0 {
+		return 0, errors.New("shard: message exceeds frame limit")
+	}
+	if int64(len(p)) > l.remaining {
+		p = p[:l.remaining]
+	}
+	n, err := l.r.Read(p)
+	l.remaining -= int64(n)
+	return n, err
+}
+
+// upstreams is one client connection's cached shard connections: the
+// router keeps one upstream per shard per client, so a chatty agent
+// reuses its forwarding path instead of dialing per request.
+type upstreams struct {
+	r     *Router
+	conns map[string]*proto.Conn
+}
+
+func (u *upstreams) get(m Member) (*proto.Conn, error) {
+	if c := u.conns[m.Name]; c != nil {
+		return c, nil
+	}
+	nc, err := u.r.dial(m.Addr)
+	if err != nil {
+		return nil, err
+	}
+	c := proto.NewConn(nc)
+	u.conns[m.Name] = c
+	return c, nil
+}
+
+func (u *upstreams) drop(m Member) {
+	if c := u.conns[m.Name]; c != nil {
+		c.Close()
+		delete(u.conns, m.Name)
+	}
+}
+
+func (u *upstreams) closeAll() {
+	for _, c := range u.conns {
+		c.Close()
+	}
+}
+
+func (r *Router) retryAttempts() int {
+	if r.cfg.Retry.MaxAttempts <= 0 {
+		return 8
+	}
+	return r.cfg.Retry.MaxAttempts
+}
+
+// backoff sleeps the a-th retry's exponential delay with ±50% jitter
+// (RetryConfig semantics: BaseDelay doubling up to MaxDelay).
+func (r *Router) backoff(a int) {
+	base := r.cfg.Retry.BaseDelay
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	max := r.cfg.Retry.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base << uint(a-1)
+	if d > max || d <= 0 {
+		d = max
+	}
+	r.rngMu.Lock()
+	f := r.rng.Float64()
+	r.rngMu.Unlock()
+	time.Sleep(time.Duration(float64(d) * (0.5 + f)))
+}
+
+// forward sends req to member m, retrying transport failures on fresh
+// connections with jittered backoff. A server "error" reply is a
+// success at this layer (it is relayed, not retried). The returned
+// error means the shard stayed unreachable through the whole budget.
+func (r *Router) forward(u *upstreams, m Member, req proto.Request) (proto.Response, error) {
+	var lastErr error
+	attempts := r.retryAttempts()
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			r.retries[m.Name].Inc()
+			r.backoff(a)
+		}
+		c, err := u.get(m)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if t := r.cfg.Retry.OpTimeout; t > 0 {
+			c.SetDeadline(time.Now().Add(t))
+		}
+		resp, err := c.RoundTrip(req)
+		if t := r.cfg.Retry.OpTimeout; t > 0 {
+			c.SetDeadline(time.Time{})
+		}
+		if err != nil {
+			lastErr = err
+			u.drop(m)
+			continue
+		}
+		r.forwards[m.Name].Inc()
+		return resp, nil
+	}
+	return proto.Response{}, fmt.Errorf("shard %s (%s): unreachable after %d attempts: %w",
+		m.Name, m.Addr, attempts, lastErr)
+}
+
+// handle serves one client connection: decode a request, route it,
+// encode the reply. A shard that stays unreachable drops the client
+// connection (a transport fault the client's retry loop absorbs)
+// rather than sending an "error" reply clients would treat as a
+// deterministic rejection.
+func (r *Router) handle(nc net.Conn) {
+	st := &routerConn{conn: nc}
+	if !r.trackConn(st) {
+		nc.Close()
+		return
+	}
+	defer r.untrackConn(st)
+	defer nc.Close()
+	lim := &meteredReader{r: nc, limit: r.frameLimit()}
+	dec := gob.NewDecoder(lim)
+	enc := gob.NewEncoder(nc)
+	u := &upstreams{r: r, conns: make(map[string]*proto.Conn)}
+	defer u.closeAll()
+	for {
+		if r.shutdown.Load() {
+			return
+		}
+		if r.cfg.IdleTimeout > 0 {
+			nc.SetReadDeadline(time.Now().Add(r.cfg.IdleTimeout))
+		}
+		lim.reset()
+		var req proto.Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		st.busy.Store(true)
+		resp, ok := r.route(u, req)
+		st.busy.Store(false)
+		if !ok {
+			r.dropped.Inc()
+			return
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// route dispatches one request. ok=false means a shard the request
+// needed stayed unreachable and the client connection must drop.
+func (r *Router) route(u *upstreams, req proto.Request) (proto.Response, bool) {
+	if ctr := r.requests[req.Kind]; ctr != nil {
+		ctr.Inc()
+	}
+	switch req.Kind {
+	case "register":
+		return r.broadcastRegister(u, req)
+	case "fleet-failure":
+		if req.Failure == nil {
+			return proto.Response{Kind: "error", Err: "fleet-failure request missing report"}, true
+		}
+		resp, err := r.forward(u, r.Owner(Key{Tenant: req.Tenant, PC: req.Failure.PC}), req)
+		return resp, err == nil
+	case "directives":
+		return r.mergeDirectives(u, req)
+	case "batch", "report":
+		if req.Routed {
+			resp, err := r.forward(u, r.Owner(Key{Tenant: req.Tenant, PC: req.RoutePC}), req)
+			return resp, err == nil
+		}
+		return r.scanForCase(u, req)
+	case "status":
+		return r.sumStatus(u, req)
+	default:
+		// The session protocol (failure/success/diagnose) binds state
+		// to one server connection; it has no routing key and is not
+		// served through the router.
+		return proto.Response{Kind: "error",
+			Err: fmt.Sprintf("router: unsupported request kind %q (fleet protocol only)", req.Kind)}, true
+	}
+}
+
+// broadcastRegister registers the tenant on every shard. Registration
+// is idempotent and any shard may later own one of the tenant's
+// cases, so all shards must ack before the client is told "registered"
+// — a shard that stayed unreachable drops the connection and the
+// client's retry re-broadcasts.
+func (r *Router) broadcastRegister(u *upstreams, req proto.Request) (proto.Response, bool) {
+	var out proto.Response
+	for _, m := range r.members {
+		resp, err := r.forward(u, m, req)
+		if err != nil {
+			return proto.Response{}, false
+		}
+		if resp.Kind == "error" {
+			// Deterministic rejection (bad module text): every shard
+			// would say the same; relay the first.
+			return resp, true
+		}
+		out = resp
+	}
+	return out, true
+}
+
+// mergeDirectives fans the listing out to every shard and merges the
+// armed directives, sorted by case id (globally unique via the
+// shards' disjoint CaseBase namespaces).
+func (r *Router) mergeDirectives(u *upstreams, req proto.Request) (proto.Response, bool) {
+	var ds []proto.Directive
+	for _, m := range r.members {
+		resp, err := r.forward(u, m, req)
+		if err != nil {
+			return proto.Response{}, false
+		}
+		if resp.Kind == "error" {
+			// unknown tenant: registration has not reached every shard
+			// yet, so the fleet-wide listing is not answerable.
+			return resp, true
+		}
+		ds = append(ds, resp.Directives...)
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Case < ds[j].Case })
+	return proto.Response{Kind: "directives", Tenant: req.Tenant, Directives: ds}, true
+}
+
+// scanForCase serves unrouted batch/report requests from clients that
+// predate routing hints: shards are tried in name order, and the
+// machine-readable "unknown case" rejection means "not mine, ask the
+// next". Hinted requests never pay this cost.
+func (r *Router) scanForCase(u *upstreams, req proto.Request) (proto.Response, bool) {
+	var last proto.Response
+	for _, m := range r.members {
+		resp, err := r.forward(u, m, req)
+		if err != nil {
+			return proto.Response{}, false
+		}
+		if resp.Kind == "error" && resp.Code == proto.CodeUnknownCase {
+			last = resp
+			continue
+		}
+		return resp, true
+	}
+	return last, true
+}
+
+// sumStatus aggregates every shard's status reply into one fleet-wide
+// view: cumulative counters and live gauges sum; capacity fields
+// (MaxConcurrent, Workers) sum too, reading as total fleet capacity.
+func (r *Router) sumStatus(u *upstreams, req proto.Request) (proto.Response, bool) {
+	var sum proto.ServerStatus
+	for _, m := range r.members {
+		resp, err := r.forward(u, m, req)
+		if err != nil {
+			return proto.Response{}, false
+		}
+		if resp.Kind == "error" {
+			return resp, true
+		}
+		if resp.Status == nil {
+			continue
+		}
+		st := resp.Status
+		sum.OpenConns += st.OpenConns
+		sum.ActiveDiagnoses += st.ActiveDiagnoses
+		sum.QueuedDiagnoses += st.QueuedDiagnoses
+		sum.CompletedDiagnoses += st.CompletedDiagnoses
+		sum.FailedDiagnoses += st.FailedDiagnoses
+		sum.MaxConcurrent += st.MaxConcurrent
+		sum.Workers += st.Workers
+		sum.CacheHits += st.CacheHits
+		sum.CacheMisses += st.CacheMisses
+		sum.DiagnoseTime += st.DiagnoseTime
+		sum.DroppedSuccesses += st.DroppedSuccesses
+		sum.DeadlineDrops += st.DeadlineDrops
+		sum.OversizeRejects += st.OversizeRejects
+		sum.PanicsRecovered += st.PanicsRecovered
+	}
+	return proto.Response{Kind: "status", Status: &sum}, true
+}

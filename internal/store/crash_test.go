@@ -122,13 +122,13 @@ func driveCase(t *testing.T, addr string, fx *crashFixture) (proto.TenantID, pro
 		t.Fatal(err)
 	}
 	for i := 0; i < crashQuota; i += 2 {
-		if _, _, err := c.UploadBatch(id, caseID, "agent-0", uint64(i+1), fx.okSnaps[i:i+2]); err != nil {
+		if _, _, err := c.UploadBatch(id, caseID, fx.failing.Failure.PC, "agent-0", uint64(i+1), fx.okSnaps[i:i+2]); err != nil {
 			t.Fatal(err)
 		}
 	}
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		diag, done, err := c.FetchReport(id, caseID)
+		diag, done, err := c.FetchReport(id, caseID, fx.failing.Failure.PC)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -128,8 +128,12 @@ func (st *State) apply(rec *Record) error {
 		if err != nil {
 			return err
 		}
-		if rec.Case != p.NextCase+1 {
-			return fmt.Errorf("%s record opens case %d, expected %d", rec.Type, rec.Case, p.NextCase+1)
+		// Case numbers must be strictly increasing, but need not be
+		// contiguous: a sharded deployment namespaces each shard's
+		// cases under a per-shard base (ServeConfig.CaseBase), so the
+		// first case a shard opens can sit far above zero.
+		if rec.Case <= p.NextCase {
+			return fmt.Errorf("%s record opens case %d, but case numbers already reached %d", rec.Type, rec.Case, p.NextCase)
 		}
 		if rec.Want <= 0 {
 			return fmt.Errorf("%s record wants %d traces", rec.Type, rec.Want)

@@ -36,6 +36,11 @@ type Store interface {
 	Close() error
 	// Stats reports the store's operational counters.
 	Stats() Stats
+	// Err reports the store's sticky error: the first append or flush
+	// failure, after which the store can no longer promise log order
+	// equals state order. Readiness probes surface it without forcing
+	// a flush.
+	Err() error
 }
 
 // SyncPolicy selects when appended records are fsynced. The zero
@@ -491,6 +496,16 @@ func (w *WAL) fail(err error) {
 }
 
 var errClosed = errors.New("store: WAL is closed")
+
+// Err reports the sticky error, nil while the store is healthy. A
+// poisoned store keeps serving reads but rejects every append, so a
+// readiness probe that checks Err can pull the shard out of rotation
+// before clients burn retries on it.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
 
 // Append logs one record, applying the configured sync policy. The
 // record is validated against the WAL's state mirror first (while

@@ -85,6 +85,11 @@ type ServeConfig struct {
 	// SyncInterval is the background flush period under SyncInterval;
 	// 0 means 50ms.
 	SyncInterval time.Duration
+	// CaseBase namespaces this server's case ids above the given base,
+	// so a sharded fleet tier can give every shard a disjoint range
+	// (shard i conventionally gets i<<32) and case ids stay unique —
+	// and routable — fleet-wide. 0 keeps the unsharded numbering.
+	CaseBase uint64
 }
 
 // Server is a diagnosis server that can be drained gracefully. Zero
@@ -110,6 +115,7 @@ func NewServer(prog *Program, cfg ServeConfig) (*Server, error) {
 	ps.MaxSuccessesPerConn = cfg.MaxSuccessesPerConn
 	ps.FleetQuota = cfg.SuccessQuota
 	ps.DisableRegistration = cfg.DisableRegistration
+	ps.CaseBase = cfg.CaseBase
 	if cfg.StateDir != "" {
 		w, err := store.Open(cfg.StateDir, store.Options{
 			SyncPolicy:   cfg.SyncPolicy,
@@ -177,12 +183,22 @@ func (s *Server) Status() ServerStatus { return publicStatus(s.ps.Status()) }
 
 // MetricsMux returns the server's opt-in operational HTTP surface:
 // GET /metrics serves every pipeline, cache and protocol metric in
-// Prometheus text exposition format, and /debug/pprof/* serves the
-// standard profiling endpoints. Nothing serves it by default — mount
-// it on a listener the operator chose (the CLI's -metrics-addr flag).
+// Prometheus text exposition format, /debug/pprof/* serves the
+// standard profiling endpoints, and /healthz and /readyz serve the
+// liveness and readiness probes (ready means: not draining, durable
+// state restored, store not poisoned). Nothing serves it by default —
+// mount it on a listener the operator chose (the CLI's -metrics-addr
+// flag).
 func (s *Server) MetricsMux() *http.ServeMux {
-	return obs.DebugMux(s.ps.Metrics())
+	return obs.DebugMux(s.ps.Metrics(), s.ps.Ready)
 }
+
+// Ready reports whether the server should receive traffic: nil while
+// serving normally, an error naming the condition while draining,
+// before durable state is restored, or after the store is poisoned.
+// It is the same check /readyz serves — exposed directly for
+// supervisors and routers that probe in-process.
+func (s *Server) Ready() error { return s.ps.Ready() }
 
 // WriteMetrics renders the server's metrics in Prometheus text
 // exposition format without going through HTTP.

@@ -66,6 +66,9 @@ type Config struct {
 	// PollInterval is how often agents re-poll directives and pending
 	// reports (default 2ms).
 	PollInterval time.Duration
+	// Wire selects the agents' connection codec (default: binary; the
+	// chaos matrix runs each codec to hold them bit-identical).
+	Wire proto.WireVersion
 }
 
 func (c Config) clients() int {
@@ -146,6 +149,7 @@ type agentConn struct {
 	dial      func() (net.Conn, error)
 	attempts  int
 	opTimeout time.Duration
+	wire      proto.WireVersion
 	conn      *proto.Conn
 	// retried counts attempts beyond the first across all operations —
 	// the transport retries the idempotent protocol absorbed.
@@ -182,7 +186,7 @@ func (a *agentConn) do(fn func(c *proto.Conn) error) error {
 				lastErr = err
 				continue
 			}
-			a.conn = proto.NewConn(nc)
+			a.conn = proto.NewConnWire(nc, a.wire)
 		}
 		c := a.conn
 		c.SetDeadline(time.Now().Add(a.opTimeout))
@@ -265,7 +269,8 @@ func reproduceFailure(mod *ir.Module) *core.RunReport {
 
 func runAgent(p Program, cfg Config, idx int) (*Result, error) {
 	ctx := cfg.context()
-	a := &agentConn{ctx: ctx, dial: cfg.Dial, attempts: cfg.maxAttempts(), opTimeout: cfg.opTimeout()}
+	a := &agentConn{ctx: ctx, dial: cfg.Dial, attempts: cfg.maxAttempts(),
+		opTimeout: cfg.opTimeout(), wire: cfg.Wire}
 	defer a.close()
 	clientID := fmt.Sprintf("agent-%d", idx)
 
@@ -298,24 +303,37 @@ func runAgent(p Program, cfg Config, idx int) (*Result, error) {
 	res := &Result{Tenant: tenant, Case: caseID, Failure: rep.Failure}
 	okClient := core.NewClient(p.OK)
 	var (
-		batch []*pt.Snapshot
-		seq   uint64 = 1 // sequence number of batch[0]
+		batch    []*pt.Snapshot
+		seq      uint64 = 1 // sequence number of batch[0]
+		credited uint64     // server ledger mark already counted into res.Accepted
 	)
 	upload := func() error {
 		if len(batch) == 0 {
 			return nil
 		}
 		var accepted int
+		var ledger uint64
 		err := a.do(func(c *proto.Conn) error {
 			var err error
-			accepted, done, err = c.UploadBatch(tenant, caseID, directive.TriggerPC, clientID, seq, batch)
+			accepted, ledger, done, err = c.UploadBatchLedger(tenant, caseID, directive.TriggerPC, clientID, seq, batch)
 			return err
 		})
 		if err != nil {
 			return err
 		}
 		res.Uploaded += len(batch)
-		res.Accepted += accepted
+		// A reply can be lost after the server admitted the batch; the
+		// transport retry is then deduplicated server-side and reports
+		// Accepted 0, which would under-count. The ledger mark is
+		// replay-stable, so count against it whenever the server still
+		// has one and trust Accepted only when the ledger is gone
+		// (case closed and pruned).
+		if ledger > credited {
+			res.Accepted += int(ledger - credited)
+			credited = ledger
+		} else if ledger == 0 {
+			res.Accepted += accepted
+		}
 		seq += uint64(len(batch))
 		batch = batch[:0]
 		return nil

@@ -65,6 +65,8 @@ type LoadConfig struct {
 	// it once. Smaller alpha = heavier tail (default 1.5); samples are
 	// capped at 16 reports per agent.
 	TailAlpha float64
+	// Wire selects the agents' connection codec (default: binary).
+	Wire proto.WireVersion
 }
 
 func (c LoadConfig) agents() int {
@@ -97,6 +99,7 @@ func (c LoadConfig) fleetConfig() Config {
 		OpTimeout:    c.OpTimeout,
 		PollInterval: c.PollInterval,
 		SeedBase:     c.SeedBase,
+		Wire:         c.Wire,
 	}
 }
 
@@ -378,7 +381,7 @@ func runLoadAgent(cfg LoadConfig, pool *loadPool, idx int, rng *rand.Rand,
 	col *loadCollector, withAgg func(func(*caseAgg))) error {
 	fc := cfg.fleetConfig()
 	a := &agentConn{ctx: fc.context(), dial: cfg.Dial,
-		attempts: fc.maxAttempts(), opTimeout: fc.opTimeout()}
+		attempts: fc.maxAttempts(), opTimeout: fc.opTimeout(), wire: fc.Wire}
 	defer a.close()
 	clientID := fmt.Sprintf("load-agent-%d", idx)
 
@@ -424,6 +427,7 @@ func runLoadAgent(cfg LoadConfig, pool *loadPool, idx int, rng *rand.Rand,
 	// pool snapshots while our case's directive stays armed.
 	batchSize := fc.batchSize()
 	seq := uint64(1)
+	var credited uint64                   // server ledger mark already counted into accepted
 	next := rng.Intn(len(pool.snapshots)) // start point in the shared pool
 	uploaded, accepted := 0, 0
 	for rounds := 0; !done && rounds < 64; rounds++ {
@@ -452,16 +456,25 @@ func runLoadAgent(cfg LoadConfig, pool *loadPool, idx int, rng *rand.Rand,
 			next++
 		}
 		var acc int
+		var ledger uint64
 		if err := a.do(func(c *proto.Conn) error {
 			var err error
-			acc, done, err = c.UploadBatch(tenant, caseID, directive.TriggerPC, clientID, seq, batch)
+			acc, ledger, done, err = c.UploadBatchLedger(tenant, caseID, directive.TriggerPC, clientID, seq, batch)
 			return err
 		}); err != nil {
 			return fmt.Errorf("%s: upload: %w", clientID, err)
 		}
 		seq += uint64(len(batch))
 		uploaded += len(batch)
-		accepted += acc
+		// Count against the replay-stable ledger mark when the server
+		// still has one; a deduplicated retry after a lost reply says
+		// Accepted 0 and would otherwise under-count (see fleet.go).
+		if ledger > credited {
+			accepted += int(ledger - credited)
+			credited = ledger
+		} else if ledger == 0 {
+			accepted += acc
+		}
 	}
 
 	// Fetch the published report (poll: other agents may hold the last

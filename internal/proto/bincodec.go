@@ -1,0 +1,886 @@
+package proto
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"snorlax/internal/core"
+	"snorlax/internal/ir"
+	"snorlax/internal/pattern"
+	"snorlax/internal/pt"
+	"snorlax/internal/statdiag"
+	"snorlax/internal/wire"
+)
+
+// This file is the binary codec for the protocol's messages: explicit
+// per-field encoding (zigzag varints, length-prefixed strings, fixed
+// 8-byte float bits) over the wire package's CRC32C frames, replacing
+// gob on the hot upload path. A request travels as one envelope frame
+// — every field except snapshot ring bytes, plus a declared size table
+// per snapshot — followed by bounded chunk frames carrying the rings,
+// so a receiver can stream-decode pt packets (and a router can relay)
+// while the snapshot is still arriving. Responses are always a single
+// frame.
+//
+// The legacy gob codec remains selectable (WireGob) as the
+// differential-testing oracle for this PR: both codecs must produce
+// bit-identical fleet reports under the chaos matrix before gob is
+// deleted. Gob is deprecated pending that removal.
+
+// WireVersion selects a connection's codec.
+type WireVersion int
+
+const (
+	// WireAuto is the zero value: the binary codec (the default since
+	// this PR; gob is the legacy oracle).
+	WireAuto WireVersion = iota
+	// WireBinary is the length-prefixed binary codec.
+	WireBinary
+	// WireGob is the legacy gob codec. Deprecated: it exists as the
+	// differential-testing oracle and will be removed in a later PR.
+	WireGob
+)
+
+// resolve folds WireAuto onto the default codec.
+func (v WireVersion) resolve() WireVersion {
+	if v == WireGob {
+		return WireGob
+	}
+	return WireBinary
+}
+
+func (v WireVersion) String() string {
+	if v.resolve() == WireGob {
+		return "gob"
+	}
+	return "binary"
+}
+
+// ParseWireVersion parses a codec name: "binary", "gob", or "" (the
+// default codec).
+func ParseWireVersion(s string) (WireVersion, error) {
+	switch s {
+	case "", "binary":
+		return WireBinary, nil
+	case "gob":
+		return WireGob, nil
+	}
+	return WireAuto, fmt.Errorf("proto: unknown wire codec %q (want binary or gob)", s)
+}
+
+// WireFromEnv reads the SNORLAX_WIRE environment variable — the knob
+// the differential CI matrix turns to run the e2e suites once per
+// codec. Unset or unrecognized values mean the default codec.
+func WireFromEnv() WireVersion {
+	v, err := ParseWireVersion(os.Getenv("SNORLAX_WIRE"))
+	if err != nil {
+		return WireAuto
+	}
+	return v
+}
+
+// Request/Response kind codes. Unknown kinds (client-controlled
+// strings) travel as kindOther plus the literal string, so the
+// server's "unknown request" rejection matches gob byte for byte.
+const kindOther = 0xFF
+
+var reqKindCodes = map[string]uint64{
+	"failure": 1, "success": 2, "diagnose": 3, "status": 4,
+	"register": 5, "fleet-failure": 6, "directives": 7, "batch": 8, "report": 9,
+}
+
+var respKindCodes = map[string]uint64{
+	"armed": 1, "ack": 2, "diagnosis": 3, "status": 4, "error": 5,
+	"registered": 6, "case": 7, "directives": 8, "batch": 9, "report": 10,
+}
+
+var reqKindNames = invertKinds(reqKindCodes)
+var respKindNames = invertKinds(respKindCodes)
+
+func invertKinds(codes map[string]uint64) map[uint64]string {
+	names := make(map[uint64]string, len(codes))
+	for name, code := range codes {
+		names[code] = name
+	}
+	return names
+}
+
+func appendKind(b []byte, codes map[string]uint64, kind string) []byte {
+	if code, ok := codes[kind]; ok {
+		return wire.AppendUvarint(b, code)
+	}
+	b = wire.AppendUvarint(b, kindOther)
+	return wire.AppendString(b, kind)
+}
+
+func parseKind(d *wire.Dec, names map[uint64]string) string {
+	code := d.Uvarint()
+	if code == kindOther {
+		return d.String()
+	}
+	return names[code]
+}
+
+// Slice length convention: 0 encodes nil, n+1 encodes length n — the
+// nil/empty distinction survives the round trip, keeping decoded
+// messages DeepEqual to what gob would have delivered.
+
+func appendSliceLen(b []byte, n int, isNil bool) []byte {
+	if isNil {
+		return wire.AppendUvarint(b, 0)
+	}
+	return wire.AppendUvarint(b, uint64(n)+1)
+}
+
+// parseSliceLen returns (length, isNil). Lengths are sanity-capped by
+// the remaining payload (every element costs at least one byte).
+func parseSliceLen(d *wire.Dec) (int, bool) {
+	v := d.Uvarint()
+	if v == 0 {
+		return 0, true
+	}
+	n := v - 1
+	if n > uint64(d.Len()) {
+		d.Fail("slice length past end of payload")
+		return 0, true
+	}
+	return int(n), false
+}
+
+func appendPCs(b []byte, pcs []ir.PC) []byte {
+	b = appendSliceLen(b, len(pcs), pcs == nil)
+	for _, pc := range pcs {
+		b = wire.AppendVarint(b, int64(pc))
+	}
+	return b
+}
+
+func parsePCs(d *wire.Dec) []ir.PC {
+	n, isNil := parseSliceLen(d)
+	if isNil {
+		return nil
+	}
+	pcs := make([]ir.PC, n)
+	for i := range pcs {
+		pcs[i] = ir.PC(d.Varint())
+	}
+	return pcs
+}
+
+func appendInts(b []byte, vs []int) []byte {
+	b = appendSliceLen(b, len(vs), vs == nil)
+	for _, v := range vs {
+		b = wire.AppendVarint(b, int64(v))
+	}
+	return b
+}
+
+func parseInts(d *wire.Dec) []int {
+	n, isNil := parseSliceLen(d)
+	if isNil {
+		return nil
+	}
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = int(d.Varint())
+	}
+	return vs
+}
+
+// --- sub-message codecs ---
+
+func appendFailure(b []byte, f *core.FailureReport) []byte {
+	b = wire.AppendBool(b, f != nil)
+	if f == nil {
+		return b
+	}
+	b = wire.AppendBool(b, f.Deadlock)
+	b = wire.AppendVarint(b, int64(f.PC))
+	b = wire.AppendVarint(b, int64(f.Tid))
+	b = wire.AppendVarint(b, f.Time)
+	b = wire.AppendString(b, f.Msg)
+	b = appendPCs(b, f.DeadlockPCs)
+	return appendInts(b, f.DeadlockTids)
+}
+
+func parseFailure(d *wire.Dec) *core.FailureReport {
+	if !d.Bool() {
+		return nil
+	}
+	return &core.FailureReport{
+		Deadlock:     d.Bool(),
+		PC:           ir.PC(d.Varint()),
+		Tid:          int(d.Varint()),
+		Time:         d.Varint(),
+		Msg:          d.String(),
+		DeadlockPCs:  parsePCs(d),
+		DeadlockTids: parseInts(d),
+	}
+}
+
+func appendPattern(b []byte, p *pattern.Pattern) []byte {
+	b = wire.AppendBool(b, p != nil)
+	if p == nil {
+		return b
+	}
+	b = wire.AppendVarint(b, int64(p.Kind))
+	b = wire.AppendString(b, p.Sub)
+	b = appendPCs(b, p.PCs)
+	b = appendSliceLen(b, len(p.Events), p.Events == nil)
+	for _, e := range p.Events {
+		b = wire.AppendVarint(b, int64(e.PC))
+		b = wire.AppendVarint(b, int64(e.Tid))
+		b = wire.AppendVarint(b, e.Time)
+	}
+	b = wire.AppendVarint(b, int64(p.Rank))
+	return wire.AppendBool(b, p.Absence)
+}
+
+func parsePattern(d *wire.Dec) *pattern.Pattern {
+	if !d.Bool() {
+		return nil
+	}
+	p := &pattern.Pattern{
+		Kind: pattern.Kind(d.Varint()),
+		Sub:  d.String(),
+		PCs:  parsePCs(d),
+	}
+	if n, isNil := parseSliceLen(d); !isNil {
+		p.Events = make([]pattern.Event, n)
+		for i := range p.Events {
+			p.Events[i] = pattern.Event{PC: ir.PC(d.Varint()), Tid: int(d.Varint()), Time: d.Varint()}
+		}
+	}
+	p.Rank = int(d.Varint())
+	p.Absence = d.Bool()
+	return p
+}
+
+func appendScore(b []byte, s *statdiag.Score) []byte {
+	b = appendPattern(b, s.Pattern)
+	b = wire.AppendFloat64(b, s.Precision)
+	b = wire.AppendFloat64(b, s.Recall)
+	b = wire.AppendFloat64(b, s.F1)
+	b = wire.AppendVarint(b, int64(s.PresentFailed))
+	b = wire.AppendVarint(b, int64(s.PresentOK))
+	return wire.AppendVarint(b, int64(s.AbsentFailed))
+}
+
+func parseScore(d *wire.Dec) statdiag.Score {
+	return statdiag.Score{
+		Pattern:       parsePattern(d),
+		Precision:     d.Float64(),
+		Recall:        d.Float64(),
+		F1:            d.Float64(),
+		PresentFailed: int(d.Varint()),
+		PresentOK:     int(d.Varint()),
+		AbsentFailed:  int(d.Varint()),
+	}
+}
+
+func appendDiagnosis(b []byte, diag *core.Diagnosis) []byte {
+	b = wire.AppendBool(b, diag != nil)
+	if diag == nil {
+		return b
+	}
+	b = appendScore(b, &diag.Best)
+	b = wire.AppendBool(b, diag.Unique)
+	b = appendSliceLen(b, len(diag.Scores), diag.Scores == nil)
+	for i := range diag.Scores {
+		b = appendScore(b, &diag.Scores[i])
+	}
+	b = wire.AppendVarint(b, int64(diag.AnchorPC))
+	st := &diag.Stats
+	b = wire.AppendVarint(b, int64(st.TotalInstrs))
+	b = wire.AppendVarint(b, int64(st.ExecutedInstrs))
+	b = wire.AppendVarint(b, int64(st.Candidates))
+	b = wire.AppendVarint(b, int64(st.Rank1Candidates))
+	b = wire.AppendVarint(b, int64(st.Patterns))
+	b = wire.AppendVarint(b, int64(st.DynEvents))
+	b = wire.AppendVarint(b, int64(st.SuccessTraces))
+	b = wire.AppendVarint(b, int64(st.DroppedSuccesses))
+	b = wire.AppendVarint(b, int64(st.PointsToTime))
+	b = wire.AppendVarint(b, int64(st.DecodeTime))
+	b = wire.AppendVarint(b, int64(st.RankTime))
+	b = wire.AppendVarint(b, int64(st.PatternTime))
+	b = wire.AppendVarint(b, int64(st.ObserveTime))
+	b = wire.AppendVarint(b, int64(st.TotalTime))
+	b = wire.AppendBool(b, st.PointsToCacheHit)
+	b = wire.AppendUvarint(b, st.PointsToCacheHits)
+	b = wire.AppendUvarint(b, st.PointsToCacheMisses)
+	return wire.AppendVarint(b, int64(st.Workers))
+}
+
+func parseDiagnosis(d *wire.Dec) *core.Diagnosis {
+	if !d.Bool() {
+		return nil
+	}
+	diag := &core.Diagnosis{
+		Best:   parseScore(d),
+		Unique: d.Bool(),
+	}
+	if n, isNil := parseSliceLen(d); !isNil {
+		diag.Scores = make([]statdiag.Score, n)
+		for i := range diag.Scores {
+			diag.Scores[i] = parseScore(d)
+		}
+	}
+	diag.AnchorPC = ir.PC(d.Varint())
+	st := &diag.Stats
+	st.TotalInstrs = int(d.Varint())
+	st.ExecutedInstrs = int(d.Varint())
+	st.Candidates = int(d.Varint())
+	st.Rank1Candidates = int(d.Varint())
+	st.Patterns = int(d.Varint())
+	st.DynEvents = int(d.Varint())
+	st.SuccessTraces = int(d.Varint())
+	st.DroppedSuccesses = int(d.Varint())
+	st.PointsToTime = time.Duration(d.Varint())
+	st.DecodeTime = time.Duration(d.Varint())
+	st.RankTime = time.Duration(d.Varint())
+	st.PatternTime = time.Duration(d.Varint())
+	st.ObserveTime = time.Duration(d.Varint())
+	st.TotalTime = time.Duration(d.Varint())
+	st.PointsToCacheHit = d.Bool()
+	st.PointsToCacheHits = d.Uvarint()
+	st.PointsToCacheMisses = d.Uvarint()
+	st.Workers = int(d.Varint())
+	return diag
+}
+
+func appendStatus(b []byte, s *ServerStatus) []byte {
+	b = wire.AppendBool(b, s != nil)
+	if s == nil {
+		return b
+	}
+	b = wire.AppendVarint(b, s.OpenConns)
+	b = wire.AppendVarint(b, s.ActiveDiagnoses)
+	b = wire.AppendVarint(b, s.QueuedDiagnoses)
+	b = wire.AppendUvarint(b, s.CompletedDiagnoses)
+	b = wire.AppendUvarint(b, s.FailedDiagnoses)
+	b = wire.AppendVarint(b, int64(s.MaxConcurrent))
+	b = wire.AppendVarint(b, int64(s.Workers))
+	b = wire.AppendUvarint(b, s.CacheHits)
+	b = wire.AppendUvarint(b, s.CacheMisses)
+	b = wire.AppendVarint(b, int64(s.DiagnoseTime))
+	b = wire.AppendUvarint(b, s.DroppedSuccesses)
+	b = wire.AppendUvarint(b, s.DeadlineDrops)
+	b = wire.AppendUvarint(b, s.OversizeRejects)
+	return wire.AppendUvarint(b, s.PanicsRecovered)
+}
+
+func parseStatus(d *wire.Dec) *ServerStatus {
+	if !d.Bool() {
+		return nil
+	}
+	return &ServerStatus{
+		OpenConns:          d.Varint(),
+		ActiveDiagnoses:    d.Varint(),
+		QueuedDiagnoses:    d.Varint(),
+		CompletedDiagnoses: d.Uvarint(),
+		FailedDiagnoses:    d.Uvarint(),
+		MaxConcurrent:      int(d.Varint()),
+		Workers:            int(d.Varint()),
+		CacheHits:          d.Uvarint(),
+		CacheMisses:        d.Uvarint(),
+		DiagnoseTime:       time.Duration(d.Varint()),
+		DroppedSuccesses:   d.Uvarint(),
+		DeadlineDrops:      d.Uvarint(),
+		OversizeRejects:    d.Uvarint(),
+		PanicsRecovered:    d.Uvarint(),
+	}
+}
+
+func appendDirective(b []byte, dir *Directive) []byte {
+	b = wire.AppendString(b, string(dir.Tenant))
+	b = wire.AppendUvarint(b, uint64(dir.Case))
+	b = wire.AppendVarint(b, int64(dir.TriggerPC))
+	b = wire.AppendVarint(b, int64(dir.Want))
+	return wire.AppendVarint(b, int64(dir.Have))
+}
+
+func parseDirective(d *wire.Dec) Directive {
+	return Directive{
+		Tenant:    TenantID(d.String()),
+		Case:      CaseID(d.Uvarint()),
+		TriggerPC: ir.PC(d.Varint()),
+		Want:      int(d.Varint()),
+		Have:      int(d.Varint()),
+	}
+}
+
+// --- snapshot size tables ---
+
+// threadMeta is one thread's declared section in a request envelope.
+type threadMeta struct {
+	tid     int
+	wrapped bool
+	size    int64
+}
+
+// snapMeta is one snapshot's declared shape: the envelope carries it
+// so a receiver knows every chunk's destination (and every snapshot's
+// total size) before any ring byte arrives.
+type snapMeta struct {
+	present bool
+	time    int64
+	threads []threadMeta
+}
+
+// bytes totals the declared ring payload.
+func (m snapMeta) bytes() int64 {
+	var n int64
+	for _, th := range m.threads {
+		n += th.size
+	}
+	return n
+}
+
+// appendSnapMeta writes one snapshot's size table. tids is the
+// snapshot's ascending-tid order, computed once per snapshot by
+// writeBinaryRequest and shared with the chunk emitter — sorting it
+// twice showed up in the upload profile.
+func appendSnapMeta(b []byte, snap *pt.Snapshot, tids []int) []byte {
+	b = wire.AppendBool(b, snap != nil)
+	if snap == nil {
+		return b
+	}
+	b = wire.AppendVarint(b, snap.Time)
+	b = wire.AppendUvarint(b, uint64(len(tids)))
+	for _, tid := range tids {
+		th := snap.Threads[tid]
+		b = wire.AppendVarint(b, int64(tid))
+		b = wire.AppendBool(b, th.Wrapped)
+		b = wire.AppendUvarint(b, uint64(len(th.Data)))
+	}
+	return b
+}
+
+// maxDeclaredThreads bounds a snapshot's declared thread count; far
+// above any real program, low enough that a hostile envelope cannot
+// make the parser allocate much.
+const maxDeclaredThreads = 1 << 20
+
+func parseSnapMeta(d *wire.Dec) snapMeta {
+	if !d.Bool() {
+		return snapMeta{}
+	}
+	m := snapMeta{present: true, time: d.Varint()}
+	n := d.Uvarint()
+	if n > maxDeclaredThreads {
+		d.Fail("implausible declared thread count")
+		return snapMeta{}
+	}
+	m.threads = make([]threadMeta, 0, n)
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		m.threads = append(m.threads, threadMeta{
+			tid:     int(d.Varint()),
+			wrapped: d.Bool(),
+			size:    int64(d.Uvarint()),
+		})
+	}
+	return m
+}
+
+// --- request envelope + chunks ---
+
+// payloadPool recycles envelope/response build buffers.
+var payloadPool = sync.Pool{New: func() any { return make([]byte, 0, 2048) }}
+
+// appendRequestPayload builds the envelope payload. tids holds each
+// snapshot's ascending-tid order, indexed [Snapshot, Snapshots...].
+func appendRequestPayload(b []byte, req *Request, tids [][]int) []byte {
+	b = appendKind(b, reqKindCodes, req.Kind)
+	b = appendFailure(b, req.Failure)
+	b = wire.AppendString(b, req.ModuleText)
+	b = wire.AppendString(b, string(req.Tenant))
+	b = wire.AppendUvarint(b, uint64(req.Case))
+	b = wire.AppendString(b, req.Client)
+	b = wire.AppendUvarint(b, req.Seq)
+	b = wire.AppendVarint(b, int64(req.RoutePC))
+	b = wire.AppendBool(b, req.Routed)
+	b = appendSnapMeta(b, req.Snapshot, tids[0])
+	b = appendSliceLen(b, len(req.Snapshots), req.Snapshots == nil)
+	for i, snap := range req.Snapshots {
+		b = appendSnapMeta(b, snap, tids[i+1])
+	}
+	return b
+}
+
+// partsPool recycles the chunker's gather list across messages.
+var partsPool = sync.Pool{New: func() any { return new([][]byte) }}
+
+// chunker coalesces ring slices into chunk frames: a message's ring
+// bytes form one logical stream (threads in declared order, snapshots
+// in envelope order) that is cut into MaxChunkBytes frames wherever it
+// happens to fall — crossing thread and snapshot boundaries freely.
+// One frame per ~128 KB instead of one per thread is where the binary
+// codec's encode throughput comes from on fleet batches of many small
+// snapshots: each frame costs a header, two checksum passes and a
+// reader round trip, so tiny threads must not each pay it. Slices are
+// handed to the writer as a vector (FrameParts), never gathered into
+// an intermediate buffer.
+type chunker struct {
+	w     *wire.Writer
+	parts [][]byte
+	size  int
+	err   error
+}
+
+func (c *chunker) add(data []byte) {
+	for c.err == nil && len(data) > 0 {
+		n := wire.MaxChunkBytes - c.size
+		if n > len(data) {
+			n = len(data)
+		}
+		c.parts = append(c.parts, data[:n])
+		c.size += n
+		data = data[n:]
+		if c.size == wire.MaxChunkBytes {
+			c.flush()
+		}
+	}
+}
+
+func (c *chunker) flush() {
+	if c.err == nil && c.size > 0 {
+		c.err = c.w.FrameParts(wire.FrameChunk, c.parts...)
+	}
+	c.parts = c.parts[:0]
+	c.size = 0
+}
+
+// writeBinaryRequest frames one request (envelope, then coalesced
+// chunk frames). The caller flushes.
+func writeBinaryRequest(w *wire.Writer, req *Request) error {
+	snaps := make([]*pt.Snapshot, 1, 1+len(req.Snapshots))
+	snaps[0] = req.Snapshot
+	snaps = append(snaps, req.Snapshots...)
+	tids := make([][]int, len(snaps))
+	for i, snap := range snaps {
+		if snap != nil {
+			tids[i] = snap.Tids()
+		}
+	}
+	b := payloadPool.Get().([]byte)[:0]
+	b = appendRequestPayload(b, req, tids)
+	err := w.Frame(wire.FrameRequest, b)
+	payloadPool.Put(b[:0])
+	if err != nil {
+		return err
+	}
+	parts := partsPool.Get().(*[][]byte)
+	ch := chunker{w: w, parts: (*parts)[:0]}
+	for i, snap := range snaps {
+		if snap == nil {
+			continue
+		}
+		for _, tid := range tids[i] {
+			ch.add(snap.Threads[tid].Data)
+		}
+	}
+	ch.flush()
+	*parts = ch.parts[:0]
+	partsPool.Put(parts)
+	return ch.err
+}
+
+// RequestEnvelope is a request's first frame, decoded: every field
+// except the snapshot ring bytes, which are still on the wire as
+// Chunks() chunk frames. It is the shard router's streaming primitive
+// — enough to route (Kind, Tenant, RoutePC, the failure PC) without
+// buffering a single ring byte.
+type RequestEnvelope struct {
+	// Req has every scalar field populated; Snapshot/Snapshots are nil
+	// until Assemble consumes the chunk frames.
+	Req      Request
+	payload  []byte
+	metas    []snapMeta
+	snapsNil bool
+}
+
+// ParseRequestEnvelope decodes an envelope payload — the body of a
+// FrameRequest frame, without its type byte. It is the entry the
+// shard router's relay path uses on frames captured raw (NextRaw):
+// parse to route, forward the bytes untouched.
+func ParseRequestEnvelope(payload []byte) (*RequestEnvelope, error) {
+	return parseRequestEnvelope(payload)
+}
+
+// parseRequestEnvelope decodes an envelope payload.
+func parseRequestEnvelope(payload []byte) (*RequestEnvelope, error) {
+	d := wire.NewDec(payload)
+	env := &RequestEnvelope{payload: payload}
+	req := &env.Req
+	req.Kind = parseKind(d, reqKindNames)
+	req.Failure = parseFailure(d)
+	req.ModuleText = d.String()
+	req.Tenant = TenantID(d.String())
+	req.Case = CaseID(d.Uvarint())
+	req.Client = d.String()
+	req.Seq = d.Uvarint()
+	req.RoutePC = ir.PC(d.Varint())
+	req.Routed = d.Bool()
+	env.metas = append(env.metas, parseSnapMeta(d))
+	n, isNil := parseSliceLen(d)
+	env.snapsNil = isNil
+	for i := 0; i < n && d.Err() == nil; i++ {
+		env.metas = append(env.metas, parseSnapMeta(d))
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
+// ReadRequestEnvelope reads and decodes one request envelope frame.
+func ReadRequestEnvelope(r *wire.Reader) (*RequestEnvelope, error) {
+	typ, payload, err := r.Next()
+	if err != nil {
+		return nil, err
+	}
+	if typ != wire.FrameRequest {
+		return nil, fmt.Errorf("%w: frame type 0x%02x where a request was expected", wire.ErrDecode, typ)
+	}
+	return parseRequestEnvelope(payload)
+}
+
+// Payload returns the raw envelope payload — what a relay forwards
+// verbatim. The view aliases the reader's frame buffer: it is valid
+// only until the next read on that reader (relay it before pumping
+// chunks; the writer copies on Frame).
+func (e *RequestEnvelope) Payload() []byte { return e.payload }
+
+// DeclaredBytes totals the ring bytes the envelope declares across
+// all its snapshots.
+func (e *RequestEnvelope) DeclaredBytes() int64 {
+	var n int64
+	for _, m := range e.metas {
+		n += m.bytes()
+	}
+	return n
+}
+
+// Assemble consumes the envelope's chunk frames from r, streaming
+// each thread's bytes through the pt packet scanner as they arrive,
+// and fills in Req.Snapshot/Req.Snapshots. It returns the number of
+// pt packets stream-decoded and how many thread streams were
+// malformed (informational — malformed rings are admitted, exactly as
+// the gob codec admits them, and dealt with by degraded-mode
+// diagnosis).
+//
+// Corroboration batches ("batch" requests) skip the packet scan: their
+// snapshots are hashed and deduplicated on arrival — most are
+// discarded as duplicates or post-quota — and any ring that a case
+// actually uses is fully pt-decoded at diagnosis time. Scanning every
+// upload eagerly would redo that work per arrival on the fleet's
+// hottest path (the legacy gob codec never scanned at all). Structural
+// enforcement — declared sizes, thread accounting, frame checksums —
+// is identical in both modes.
+func (e *RequestEnvelope) Assemble(r *wire.Reader) (packets, scanErrs int, err error) {
+	snaps := make([]*pt.Snapshot, len(e.metas))
+	scan := e.Req.Kind != "batch"
+	// The chunk frames are one logical byte stream for the whole
+	// message: bytes fill the declared thread sections in order,
+	// crossing thread and snapshot boundaries wherever the encoder's
+	// coalescing happened to cut a frame. chunk is the unconsumed tail
+	// of the current frame (a view into the reader's buffer — fully
+	// consumed before the next read overwrites it).
+	//
+	// All ring bytes land in one arena sized by the (already
+	// budget-checked) declared total, carved per snapshot — one
+	// allocation per message instead of one per thread.
+	var arena []byte
+	if total := e.DeclaredBytes(); total > 0 {
+		arena = make([]byte, total)
+	}
+	var chunk []byte
+	for i, m := range e.metas {
+		if !m.present {
+			continue
+		}
+		a := pt.NewSnapshotAssemblerUnscanned(m.time)
+		if scan {
+			a = pt.NewSnapshotAssembler(m.time)
+		}
+		if n := m.bytes(); n > 0 {
+			a.UseArena(arena[:n])
+			arena = arena[n:]
+		}
+		for _, th := range m.threads {
+			if err := a.StartThread(th.tid, th.wrapped, int(th.size)); err != nil {
+				return packets, scanErrs, fmt.Errorf("%w: %v", wire.ErrDecode, err)
+			}
+			for remaining := th.size; remaining > 0; {
+				if len(chunk) == 0 {
+					typ, p, err := r.Next()
+					if err != nil {
+						return packets, scanErrs, err
+					}
+					if typ != wire.FrameChunk {
+						return packets, scanErrs, fmt.Errorf("%w: frame type 0x%02x where a chunk was expected", wire.ErrDecode, typ)
+					}
+					if len(p) == 0 {
+						return packets, scanErrs, fmt.Errorf("%w: empty chunk frame", wire.ErrDecode)
+					}
+					chunk = p
+				}
+				n := int64(len(chunk))
+				if n > remaining {
+					n = remaining
+				}
+				if err := a.Feed(chunk[:n]); err != nil {
+					return packets, scanErrs, fmt.Errorf("%w: %v", wire.ErrDecode, err)
+				}
+				chunk = chunk[n:]
+				remaining -= n
+			}
+		}
+		snap, err := a.Finish()
+		if err != nil {
+			return packets, scanErrs, fmt.Errorf("%w: %v", wire.ErrDecode, err)
+		}
+		packets += a.Packets()
+		scanErrs += a.ScanErrors()
+		snaps[i] = snap
+	}
+	if len(chunk) > 0 {
+		return packets, scanErrs, fmt.Errorf("%w: %d ring bytes past the declared sizes", wire.ErrDecode, len(chunk))
+	}
+	e.Req.Snapshot = snaps[0]
+	if !e.snapsNil {
+		e.Req.Snapshots = snaps[1:]
+	}
+	return packets, scanErrs, nil
+}
+
+// readBinaryRequest reads one complete request: envelope frame plus
+// chunk frames, stream-decoding pt packets on the way. limit (0 =
+// unlimited) is the per-message byte budget — the same budget the gob
+// path meters with its limited reader — checked against the declared
+// sizes before a single ring byte is buffered, so an oversize message
+// costs the wire time, never the heap. A breach returns
+// wire.ErrFrameTooLarge: reply "message exceeds frame limit", then
+// close, exactly like a tripped gob limit.
+func readBinaryRequest(r *wire.Reader, limit int64) (Request, int, int, error) {
+	env, err := ReadRequestEnvelope(r)
+	if err != nil {
+		return Request{}, 0, 0, err
+	}
+	if limit > 0 && int64(len(env.payload))+env.DeclaredBytes() > limit {
+		return Request{}, 0, 0, wire.ErrFrameTooLarge
+	}
+	packets, scanErrs, err := env.Assemble(r)
+	if err != nil {
+		return Request{}, packets, scanErrs, err
+	}
+	return env.Req, packets, scanErrs, nil
+}
+
+// ReadBinaryRequest reads one complete binary-codec request — the
+// envelope frame plus its streamed chunk frames — under limit as the
+// per-message byte budget (0 = unlimited). It is the shard router's
+// decode entry, shared with the server's accept loop so both ends
+// enforce identical oversize semantics: a budget breach returns
+// wire.ErrFrameTooLarge and the caller replies "message exceeds frame
+// limit" before closing.
+func ReadBinaryRequest(r *wire.Reader, limit int64) (Request, int, int, error) {
+	return readBinaryRequest(r, limit)
+}
+
+// WriteBinaryResponse frames and flushes one response — the reply
+// half of ReadBinaryRequest, for relays that speak the binary codec
+// to clients.
+func WriteBinaryResponse(w *wire.Writer, resp *Response) error {
+	return writeBinaryResponse(w, resp)
+}
+
+// --- responses ---
+
+func appendResponsePayload(b []byte, resp *Response) []byte {
+	b = appendKind(b, respKindCodes, resp.Kind)
+	b = wire.AppendVarint(b, int64(resp.TriggerPC))
+	b = appendDiagnosis(b, resp.Diagnosis)
+	b = appendStatus(b, resp.Status)
+	b = wire.AppendString(b, resp.Err)
+	b = wire.AppendString(b, resp.Code)
+	b = wire.AppendString(b, string(resp.Tenant))
+	b = wire.AppendUvarint(b, uint64(resp.Case))
+	b = appendSliceLen(b, len(resp.Directives), resp.Directives == nil)
+	for i := range resp.Directives {
+		b = appendDirective(b, &resp.Directives[i])
+	}
+	b = wire.AppendVarint(b, int64(resp.Accepted))
+	b = wire.AppendBool(b, resp.Done)
+	return wire.AppendUvarint(b, resp.Seq)
+}
+
+func parseResponsePayload(payload []byte) (Response, error) {
+	d := wire.NewDec(payload)
+	var resp Response
+	resp.Kind = parseKind(d, respKindNames)
+	resp.TriggerPC = ir.PC(d.Varint())
+	resp.Diagnosis = parseDiagnosis(d)
+	resp.Status = parseStatus(d)
+	resp.Err = d.String()
+	resp.Code = d.String()
+	resp.Tenant = TenantID(d.String())
+	resp.Case = CaseID(d.Uvarint())
+	if n, isNil := parseSliceLen(d); !isNil {
+		resp.Directives = make([]Directive, n)
+		for i := range resp.Directives {
+			resp.Directives[i] = parseDirective(d)
+		}
+	}
+	resp.Accepted = int(d.Varint())
+	resp.Done = d.Bool()
+	resp.Seq = d.Uvarint()
+	if err := d.Err(); err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}
+
+// writeBinaryResponse frames and flushes one response (responses are
+// always a single frame).
+func writeBinaryResponse(w *wire.Writer, resp *Response) error {
+	b := payloadPool.Get().([]byte)[:0]
+	b = appendResponsePayload(b, resp)
+	err := w.Frame(wire.FrameResponse, b)
+	payloadPool.Put(b[:0])
+	if err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// readBinaryResponse reads and decodes one response frame.
+func readBinaryResponse(r *wire.Reader) (Response, error) {
+	typ, payload, err := r.Next()
+	if err != nil {
+		return Response{}, err
+	}
+	if typ != wire.FrameResponse {
+		return Response{}, fmt.Errorf("%w: frame type 0x%02x where a response was expected", wire.ErrDecode, typ)
+	}
+	return parseResponsePayload(payload)
+}
+
+// ReadRawResponse reads one response frame and returns both the
+// decoded response and the raw payload view (valid until the next
+// read) — the relay primitive: a router decodes to inspect, then
+// forwards the payload verbatim so replies stay byte-identical across
+// a hop.
+func ReadRawResponse(r *wire.Reader) (Response, []byte, error) {
+	typ, payload, err := r.Next()
+	if err != nil {
+		return Response{}, nil, err
+	}
+	if typ != wire.FrameResponse {
+		return Response{}, nil, fmt.Errorf("%w: frame type 0x%02x where a response was expected", wire.ErrDecode, typ)
+	}
+	resp, err := parseResponsePayload(payload)
+	return resp, payload, err
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"snorlax/internal/core"
+	"snorlax/internal/wire"
 )
 
 // TestCapResolution pins the documented boundary semantics of the two
@@ -23,11 +24,11 @@ func TestCapResolution(t *testing.T) {
 	}{
 		{"zero-applies-defaults", 0, 0,
 			DefaultMaxSnapshotBytes, DefaultMaxSuccessesPerConn,
-			2*DefaultMaxSnapshotBytes + frameSlackBytes},
+			2*DefaultMaxSnapshotBytes + wire.FrameSlackBytes},
 		{"negative-means-unlimited", -1, -1, 0, 0, 0},
 		{"very-negative-means-unlimited", -1 << 40, -1 << 30, 0, 0, 0},
-		{"positive-passes-through", 4096, 7, 4096, 7, 2*4096 + frameSlackBytes},
-		{"one-byte-cap", 1, 1, 1, 1, 2 + frameSlackBytes},
+		{"positive-passes-through", 4096, 7, 4096, 7, 2*4096 + wire.FrameSlackBytes},
+		{"one-byte-cap", 1, 1, 1, 1, 2 + wire.FrameSlackBytes},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -247,10 +247,21 @@ func (s *Server) directives(t *tenant) []Directive {
 // joins the case; an append failure stops the batch there, and the
 // unacknowledged tail is simply re-offered by the client's retry and
 // deduplicated against the ledger.
-func (s *Server) acceptBatch(t *tenant, c *fleetCase, client string, seq uint64, snaps []*pt.Snapshot) (accepted int, crossed bool, err error) {
+// The returned ledger value is the client's post-batch high-water
+// mark; it rides the reply so agents whose reply was lost can
+// reconcile their accepted counts against it.
+func (s *Server) acceptBatch(t *tenant, c *fleetCase, client string, seq uint64, snaps []*pt.Snapshot) (accepted int, ledger uint64, crossed bool, err error) {
 	s.fleetMu.Lock()
 	defer s.fleetMu.Unlock()
-	seen := c.seen[client]
+	if c.seen == nil {
+		// The case is closed and its ledger pruned: nothing to dedupe
+		// against and nothing left to accept. The reply mirrors a
+		// quota-met case (zero accepted, done), so late uploaders and
+		// replays see the same shape they always did — without
+		// resurrecting ledger entries for a dead case.
+		return 0, 0, false, nil
+	}
+	seen, tracked := c.seen[client]
 	for i, snap := range snaps {
 		sq := seq + uint64(i)
 		if sq <= seen {
@@ -272,6 +283,9 @@ func (s *Server) acceptBatch(t *tenant, c *fleetCase, client string, seq uint64,
 		accepted++
 	}
 	c.seen[client] = seen
+	if !tracked {
+		s.om.fleetLedger.Inc()
+	}
 	if accepted > 0 {
 		s.om.fleetQuotaHave.Add(int64(accepted))
 	}
@@ -281,7 +295,7 @@ func (s *Server) acceptBatch(t *tenant, c *fleetCase, client string, seq uint64,
 		// recovery) re-detects the full quota and retries the disarm.
 		if err = s.logFleet(&store.Record{Type: store.RecQuotaReached,
 			Tenant: string(t.id), Case: uint64(c.id)}); err != nil {
-			return accepted, false, err
+			return accepted, seen, false, err
 		}
 		c.collecting = false
 		crossed = true
@@ -289,7 +303,7 @@ func (s *Server) acceptBatch(t *tenant, c *fleetCase, client string, seq uint64,
 		s.om.fleetQuotaWant.Add(-int64(c.want))
 		s.om.fleetQuotaHave.Add(-int64(len(c.successes)))
 	}
-	return accepted, crossed, err
+	return accepted, seen, crossed, err
 }
 
 // publishCase runs Lazy Diagnosis on the case's accepted traces and
@@ -315,6 +329,15 @@ func (s *Server) publishCase(t *tenant, c *fleetCase) {
 			Tenant: string(t.id), Case: uint64(c.id)})
 	}
 	c.done = true
+	// The case is closed, so its dedup ledger can never admit another
+	// trace — prune it, or a long-lived server leaks one entry per
+	// (client, case) forever. The close record above is the logged
+	// transition: replaying it prunes the persisted ledger too, so
+	// Restore rebuilds exactly this post-prune state.
+	if n := len(c.seen); n > 0 {
+		s.om.fleetLedger.Add(-int64(n))
+	}
+	c.seen = nil
 	if err != nil {
 		c.diagErr = err.Error()
 		return
@@ -412,7 +435,7 @@ func (s *Server) serveFleetRequest(req Request, reply func(Response) bool) bool 
 				}
 			}
 		}
-		accepted, crossed, err := s.acceptBatch(t, c, req.Client, req.Seq, req.Snapshots)
+		accepted, ledger, crossed, err := s.acceptBatch(t, c, req.Client, req.Seq, req.Snapshots)
 		if err != nil {
 			return reply(Response{Kind: "error", Err: err.Error()})
 		}
@@ -421,7 +444,7 @@ func (s *Server) serveFleetRequest(req Request, reply func(Response) bool) bool 
 		}
 		s.fleetMu.Lock()
 		resp := Response{Kind: "batch", Tenant: t.id, Case: c.id,
-			Accepted: accepted, Done: c.done}
+			Accepted: accepted, Done: c.done, Seq: ledger}
 		s.fleetMu.Unlock()
 		return reply(resp)
 	case "report":
@@ -500,16 +523,30 @@ func (c *Conn) Directives(t TenantID) ([]Directive, error) {
 // many snapshots were newly accepted and whether the case's report is
 // now published.
 func (c *Conn) UploadBatch(t TenantID, id CaseID, pc ir.PC, client string, seq uint64, snaps []*pt.Snapshot) (accepted int, done bool, err error) {
+	accepted, _, done, err = c.UploadBatchLedger(t, id, pc, client, seq, snaps)
+	return accepted, done, err
+}
+
+// UploadBatchLedger is UploadBatch plus the server's view of this
+// client's sequence ledger after the batch: the highest sequence
+// number ever credited toward the quota for this (client, case). A
+// replayed batch returns the same ledger mark as the original, so an
+// agent whose reply was lost in transit can reconcile its accepted
+// count against the mark instead of trusting the replay's Accepted
+// (which is 0 by design — replays never consume quota twice). ledger
+// is 0 when the server has no mark, i.e. the case closed and its
+// ledger was pruned; callers then fall back to accepted.
+func (c *Conn) UploadBatchLedger(t TenantID, id CaseID, pc ir.PC, client string, seq uint64, snaps []*pt.Snapshot) (accepted int, ledger uint64, done bool, err error) {
 	resp, err := c.roundTrip(Request{Kind: "batch", Tenant: t, Case: id,
 		RoutePC: pc, Routed: true,
 		Client: client, Seq: seq, Snapshots: snaps})
 	if err != nil {
-		return 0, false, err
+		return 0, 0, false, err
 	}
 	if resp.Kind != "batch" {
-		return 0, false, fmt.Errorf("proto: unexpected response %q", resp.Kind)
+		return 0, 0, false, fmt.Errorf("proto: unexpected response %q", resp.Kind)
 	}
-	return resp.Accepted, resp.Done, nil
+	return resp.Accepted, resp.Seq, resp.Done, nil
 }
 
 // FetchReport fetches a case's published diagnosis; pc is the case's

@@ -35,7 +35,45 @@ const (
 	MetricFleetQuotaHave       = "snorlax_fleet_quota_have"
 	MetricFleetQuotaWant       = "snorlax_fleet_quota_want"
 	MetricFleetReports         = "snorlax_fleet_reports_published_total"
+	// MetricFleetLedgerEntries gauges live (client, case) entries in
+	// the batch-dedup sequence ledgers; it returns to baseline when
+	// cases close and their ledgers are pruned.
+	MetricFleetLedgerEntries = "snorlax_fleet_ledger_entries"
+
+	// Per-codec wire metrics (labelled by codec: "binary" or "gob").
+	MetricWireConns = "snorlax_wire_conns_total"
+	MetricWireRx    = "snorlax_wire_rx_bytes_total"
+	MetricWireTx    = "snorlax_wire_tx_bytes_total"
+	// MetricWireFrameErrors counts rejected/failed frames by failure
+	// kind ("header", "payload", "truncated", "frame-limit", "decode",
+	// "pt-scan").
+	MetricWireFrameErrors = "snorlax_wire_frame_errors_total"
+	// MetricWireStreamedPackets counts pt packets decoded while their
+	// snapshot was still arriving (binary codec's streaming ingest).
+	// Corroboration-batch rings are not counted: they are validated
+	// structurally on arrival and pt-decoded lazily at diagnosis.
+	MetricWireStreamedPackets = "snorlax_wire_streamed_packets_total"
 )
+
+// Codec label values.
+const (
+	codecBinary = "binary"
+	codecGob    = "gob"
+)
+
+// Frame-error label values.
+const (
+	frameErrHeader    = "header"
+	frameErrPayload   = "payload"
+	frameErrTruncated = "truncated"
+	frameErrLimit     = "frame-limit"
+	frameErrDecode    = "decode"
+	frameErrScan      = "pt-scan"
+)
+
+var codecLabels = []string{codecBinary, codecGob}
+var frameErrorKinds = []string{frameErrHeader, frameErrPayload,
+	frameErrTruncated, frameErrLimit, frameErrDecode, frameErrScan}
 
 // requestKinds are the label values per-request metrics are keyed by.
 // Request.Kind is client-controlled, so anything unrecognized is
@@ -75,6 +113,13 @@ type protoMetrics struct {
 	fleetQuotaHave *obs.Gauge
 	fleetQuotaWant *obs.Gauge
 	fleetReports   *obs.Counter
+	fleetLedger    *obs.Gauge
+
+	wireConns       map[string]*obs.Counter
+	wireRx          map[string]*obs.Counter
+	wireTx          map[string]*obs.Counter
+	frameErrors     map[string]*obs.Counter
+	streamedPackets *obs.Counter
 }
 
 func newProtoMetrics(reg *obs.Registry) *protoMetrics {
@@ -111,6 +156,26 @@ func newProtoMetrics(reg *obs.Registry) *protoMetrics {
 			"Success snapshots wanted by armed directives in total."),
 		fleetReports: reg.Counter(MetricFleetReports,
 			"Fleet diagnosis reports published."),
+		fleetLedger: reg.Gauge(MetricFleetLedgerEntries,
+			"Live (client, case) batch-dedup ledger entries."),
+		wireConns:   make(map[string]*obs.Counter, len(codecLabels)),
+		wireRx:      make(map[string]*obs.Counter, len(codecLabels)),
+		wireTx:      make(map[string]*obs.Counter, len(codecLabels)),
+		frameErrors: make(map[string]*obs.Counter, len(frameErrorKinds)),
+		streamedPackets: reg.Counter(MetricWireStreamedPackets,
+			"pt packets decoded while their snapshot was still arriving."),
+	}
+	for _, codec := range codecLabels {
+		m.wireConns[codec] = reg.Counter(MetricWireConns,
+			"Connections served, by negotiated wire codec.", obs.L("codec", codec))
+		m.wireRx[codec] = reg.Counter(MetricWireRx,
+			"Bytes read from client connections, by wire codec.", obs.L("codec", codec))
+		m.wireTx[codec] = reg.Counter(MetricWireTx,
+			"Bytes written to client connections, by wire codec.", obs.L("codec", codec))
+	}
+	for _, kind := range frameErrorKinds {
+		m.frameErrors[kind] = reg.Counter(MetricWireFrameErrors,
+			"Frames rejected or failed, by failure kind.", obs.L("kind", kind))
 	}
 	for _, kind := range requestKinds {
 		m.requests[kind] = requestMetrics{
@@ -133,30 +198,41 @@ func (m *protoMetrics) observeRequest(kind string, d time.Duration) {
 	rm.seconds.ObserveDuration(d)
 }
 
-// countingReader counts bytes pulled off a connection into rxBytes.
+// countingReader counts bytes pulled off a connection into rxBytes
+// and, once the codec is negotiated, into that codec's labelled
+// counter as well.
 type countingReader struct {
-	r interface{ Read([]byte) (int, error) }
-	c *obs.Counter
+	r     interface{ Read([]byte) (int, error) }
+	c     *obs.Counter
+	codec *obs.Counter
 }
 
 func (cr *countingReader) Read(p []byte) (int, error) {
 	n, err := cr.r.Read(p)
 	if n > 0 {
 		cr.c.Add(uint64(n))
+		if cr.codec != nil {
+			cr.codec.Add(uint64(n))
+		}
 	}
 	return n, err
 }
 
-// countingWriter counts bytes pushed onto a connection into txBytes.
+// countingWriter counts bytes pushed onto a connection into txBytes
+// and the negotiated codec's labelled counter.
 type countingWriter struct {
-	w interface{ Write([]byte) (int, error) }
-	c *obs.Counter
+	w     interface{ Write([]byte) (int, error) }
+	c     *obs.Counter
+	codec *obs.Counter
 }
 
 func (cw *countingWriter) Write(p []byte) (int, error) {
 	n, err := cw.w.Write(p)
 	if n > 0 {
 		cw.c.Add(uint64(n))
+		if cw.codec != nil {
+			cw.codec.Add(uint64(n))
+		}
 	}
 	return n, err
 }

@@ -3,12 +3,21 @@
 // trace snapshots to an analysis server; the server arms trace
 // triggers for successful executions and returns diagnoses.
 //
-// Messages are gob-encoded over any net.Conn. Protocol state lives in
-// the connection — one failure, its successful traces, one diagnosis
-// request — while the shared core.Server carries the cross-connection
-// analysis cache. Each connection runs in its own goroutine; diagnoses
-// are bounded by a server-wide semaphore so a burst of clients queues
-// instead of oversubscribing the host.
+// Messages travel over any net.Conn in the length-prefixed binary
+// wire format (internal/wire): CRC32C-checksummed frames, explicit
+// per-field encoding, and streaming snapshot upload — a request's
+// ring bytes follow its envelope as bounded chunk frames, which the
+// server feeds through the pt packet scanner while the snapshot is
+// still arriving. A connection declares the binary codec with a
+// 5-byte preamble; connections that send none are served by the
+// legacy gob codec (deprecated — kept this PR as the
+// differential-testing oracle, deleted once the chaos matrix proves
+// the codecs bit-identical). Protocol state lives in the connection —
+// one failure, its successful traces, one diagnosis request — while
+// the shared core.Server carries the cross-connection analysis cache.
+// Each connection runs in its own goroutine; diagnoses are bounded by
+// a server-wide semaphore so a burst of clients queues instead of
+// oversubscribing the host.
 //
 // The server is built to survive a production fleet: per-message read
 // and write deadlines, per-message and per-snapshot byte caps enforced
@@ -22,6 +31,7 @@
 package proto
 
 import (
+	"bufio"
 	"context"
 	"encoding/gob"
 	"errors"
@@ -38,6 +48,7 @@ import (
 	"snorlax/internal/obs"
 	"snorlax/internal/pt"
 	"snorlax/internal/store"
+	"snorlax/internal/wire"
 )
 
 // Request is a client→server message.
@@ -107,6 +118,14 @@ type Response struct {
 	// "batch" and "report" responses).
 	Accepted int
 	Done     bool
+	// Seq, on "batch" responses, is the uploading client's ledger
+	// high-water mark after this batch — the highest sequence number
+	// credited toward the quota for this (client, case). Replays
+	// return the same mark as the original, so an agent whose reply
+	// was lost in transit reconciles its accepted count against Seq
+	// instead of double- or under-counting. 0 means no mark is
+	// available (the case closed and its ledger was pruned).
+	Seq uint64
 }
 
 // Machine-readable error codes on "error" responses.
@@ -176,15 +195,12 @@ type ServerStatus struct {
 // before the server's memory is at stake.
 const (
 	// DefaultMaxSnapshotBytes caps the total ring bytes of one
-	// uploaded snapshot.
-	DefaultMaxSnapshotBytes = 64 << 20
+	// uploaded snapshot. The rule itself — both its tiers — lives in
+	// wire.Limits, shared with the shard router.
+	DefaultMaxSnapshotBytes = wire.DefaultMaxSnapshotBytes
 	// DefaultMaxSuccessesPerConn caps success traces spooled by one
 	// connection.
 	DefaultMaxSuccessesPerConn = 1024
-	// frameSlackBytes is how much a gob message may exceed the
-	// snapshot cap (encoding overhead, non-snapshot fields) before the
-	// decode-layer limit kills the connection.
-	frameSlackBytes = 64 << 10
 )
 
 // Server serves diagnosis requests for one module.
@@ -298,13 +314,7 @@ func (s *Server) Metrics() *obs.Registry {
 }
 
 func (s *Server) maxSnapshotBytes() int64 {
-	switch {
-	case s.MaxSnapshotBytes < 0:
-		return 0 // unlimited
-	case s.MaxSnapshotBytes == 0:
-		return DefaultMaxSnapshotBytes
-	}
-	return s.MaxSnapshotBytes
+	return wire.Limits{MaxSnapshotBytes: s.MaxSnapshotBytes}.SnapshotCap()
 }
 
 func (s *Server) maxSuccesses() int {
@@ -317,14 +327,11 @@ func (s *Server) maxSuccesses() int {
 	return s.MaxSuccessesPerConn
 }
 
-// frameLimit is the decode-layer cap on one gob message: past this,
-// the connection dies rather than the server's heap.
+// frameLimit is the decode-layer cap on one message: past this, the
+// connection dies rather than the server's heap. The two-tier rule is
+// wire.Limits, shared verbatim with the shard router.
 func (s *Server) frameLimit() int64 {
-	cap := s.maxSnapshotBytes()
-	if cap == 0 {
-		return 0
-	}
-	return 2*cap + frameSlackBytes
+	return wire.Limits{MaxSnapshotBytes: s.MaxSnapshotBytes}.FrameLimit()
 }
 
 // snapshotBytes totals a snapshot's ring payload.
@@ -558,44 +565,10 @@ func isTimeout(err error) bool {
 	return errors.As(err, &ne) && ne.Timeout()
 }
 
-// errFrameTooLarge trips the decode-layer byte cap.
-var errFrameTooLarge = errors.New("proto: message exceeds frame limit")
-
-// limitedReader enforces the decode-layer frame cap: it meters bytes
-// handed to the gob decoder and fails once a single message's budget
-// is spent, so a multi-gigabyte "snapshot" is cut off after the cap,
-// not after the heap. reset re-arms the budget before each message.
-// (The decoder's internal buffering can read slightly ahead into the
-// next message; the frame limit is deliberately slack, so attributing
-// those bytes to the current budget is harmless.)
-type limitedReader struct {
-	r         io.Reader
-	limit     int64
-	remaining int64
-	tripped   bool
-}
-
-func (l *limitedReader) reset() {
-	l.remaining = l.limit
-	l.tripped = false
-}
-
-func (l *limitedReader) Read(p []byte) (int, error) {
-	if l.limit <= 0 {
-		return l.r.Read(p)
-	}
-	if l.remaining <= 0 {
-		l.tripped = true
-		return 0, errFrameTooLarge
-	}
-	if int64(len(p)) > l.remaining {
-		p = p[:l.remaining]
-	}
-	n, err := l.r.Read(p)
-	l.remaining -= int64(n)
-	return n, err
-}
-
+// handle negotiates the wire codec — a binary preamble selects the
+// frame protocol, its absence the legacy gob stream — and runs the
+// matching serve loop. Both loops share serveRequest, so admission
+// semantics cannot diverge between codecs.
 func (s *Server) handle(conn net.Conn) {
 	s.init() // handle is also an entry point (pipe transports in tests)
 	st := &connState{conn: conn}
@@ -607,9 +580,36 @@ func (s *Server) handle(conn net.Conn) {
 	s.om.openConns.Inc()
 	defer s.om.openConns.Dec()
 	defer conn.Close()
-	lim := &limitedReader{r: &countingReader{r: conn, c: s.om.rxBytes}, limit: s.frameLimit()}
+	cr := &countingReader{r: conn, c: s.om.rxBytes}
+	cw := &countingWriter{w: conn, c: s.om.txBytes}
+	br := bufio.NewReaderSize(cr, 32<<10)
+	if s.IdleTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+	}
+	version, binaryMode, err := wire.ReadPreamble(br)
+	if err != nil {
+		if isTimeout(err) {
+			s.om.deadlineDrops.Inc()
+		}
+		return
+	}
+	if binaryMode {
+		s.handleBinary(conn, st, br, cr, cw, version)
+	} else {
+		s.handleGob(conn, st, br, cr, cw)
+	}
+}
+
+// handleGob serves a legacy gob connection. Deprecated along with the
+// codec itself: this loop is the differential-testing oracle and goes
+// away when gob does.
+func (s *Server) handleGob(conn net.Conn, st *connState, br *bufio.Reader, cr *countingReader, cw *countingWriter) {
+	cr.codec = s.om.wireRx[codecGob]
+	cw.codec = s.om.wireTx[codecGob]
+	s.om.wireConns[codecGob].Inc()
+	lim := &wire.LimitedReader{R: br, Limit: s.frameLimit()}
 	dec := gob.NewDecoder(lim)
-	enc := gob.NewEncoder(&countingWriter{w: conn, c: s.om.txBytes})
+	enc := gob.NewEncoder(cw)
 
 	var failing *core.RunReport
 	var successes []*core.RunReport
@@ -642,19 +642,105 @@ func (s *Server) handle(conn net.Conn) {
 		if s.IdleTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
 		}
-		lim.reset()
+		lim.Reset()
 		var req Request
 		if err := dec.Decode(&req); err != nil {
 			switch {
-			case lim.tripped:
+			case lim.Tripped():
 				// The stream is poisoned mid-message; say why, then
 				// disconnect.
 				s.om.oversizeRejects.Inc()
+				s.om.frameErrors[frameErrLimit].Inc()
 				reply(Response{Kind: "error", Err: "message exceeds frame limit"})
 			case isTimeout(err):
 				s.om.deadlineDrops.Inc()
 			}
 			return // transport/decode failure: the stream is unusable
+		}
+		st.busy.Store(true)
+		reqStart := time.Now()
+		keep := s.serveRequest(req, &failing, &successes, reply)
+		s.om.observeRequest(req.Kind, time.Since(reqStart))
+		st.busy.Store(false)
+		if !keep {
+			return
+		}
+	}
+}
+
+// handleBinary serves a binary-framed connection: requests stream in
+// as an envelope plus chunk frames (pt packets scanned as they
+// arrive), responses go out as single frames through a pooled,
+// coalescing writer — the near-zero-alloc accept path.
+func (s *Server) handleBinary(conn net.Conn, st *connState, br *bufio.Reader, cr *countingReader, cw *countingWriter, version byte) {
+	cr.codec = s.om.wireRx[codecBinary]
+	cw.codec = s.om.wireTx[codecBinary]
+	s.om.wireConns[codecBinary].Inc()
+	r := wire.NewReader(br, s.frameLimit())
+	defer r.Release()
+	w := wire.NewWriter(cw)
+	defer w.Release()
+
+	var failing *core.RunReport
+	var successes []*core.RunReport
+
+	reply := func(resp Response) bool {
+		if s.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+		}
+		err := writeBinaryResponse(w, &resp)
+		if s.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Time{})
+		}
+		if isTimeout(err) {
+			s.om.deadlineDrops.Inc()
+		}
+		return err == nil
+	}
+	if version != wire.Version1 {
+		reply(Response{Kind: "error", Err: fmt.Sprintf("unsupported wire version 0x%02x", version)})
+		return
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			s.om.panicsRecovered.Inc()
+			reply(Response{Kind: "error", Err: fmt.Sprintf("internal error: %v", p)})
+		}
+	}()
+	for {
+		if s.shutdown.Load() {
+			return
+		}
+		if s.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		}
+		req, packets, scanErrs, err := readBinaryRequest(r, s.frameLimit())
+		if err != nil {
+			switch {
+			case errors.Is(err, wire.ErrFrameTooLarge):
+				// Same two-tier rule as the gob path: a message past
+				// the frame limit earns the reply, then the close.
+				s.om.oversizeRejects.Inc()
+				s.om.frameErrors[frameErrLimit].Inc()
+				reply(Response{Kind: "error", Err: "message exceeds frame limit"})
+			case errors.Is(err, wire.ErrPayloadCorrupt):
+				s.om.frameErrors[frameErrPayload].Inc()
+			case errors.Is(err, wire.ErrHeaderCorrupt):
+				s.om.frameErrors[frameErrHeader].Inc()
+			case errors.Is(err, wire.ErrDecode):
+				s.om.frameErrors[frameErrDecode].Inc()
+			case isTimeout(err):
+				s.om.deadlineDrops.Inc()
+			case errors.Is(err, io.ErrUnexpectedEOF):
+				s.om.frameErrors[frameErrTruncated].Inc()
+			}
+			return // transport/decode failure: the stream is unusable
+		}
+		if packets > 0 {
+			s.om.streamedPackets.Add(uint64(packets))
+		}
+		if scanErrs > 0 {
+			s.om.frameErrors[frameErrScan].Add(uint64(scanErrs))
 		}
 		st.busy.Store(true)
 		reqStart := time.Now()
@@ -715,14 +801,21 @@ func (s *Server) serveRequest(req Request, failing **core.RunReport, successes *
 	}
 }
 
-// Conn is the client side of one diagnosis conversation.
+// Conn is the client side of one diagnosis conversation. The codec is
+// fixed at construction: binary (the default) sends the wire preamble
+// before its first frame; gob (legacy, deprecated) sends none.
 type Conn struct {
 	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	// gob codec.
+	enc *gob.Encoder
+	dec *gob.Decoder
+	// binary codec.
+	w            *wire.Writer
+	r            *wire.Reader
+	preambleSent bool
 }
 
-// Dial connects to a diagnosis server.
+// Dial connects to a diagnosis server with the default codec.
 func Dial(network, addr string) (*Conn, error) {
 	c, err := net.Dial(network, addr)
 	if err != nil {
@@ -732,25 +825,81 @@ func Dial(network, addr string) (*Conn, error) {
 }
 
 // NewConn wraps an established connection (e.g. one side of
-// net.Pipe in tests).
-func NewConn(c net.Conn) *Conn {
-	return &Conn{conn: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+// net.Pipe in tests) with the default codec.
+func NewConn(c net.Conn) *Conn { return NewConnWire(c, WireAuto) }
+
+// NewConnWire wraps an established connection with an explicit codec
+// — WireGob keeps the legacy oracle talking during the differential
+// window.
+func NewConnWire(c net.Conn, v WireVersion) *Conn {
+	if v.resolve() == WireGob {
+		return &Conn{conn: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+	}
+	return &Conn{
+		conn: c,
+		w:    wire.NewWriter(c),
+		// No read limit client-side: the server is the trusted peer.
+		r: wire.NewReader(bufio.NewReaderSize(c, 32<<10), 0),
+	}
 }
 
-// Close closes the underlying connection.
-func (c *Conn) Close() error { return c.conn.Close() }
+// Wire reports the connection's codec.
+func (c *Conn) Wire() WireVersion {
+	if c.enc != nil {
+		return WireGob
+	}
+	return WireBinary
+}
+
+// Close closes the underlying connection and returns the codec's
+// pooled buffers.
+func (c *Conn) Close() error {
+	if c.w != nil {
+		c.w.Release()
+		c.r.Release()
+		c.w, c.r = nil, nil
+	}
+	return c.conn.Close()
+}
 
 // SetDeadline bounds the next reads and writes on the underlying
 // connection; retrying clients use it to turn a stalled peer into a
 // retryable timeout.
 func (c *Conn) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
 
+// send frames (or gob-encodes) one request and flushes it.
+func (c *Conn) send(req *Request) error {
+	if c.enc != nil {
+		return c.enc.Encode(*req)
+	}
+	if !c.preambleSent {
+		if err := c.w.Preamble(wire.Version1); err != nil {
+			return err
+		}
+		c.preambleSent = true
+	}
+	if err := writeBinaryRequest(c.w, req); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// recv reads one response.
+func (c *Conn) recv() (Response, error) {
+	if c.dec != nil {
+		var resp Response
+		err := c.dec.Decode(&resp)
+		return resp, err
+	}
+	return readBinaryResponse(c.r)
+}
+
 func (c *Conn) roundTrip(req Request) (Response, error) {
-	if err := c.enc.Encode(req); err != nil {
+	if err := c.send(&req); err != nil {
 		return Response{}, err
 	}
-	var resp Response
-	if err := c.dec.Decode(&resp); err != nil {
+	resp, err := c.recv()
+	if err != nil {
 		return Response{}, err
 	}
 	if resp.Kind == "error" {
@@ -763,17 +912,42 @@ func (c *Conn) roundTrip(req Request) (Response, error) {
 // forwarding primitive the shard router is built on. Unlike the typed
 // client methods, a server "error" reply is returned as the Response
 // with a nil error, so a forwarder can relay it to its own client
-// verbatim; a non-nil error always means the transport or the gob
+// verbatim; a non-nil error always means the transport or the codec
 // stream failed and the connection is unusable.
 func (c *Conn) RoundTrip(req Request) (Response, error) {
-	if err := c.enc.Encode(req); err != nil {
+	if err := c.send(&req); err != nil {
 		return Response{}, err
 	}
-	var resp Response
-	if err := c.dec.Decode(&resp); err != nil {
-		return Response{}, err
+	return c.recv()
+}
+
+// RelayRaw sends a pre-framed binary-codec request — envelope and
+// chunk frames captured verbatim by a Reader's NextRaw on another
+// connection — and reads one response. It is the shard router's
+// zero-copy forwarding primitive: the message is neither decoded nor
+// re-framed at the hop, and the sender's checksums cross untouched.
+// Like RoundTrip, a server "error" reply comes back as the Response
+// with a nil error. The raw response payload is returned alongside
+// (valid until the next read on this connection) so the reply can be
+// relayed byte-identically too. The connection must speak the binary
+// codec.
+func (c *Conn) RelayRaw(raw []byte) (Response, []byte, error) {
+	if c.enc != nil {
+		return Response{}, nil, errors.New("proto: RelayRaw on a gob connection")
 	}
-	return resp, nil
+	if !c.preambleSent {
+		if err := c.w.Preamble(wire.Version1); err != nil {
+			return Response{}, nil, err
+		}
+		c.preambleSent = true
+	}
+	if err := c.w.Raw(raw); err != nil {
+		return Response{}, nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return Response{}, nil, err
+	}
+	return ReadRawResponse(c.r)
 }
 
 // ReportFailure uploads a failure and returns the trigger PC the

@@ -65,14 +65,19 @@ func (s *Server) Restore(st *store.State) error {
 				triggerPC:  cs.TriggerPC,
 				failing:    &core.RunReport{Failure: cs.Failure, Snapshot: cs.FailSnapshot},
 				want:       cs.Want,
-				seen:       make(map[string]uint64, len(cs.Clients)),
 				collecting: cs.Collecting,
 				done:       cs.Done,
 				diag:       cs.Diagnosis,
 				diagErr:    cs.DiagErr,
 			}
-			for client, seq := range cs.Clients {
-				c.seen[client] = seq
+			// A closed case's ledger was pruned when the close record was
+			// replayed; keep it nil here so restored state is identical to
+			// the live server's post-publish state.
+			if !cs.Done {
+				c.seen = make(map[string]uint64, len(cs.Clients))
+				for client, seq := range cs.Clients {
+					c.seen[client] = seq
+				}
 			}
 			for _, snap := range cs.Successes {
 				c.successes = append(c.successes, &core.RunReport{Snapshot: snap})
@@ -96,7 +101,11 @@ func (s *Server) Restore(st *store.State) error {
 					return err
 				}
 				c.done = true
+				// The close record prunes the ledger on replay; match it
+				// for the record logged this run.
+				c.seen = nil
 			}
+			s.om.fleetLedger.Add(int64(len(c.seen)))
 			t.cases[c.id] = c
 			t.byPC[c.triggerPC] = c.id
 			if c.collecting {

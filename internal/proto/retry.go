@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"snorlax/internal/core"
@@ -28,8 +29,15 @@ type RetryConfig struct {
 	// the slowest expected diagnosis.
 	OpTimeout time.Duration
 	// JitterSeed seeds the deterministic jitter source so backoff
-	// schedules are reproducible in tests; 0 uses a fixed seed.
+	// schedules are reproducible in tests; 0 derives per-client
+	// entropy, so a fleet of default-configured clients never backs
+	// off in lockstep (the reconnect thundering herd this jitter
+	// exists to break).
 	JitterSeed int64
+	// Wire selects the connection codec (default: the binary wire
+	// format; WireGob keeps the legacy oracle during the differential
+	// window).
+	Wire WireVersion
 }
 
 func (c RetryConfig) maxAttempts() int {
@@ -85,9 +93,33 @@ type RetryClient struct {
 func NewRetryClient(dial func() (net.Conn, error), cfg RetryConfig) *RetryClient {
 	seed := cfg.JitterSeed
 	if seed == 0 {
-		seed = 1
+		seed = DeriveJitterSeed()
 	}
 	return &RetryClient{dial: dial, cfg: cfg, rng: rand.New(rand.NewSource(seed)), trigger: ir.NoPC}
+}
+
+// jitterCounter makes every derived seed process-unique even when the
+// clock is coarse.
+var jitterCounter atomic.Uint64
+
+// DeriveJitterSeed returns fresh per-client backoff entropy — what an
+// unset JitterSeed uses. Every call yields a distinct, well-mixed
+// seed (an atomic counter xor wall clock, diffused through
+// splitmix64), so a fleet of default-configured clients spreads its
+// reconnects instead of hammering a recovering server in lockstep.
+// Explicitly-seeded configs are untouched and stay deterministic.
+func DeriveJitterSeed() int64 {
+	x := jitterCounter.Add(1) ^ uint64(time.Now().UnixNano())
+	// splitmix64 finalizer: full-avalanche mixing, so consecutive
+	// counter values land on unrelated schedules.
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return int64(x)
 }
 
 // DialRetrying returns a retrying client for a network address. The
@@ -140,7 +172,7 @@ func (r *RetryClient) session() (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := NewConn(nc)
+	c := NewConnWire(nc, r.cfg.Wire)
 	if r.failure != nil {
 		if err := r.op(c, func() error {
 			pc, err := c.ReportFailure(r.failure, r.failSnap)
@@ -207,12 +239,17 @@ func (r *RetryClient) do(fn func(c *Conn) error) error {
 
 // backoff sleeps the a-th retry's exponential delay with ±50% jitter.
 func (r *RetryClient) backoff(a int) {
+	time.Sleep(r.backoffDelay(a))
+}
+
+// backoffDelay computes (without sleeping) the a-th retry's jittered
+// delay — split out so tests can compare whole schedules.
+func (r *RetryClient) backoffDelay(a int) time.Duration {
 	d := r.cfg.baseDelay() << uint(a-1)
 	if max := r.cfg.maxDelay(); d > max || d <= 0 {
 		d = max
 	}
-	jittered := time.Duration(float64(d) * (0.5 + r.rng.Float64()))
-	time.Sleep(jittered)
+	return time.Duration(float64(d) * (0.5 + r.rng.Float64()))
 }
 
 // ReportFailure spools the failure report (replacing any previous

@@ -1,0 +1,304 @@
+package pt
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"snorlax/internal/vm"
+)
+
+// refScanPackets is the non-streaming reference: the scanner's entry
+// contract applied to a complete ring in one pass.
+func refScanPackets(t *testing.T, data []byte, wrapped bool) int {
+	t.Helper()
+	pos := 0
+	if wrapped {
+		idx := bytes.Index(data, psbMagic)
+		if idx < 0 {
+			t.Fatalf("reference scan: wrapped ring has no sync point")
+		}
+		pos = idx
+	}
+	r := packetReader{data: data, pos: pos}
+	n := 0
+	for {
+		p, ok, err := r.next()
+		if err != nil {
+			t.Fatalf("reference scan: %v", err)
+		}
+		if !ok {
+			return n
+		}
+		if n == 0 && p.kind != KindPSB {
+			t.Fatalf("reference scan: first packet is %s", p.kind)
+		}
+		n++
+	}
+}
+
+// feedInChunks drives a StreamScanner over data the way the streaming
+// ingest path does: a growing prefix, re-scanned after each chunk.
+func feedInChunks(sc *StreamScanner, data []byte, chunk int) {
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		sc.Scan(data[:end], end == len(data))
+	}
+	if len(data) == 0 {
+		sc.Scan(data, true)
+	}
+}
+
+// realRings captures ring streams from actual traced executions, both
+// unwrapped (default buffer) and wrapped (tiny buffer).
+func realRings(t *testing.T) map[string]SnapshotThread {
+	t.Helper()
+	m := buildBusyModule(t)
+	rings := map[string]SnapshotThread{}
+	for _, cfg := range []Config{{}, {BufBytes: 256}} {
+		enc := NewEncoder(cfg)
+		res := vm.Run(m, vm.Config{Seed: 3, Sink: enc})
+		if res.Failed() {
+			t.Fatal(res.Failure)
+		}
+		for tid, st := range enc.Snapshot().Threads {
+			key := "plain"
+			if st.Wrapped {
+				key = "wrapped"
+			}
+			rings[key+string(rune('0'+tid))] = st
+		}
+	}
+	return rings
+}
+
+// TestStreamScannerMatchesFullScan holds the incremental scanner to
+// the reference single-pass scan at every chunking granularity,
+// including byte-at-a-time delivery across packet boundaries.
+func TestStreamScannerMatchesFullScan(t *testing.T) {
+	for name, st := range realRings(t) {
+		want := refScanPackets(t, st.Data, st.Wrapped)
+		for _, chunk := range []int{1, 7, maxStreamPacket, 64, 1024, 1 << 20} {
+			var sc StreamScanner
+			sc.Reset(st.Wrapped)
+			feedInChunks(&sc, st.Data, chunk)
+			if sc.Err() != nil {
+				t.Fatalf("%s chunk=%d: scan error on a well-formed ring: %v", name, chunk, sc.Err())
+			}
+			if sc.Packets() != want {
+				t.Fatalf("%s chunk=%d: scanned %d packets, reference %d", name, chunk, sc.Packets(), want)
+			}
+		}
+	}
+}
+
+func TestStreamScannerMalformed(t *testing.T) {
+	var sc StreamScanner
+	// First packet must be a PSB on an unwrapped stream.
+	sc.Reset(false)
+	sc.Scan([]byte{0x00, 0x00, 0x00}, true)
+	if sc.Err() == nil {
+		t.Fatalf("non-PSB start accepted")
+	}
+	// A wrapped ring with no sync point anywhere is only reportable
+	// once the ring is complete.
+	sc.Reset(true)
+	junk := bytes.Repeat([]byte{0xEE}, 500)
+	sc.Scan(junk[:100], false)
+	if sc.Err() != nil {
+		t.Fatalf("missing sync point reported before the ring completed: %v", sc.Err())
+	}
+	sc.Scan(junk, true)
+	if sc.Err() == nil {
+		t.Fatalf("wrapped ring without a sync point accepted")
+	}
+	// A sync point straddling a chunk boundary must still be found.
+	ring := append(bytes.Repeat([]byte{0xEE}, 37), appendPSB(nil, 7, 1000)...)
+	for cut := 1; cut < len(ring); cut++ {
+		sc.Reset(true)
+		sc.Scan(ring[:cut], false)
+		sc.Scan(ring, true)
+		if sc.Err() != nil {
+			t.Fatalf("cut=%d: straddled sync point missed: %v", cut, sc.Err())
+		}
+		if sc.Packets() != 1 {
+			t.Fatalf("cut=%d: %d packets after sync, want 1 (the PSB)", cut, sc.Packets())
+		}
+	}
+}
+
+// TestSnapshotAssembler rebuilds real snapshots chunk by chunk and
+// requires the result to be deep-equal to the encoder's original —
+// the property that makes streamed ingest invisible to diagnosis.
+func TestSnapshotAssembler(t *testing.T) {
+	m := buildBusyModule(t)
+	for _, cfg := range []Config{{}, {BufBytes: 256}} {
+		enc := NewEncoder(cfg)
+		res := vm.Run(m, vm.Config{Seed: 5, Sink: enc})
+		if res.Failed() {
+			t.Fatal(res.Failure)
+		}
+		want := enc.Snapshot()
+		for _, chunk := range []int{1, 64, 4096} {
+			a := NewSnapshotAssembler(want.Time)
+			for _, tid := range want.Tids() {
+				st := want.Threads[tid]
+				if err := a.StartThread(tid, st.Wrapped, len(st.Data)); err != nil {
+					t.Fatal(err)
+				}
+				for off := 0; off < len(st.Data); off += chunk {
+					end := off + chunk
+					if end > len(st.Data) {
+						end = len(st.Data)
+					}
+					if err := a.Feed(st.Data[off:end]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			got, err := a.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("chunk=%d: assembled snapshot differs from the original", chunk)
+			}
+			if a.ScanErrors() != 0 {
+				t.Fatalf("chunk=%d: %d scan errors on well-formed rings", chunk, a.ScanErrors())
+			}
+			if a.Packets() == 0 {
+				t.Fatalf("chunk=%d: streamed decode parsed no packets", chunk)
+			}
+		}
+	}
+}
+
+func TestSnapshotAssemblerZeroSizeThread(t *testing.T) {
+	a := NewSnapshotAssembler(42)
+	if err := a.StartThread(0, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := snap.Threads[0]
+	if !ok || st.Data != nil || !st.Wrapped {
+		t.Fatalf("zero-size thread = %+v, ok=%v; want nil Data, Wrapped, present", st, ok)
+	}
+}
+
+func TestSnapshotAssemblerProtocolErrors(t *testing.T) {
+	a := NewSnapshotAssembler(0)
+	if err := a.Feed([]byte{1}); err == nil {
+		t.Fatalf("bytes before any thread accepted")
+	}
+	if err := a.StartThread(1, false, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.StartThread(2, false, 4); err == nil {
+		t.Fatalf("thread declared while the previous one was incomplete")
+	}
+	if err := a.Feed(make([]byte, 5)); err == nil {
+		t.Fatalf("bytes beyond the declared size accepted")
+	}
+	if _, err := a.Finish(); err == nil {
+		t.Fatalf("Finish with an incomplete thread succeeded")
+	}
+	if err := a.Feed(make([]byte, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.StartThread(1, false, 1); err == nil {
+		t.Fatalf("duplicate thread accepted")
+	}
+	b := NewSnapshotAssembler(0)
+	if err := b.StartThread(3, false, -1); err == nil {
+		t.Fatalf("negative declared size accepted")
+	}
+}
+
+// TestSnapshotAssemblerArenaAndUnscanned pins the two ingest
+// variants against the plain assembler: an arena-backed assembly must
+// produce a deep-equal snapshot whose thread sections cannot alias
+// (capped capacities), and the unscanned mode must produce the same
+// snapshot while doing no packet accounting yet still enforcing the
+// structural protocol.
+func TestSnapshotAssemblerArenaAndUnscanned(t *testing.T) {
+	m := buildBusyModule(t)
+	enc := NewEncoder(Config{})
+	res := vm.Run(m, vm.Config{Seed: 5, Sink: enc})
+	if res.Failed() {
+		t.Fatal(res.Failure)
+	}
+	want := enc.Snapshot()
+	var total int
+	for _, st := range want.Threads {
+		total += len(st.Data)
+	}
+
+	assemble := func(a *SnapshotAssembler) *Snapshot {
+		t.Helper()
+		for _, tid := range want.Tids() {
+			st := want.Threads[tid]
+			if err := a.StartThread(tid, st.Wrapped, len(st.Data)); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Feed(st.Data); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap, err := a.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+
+	arena := make([]byte, total)
+	a := NewSnapshotAssembler(want.Time)
+	a.UseArena(arena)
+	got := assemble(a)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("arena-backed snapshot differs from the original")
+	}
+	if a.Packets() == 0 || a.ScanErrors() != 0 {
+		t.Fatalf("arena assembly: packets=%d scanErrs=%d", a.Packets(), a.ScanErrors())
+	}
+	// Carved sections must have capped capacity: growing one thread's
+	// ring cannot reach into its neighbor's bytes.
+	for tid, st := range got.Threads {
+		if len(st.Data) > 0 && cap(st.Data) != len(st.Data) {
+			t.Fatalf("thread %d: cap %d != len %d (section can grow into the arena)",
+				tid, cap(st.Data), len(st.Data))
+		}
+	}
+
+	// An arena smaller than the declared bytes falls back to
+	// per-thread allocation past the point it runs out.
+	short := NewSnapshotAssembler(want.Time)
+	short.UseArena(make([]byte, 1))
+	if got := assemble(short); !reflect.DeepEqual(got, want) {
+		t.Fatalf("short-arena snapshot differs from the original")
+	}
+
+	u := NewSnapshotAssemblerUnscanned(want.Time)
+	got = assemble(u)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("unscanned snapshot differs from the original")
+	}
+	if u.Packets() != 0 || u.ScanErrors() != 0 {
+		t.Fatalf("unscanned assembly did packet accounting: packets=%d scanErrs=%d",
+			u.Packets(), u.ScanErrors())
+	}
+	// Structure is still enforced without the scan.
+	v := NewSnapshotAssemblerUnscanned(0)
+	if err := v.StartThread(1, false, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Feed(make([]byte, 3)); err == nil {
+		t.Fatalf("unscanned mode accepted bytes beyond the declared size")
+	}
+}

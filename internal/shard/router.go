@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"bufio"
 	"context"
 	"encoding/gob"
 	"errors"
@@ -16,6 +17,7 @@ import (
 
 	"snorlax/internal/obs"
 	"snorlax/internal/proto"
+	"snorlax/internal/wire"
 )
 
 // Router metric names (Prometheus conventions: _total for counters).
@@ -69,15 +71,18 @@ type RouterConfig struct {
 	// Retry tunes per-request forwarding: attempts, jittered
 	// exponential backoff between them, and the per-round-trip
 	// deadline — the same knobs (and defaults) as the retrying
-	// session client.
+	// session client. Retry.Wire also selects the upstream codec the
+	// router dials shards with (default: binary).
 	Retry proto.RetryConfig
 	// HealthInterval is the shard health probe period (0 = 500ms).
 	HealthInterval time.Duration
 	// IdleTimeout bounds how long the router waits for a client's
 	// next request; 0 means wait forever.
 	IdleTimeout time.Duration
-	// FrameLimit caps one client message's bytes before gob decodes
-	// it (0 = the protocol's default snapshot cap plus slack).
+	// FrameLimit caps one client message's decode-layer bytes (0 =
+	// wire.Limits' default: twice the snapshot cap plus slack — the
+	// same two-tier rule the analysis server enforces, so a message
+	// the server would kill never gets past the router either).
 	FrameLimit int64
 	// Registry receives the router's metrics (nil = a fresh one).
 	Registry *obs.Registry
@@ -173,7 +178,10 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	}
 	seed := cfg.Retry.JitterSeed
 	if seed == 0 {
-		seed = 1
+		// Derived per-router entropy, like the retrying client: router
+		// replicas restarted together must not retry a recovering
+		// shard in lockstep.
+		seed = proto.DeriveJitterSeed()
 	}
 	r.rng = rand.New(rand.NewSource(seed))
 	r.requests = make(map[string]*obs.Counter, len(routedKinds))
@@ -406,35 +414,16 @@ func (r *Router) untrackConn(st *routerConn) {
 	delete(r.conns, st)
 }
 
+// frameLimit is the router's decode-layer cap on one client message.
+// The rule is encoded once, in wire.Limits, and shared verbatim with
+// the analysis server: same default, same breach semantics (reply
+// "message exceeds frame limit", then close), so a client cannot
+// observe whether the cap tripped at the router or the shard.
 func (r *Router) frameLimit() int64 {
 	if r.cfg.FrameLimit > 0 {
 		return r.cfg.FrameLimit
 	}
-	return proto.DefaultMaxSnapshotBytes + 64<<10
-}
-
-// meteredReader is the router's decode-layer frame cap (the same
-// defense the analysis server mounts): bytes handed to the gob
-// decoder are budgeted per message, so an oversized frame fails fast
-// instead of filling the router's heap.
-type meteredReader struct {
-	r         io.Reader
-	limit     int64
-	remaining int64
-}
-
-func (l *meteredReader) reset() { l.remaining = l.limit }
-
-func (l *meteredReader) Read(p []byte) (int, error) {
-	if l.remaining <= 0 {
-		return 0, errors.New("shard: message exceeds frame limit")
-	}
-	if int64(len(p)) > l.remaining {
-		p = p[:l.remaining]
-	}
-	n, err := l.r.Read(p)
-	l.remaining -= int64(n)
-	return n, err
+	return wire.Limits{}.FrameLimit()
 }
 
 // upstreams is one client connection's cached shard connections: the
@@ -453,7 +442,7 @@ func (u *upstreams) get(m Member) (*proto.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := proto.NewConn(nc)
+	c := proto.NewConnWire(nc, u.r.cfg.Retry.Wire)
 	u.conns[m.Name] = c
 	return c, nil
 }
@@ -535,11 +524,12 @@ func (r *Router) forward(u *upstreams, m Member, req proto.Request) (proto.Respo
 		m.Name, m.Addr, attempts, lastErr)
 }
 
-// handle serves one client connection: decode a request, route it,
-// encode the reply. A shard that stays unreachable drops the client
-// connection (a transport fault the client's retry loop absorbs)
-// rather than sending an "error" reply clients would treat as a
-// deterministic rejection.
+// handle serves one client connection: negotiate the codec off the
+// preamble, then decode a request, route it, encode the reply. A
+// shard that stays unreachable drops the client connection (a
+// transport fault the client's retry loop absorbs) rather than
+// sending an "error" reply clients would treat as a deterministic
+// rejection.
 func (r *Router) handle(nc net.Conn) {
 	st := &routerConn{conn: nc}
 	if !r.trackConn(st) {
@@ -548,11 +538,31 @@ func (r *Router) handle(nc net.Conn) {
 	}
 	defer r.untrackConn(st)
 	defer nc.Close()
-	lim := &meteredReader{r: nc, limit: r.frameLimit()}
-	dec := gob.NewDecoder(lim)
-	enc := gob.NewEncoder(nc)
 	u := &upstreams{r: r, conns: make(map[string]*proto.Conn)}
 	defer u.closeAll()
+	br := bufio.NewReaderSize(nc, 32<<10)
+	if r.cfg.IdleTimeout > 0 {
+		nc.SetReadDeadline(time.Now().Add(r.cfg.IdleTimeout))
+	}
+	version, binary, err := wire.ReadPreamble(br)
+	if err != nil {
+		return
+	}
+	if binary {
+		r.handleBinary(st, nc, br, u, version)
+	} else {
+		r.handleGob(st, nc, br, u)
+	}
+}
+
+// handleGob serves a legacy gob client. The decode-layer frame cap is
+// the analysis server's, verbatim: the shared limited reader meters
+// bytes into gob, and a tripped limit earns the same "message exceeds
+// frame limit" reply before the close.
+func (r *Router) handleGob(st *routerConn, nc net.Conn, br *bufio.Reader, u *upstreams) {
+	lim := &wire.LimitedReader{R: br, Limit: r.frameLimit()}
+	dec := gob.NewDecoder(lim)
+	enc := gob.NewEncoder(nc)
 	for {
 		if r.shutdown.Load() {
 			return
@@ -560,9 +570,12 @@ func (r *Router) handle(nc net.Conn) {
 		if r.cfg.IdleTimeout > 0 {
 			nc.SetReadDeadline(time.Now().Add(r.cfg.IdleTimeout))
 		}
-		lim.reset()
+		lim.Reset()
 		var req proto.Request
 		if err := dec.Decode(&req); err != nil {
+			if lim.Tripped() {
+				enc.Encode(proto.Response{Kind: "error", Err: "message exceeds frame limit"})
+			}
 			return
 		}
 		st.busy.Store(true)
@@ -576,6 +589,195 @@ func (r *Router) handle(nc net.Conn) {
 			return
 		}
 	}
+}
+
+// relayPool recycles the relay path's raw-frame buffers.
+var relayPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// handleBinary serves a binary-framed client. The envelope frame is
+// captured raw and parsed just enough to route; requests with a
+// single owning shard then take the zero-copy relay path — the
+// envelope and chunk frames cross the hop byte-identical, checksums
+// and all, without snapshot reassembly or re-encoding — while fan-out
+// kinds (register, directives, status) and unrouted requests fall back
+// to the same full decode the analysis server runs. Oversize semantics
+// cannot drift either way: the declared-size budget is checked against
+// the identical wire.Limits rule before a ring byte is buffered, and a
+// budget breach replies "message exceeds frame limit" then closes,
+// exactly like the server.
+func (r *Router) handleBinary(st *routerConn, nc net.Conn, br *bufio.Reader, u *upstreams, version byte) {
+	wr := wire.NewReader(br, r.frameLimit())
+	defer wr.Release()
+	ww := wire.NewWriter(nc)
+	defer ww.Release()
+	reply := func(resp proto.Response) bool {
+		return proto.WriteBinaryResponse(ww, &resp) == nil
+	}
+	if version != wire.Version1 {
+		reply(proto.Response{Kind: "error", Err: fmt.Sprintf("unsupported wire version 0x%02x", version)})
+		return
+	}
+	// The relay path requires the upstream hop to speak the same frame
+	// format; with a gob upstream every request is decoded and
+	// re-encoded at the hop.
+	relayable := r.cfg.Retry.Wire.String() == "binary"
+	for {
+		if r.shutdown.Load() {
+			return
+		}
+		if r.cfg.IdleTimeout > 0 {
+			nc.SetReadDeadline(time.Now().Add(r.cfg.IdleTimeout))
+		}
+		typ, hdr, body, err := wr.NextRaw()
+		if err != nil {
+			if errors.Is(err, wire.ErrFrameTooLarge) {
+				reply(proto.Response{Kind: "error", Err: "message exceeds frame limit"})
+			}
+			return
+		}
+		if typ != wire.FrameRequest {
+			return
+		}
+		env, err := proto.ParseRequestEnvelope(body[1:])
+		if err != nil {
+			return
+		}
+		// The identical budget formula to the server's decode entry
+		// (envelope payload + declared ring bytes), so the breach is
+		// observed at the same byte on both ends of the hop.
+		if lim := r.frameLimit(); lim > 0 && int64(len(body)-1)+env.DeclaredBytes() > lim {
+			reply(proto.Response{Kind: "error", Err: "message exceeds frame limit"})
+			return
+		}
+		if m, ok := r.relayOwner(env); relayable && ok {
+			st.busy.Store(true)
+			keep := r.relay(u, wr, ww, reply, env, m, hdr, body)
+			st.busy.Store(false)
+			if !keep {
+				return
+			}
+			continue
+		}
+		if _, _, err := env.Assemble(wr); err != nil {
+			if errors.Is(err, wire.ErrFrameTooLarge) {
+				reply(proto.Response{Kind: "error", Err: "message exceeds frame limit"})
+			}
+			return
+		}
+		st.busy.Store(true)
+		resp, ok := r.route(u, env.Req)
+		st.busy.Store(false)
+		if !ok {
+			r.dropped.Inc()
+			return
+		}
+		if !reply(resp) {
+			return
+		}
+	}
+}
+
+// relayOwner reports whether the request is a single-owner forward the
+// relay path can carry, and which shard owns it. Fan-out kinds, hints
+// old clients did not stamp, and malformed fleet-failures (the nil
+// check must reply before any shard is dialed) all fall back to the
+// decode path.
+func (r *Router) relayOwner(env *proto.RequestEnvelope) (Member, bool) {
+	req := &env.Req
+	switch req.Kind {
+	case "fleet-failure":
+		if req.Failure == nil {
+			return Member{}, false
+		}
+		return r.Owner(Key{Tenant: req.Tenant, PC: req.Failure.PC}), true
+	case "batch", "report":
+		if !req.Routed {
+			return Member{}, false
+		}
+		return r.Owner(Key{Tenant: req.Tenant, PC: req.RoutePC}), true
+	}
+	return Member{}, false
+}
+
+// relay carries one request across the hop raw: the already-read
+// envelope frame plus its chunk frames accumulate verbatim (headers,
+// checksums and all) in a pooled buffer, go to the owning shard via
+// RelayRaw — which retries transport failures by resending the same
+// bytes — and the shard's reply payload is relayed back untouched.
+// The buffer is bounded by the frame-limit check the caller already
+// performed on the declared sizes. Returns false when the client
+// connection must close.
+func (r *Router) relay(u *upstreams, wr *wire.Reader, ww *wire.Writer, reply func(proto.Response) bool,
+	env *proto.RequestEnvelope, m Member, hdr, body []byte) bool {
+	bufp := relayPool.Get().(*[]byte)
+	defer relayPool.Put(bufp)
+	raw := append((*bufp)[:0], hdr...)
+	raw = append(raw, body...)
+	for remaining := env.DeclaredBytes(); remaining > 0; {
+		typ, h, b, err := wr.NextRaw()
+		if err != nil {
+			*bufp = raw[:0]
+			if errors.Is(err, wire.ErrFrameTooLarge) {
+				reply(proto.Response{Kind: "error", Err: "message exceeds frame limit"})
+			}
+			return false
+		}
+		n := int64(len(b) - 1)
+		if typ != wire.FrameChunk || n == 0 || n > remaining {
+			*bufp = raw[:0]
+			return false
+		}
+		raw = append(raw, h...)
+		raw = append(raw, b...)
+		remaining -= n
+	}
+	*bufp = raw
+	if ctr := r.requests[env.Req.Kind]; ctr != nil {
+		ctr.Inc()
+	}
+	payload, err := r.forwardRaw(u, m, raw)
+	if err != nil {
+		r.dropped.Inc()
+		return false
+	}
+	return ww.Frame(wire.FrameResponse, payload) == nil && ww.Flush() == nil
+}
+
+// forwardRaw is forward for the relay path: same retry budget, same
+// jittered backoff, same per-attempt deadline, resending the captured
+// frames instead of re-encoding a request. It returns the shard's raw
+// response payload (valid until the upstream's next read — i.e. until
+// the next request relayed to the same shard).
+func (r *Router) forwardRaw(u *upstreams, m Member, raw []byte) ([]byte, error) {
+	var lastErr error
+	attempts := r.retryAttempts()
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			r.retries[m.Name].Inc()
+			r.backoff(a)
+		}
+		c, err := u.get(m)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if t := r.cfg.Retry.OpTimeout; t > 0 {
+			c.SetDeadline(time.Now().Add(t))
+		}
+		_, payload, err := c.RelayRaw(raw)
+		if t := r.cfg.Retry.OpTimeout; t > 0 {
+			c.SetDeadline(time.Time{})
+		}
+		if err != nil {
+			lastErr = err
+			u.drop(m)
+			continue
+		}
+		r.forwards[m.Name].Inc()
+		return payload, nil
+	}
+	return nil, fmt.Errorf("shard %s (%s): unreachable after %d attempts: %w",
+		m.Name, m.Addr, attempts, lastErr)
 }
 
 // route dispatches one request. ok=false means a shard the request

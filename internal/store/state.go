@@ -184,6 +184,10 @@ func (st *State) apply(rec *Record) error {
 		}
 		c.Done = true
 		c.Collecting = false
+		// A closed case can never admit another trace, so its dedup
+		// ledger is pruned — the live server drops it at publish, and
+		// replayed state must land on the same shape.
+		c.Clients = nil
 	default:
 		return fmt.Errorf("unknown record type %d", uint8(rec.Type))
 	}

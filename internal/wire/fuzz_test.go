@@ -1,0 +1,86 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzWireDecode holds the framing reader to its stream contract on
+// arbitrary bytes (the FuzzWALReplay discipline, ported to the wire):
+//
+//   - Next never panics and never spins: every call either consumes
+//     input or returns a terminal io error.
+//   - A successful frame re-encodes to exactly the bytes consumed for
+//     it (decode∘encode identity — the relay/oracle property).
+//   - ErrPayloadCorrupt consumes exactly one frame (header + declared
+//     payload), leaving the stream aligned; every other error ends the
+//     stream.
+//
+// The pinned seed corpus in testdata/fuzz/FuzzWireDecode covers a
+// clean multi-frame stream, truncations, a CRC flip, an oversize
+// declaration, and garbage — regenerate with gencorpus_test.go's
+// TestRegenerateWireFuzzCorpus when the format changes.
+func FuzzWireDecode(f *testing.F) {
+	clean := func(frames ...[]byte) []byte {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for i, p := range frames {
+			w.Frame(byte(i%3)+1, p)
+		}
+		w.Flush()
+		w.Release()
+		return buf.Bytes()
+	}
+	f.Add([]byte{})
+	f.Add(clean([]byte("hello"), nil, bytes.Repeat([]byte{0xEE}, 500)))
+	f.Add(clean([]byte("truncated"))[:headerSize+3])
+	f.Add([]byte("SNXW\x01garbage after a preamble"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, limit := range []int64{0, 64} {
+			cr := &countReader{r: bytes.NewReader(data)}
+			r := NewReader(cr, limit)
+			for steps := 0; steps <= len(data)+1; steps++ {
+				before := cr.n
+				typ, payload, err := r.Next()
+				if err == nil {
+					consumed := data[before:cr.n]
+					var buf bytes.Buffer
+					w := NewWriter(&buf)
+					w.Frame(typ, payload)
+					w.Flush()
+					w.Release()
+					if !bytes.Equal(buf.Bytes(), consumed) {
+						t.Fatalf("limit %d: frame at %d does not re-encode to its wire bytes", limit, before)
+					}
+					continue
+				}
+				if errors.Is(err, ErrPayloadCorrupt) {
+					// Aligned skip: exactly header + declared payload.
+					if cr.n-before <= headerSize {
+						t.Fatalf("limit %d: payload-corrupt frame consumed only %d bytes", limit, cr.n-before)
+					}
+					continue
+				}
+				if cr.n > len(data) {
+					t.Fatalf("limit %d: consumed %d of %d bytes", limit, cr.n, len(data))
+				}
+				break
+			}
+			r.Release()
+		}
+	})
+}
+
+type countReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
+}

@@ -1,0 +1,64 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRegenerateWireFuzzCorpus rewrites the pinned FuzzWireDecode seed
+// corpus under testdata/fuzz. It only runs when SNORLAX_REGEN_CORPUS=1
+// so the checked-in seeds stay stable; regenerate after any change to
+// the frame format and commit the result.
+func TestRegenerateWireFuzzCorpus(t *testing.T) {
+	if os.Getenv("SNORLAX_REGEN_CORPUS") != "1" {
+		t.Skip("set SNORLAX_REGEN_CORPUS=1 to rewrite the seed corpus")
+	}
+	frame := func(typ byte, payload []byte) []byte {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.Frame(typ, payload)
+		w.Flush()
+		w.Release()
+		return buf.Bytes()
+	}
+	multi := append(frame(FrameRequest, []byte("envelope")),
+		frame(FrameChunk, bytes.Repeat([]byte{0xC4}, 200))...)
+	multi = append(multi, frame(FrameResponse, []byte("ok"))...)
+
+	crcFlip := frame(FrameChunk, []byte("will not verify"))
+	crcFlip[len(crcFlip)-1] ^= 0xFF
+
+	hdrFlip := frame(FrameRequest, []byte("hdr"))
+	hdrFlip[2] ^= 0x10
+
+	var oversize [headerSize]byte
+	binary.LittleEndian.PutUint32(oversize[0:4], 1<<30)
+	binary.LittleEndian.PutUint32(oversize[4:8], 0)
+	binary.LittleEndian.PutUint32(oversize[8:12], Checksum(oversize[0:8]))
+
+	seeds := map[string][]byte{
+		"seed-empty":             {},
+		"seed-clean-stream":      multi,
+		"seed-preamble":          append([]byte(Magic+"\x01"), frame(FrameRequest, []byte("x"))...),
+		"seed-truncated-header":  frame(FrameRequest, []byte("cut"))[:7],
+		"seed-truncated-payload": multi[:len(multi)-3],
+		"seed-crc-flip":          append(crcFlip, frame(FrameChunk, []byte("after"))...),
+		"seed-header-flip":       hdrFlip,
+		"seed-oversize-declared": oversize[:],
+		"seed-garbage":           []byte("\x00\x01\x02not a frame at all\xff\xfe"),
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzWireDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -10,24 +10,33 @@
 #   scripts/bench.sh fleet [out.json]           record fleet-tier load numbers (default BENCH_fleet.json)
 #
 # Knobs (env): BENCH_COUNT (default 6), BENCH_PATTERN (default
-# ^BenchmarkVMExecute$), BENCH_PKG (default ./internal/vm);
+# ^BenchmarkVMExecute$), BENCH_PKG (default ./internal/vm),
+# WIRE_PATTERN (default ^BenchmarkWireUpload$; empty skips the wire
+# record), WIRE_PKG (default ./internal/shard);
 # for fleet: FLEET_AGENTS (default 1000), FLEET_PORT_BASE (default 7100).
 #
 # The perf CI lane records bench-head.txt, renders a benchstat report
 # artifact against the checked-in .github/bench-baseline.txt, and
 # gates with scripts/benchgate (>10% normalized regression at p<0.05
-# fails the lane, as does losing the bytecode engine's >=3x speedup).
+# fails the lane, as does losing the bytecode engine's >=3x speedup
+# or the binary wire format's >=2x batch-upload throughput over gob).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${BENCH_COUNT:-6}"
 PATTERN="${BENCH_PATTERN:-^BenchmarkVMExecute$}"
 PKG="${BENCH_PKG:-./internal/vm}"
+WIRE_PATTERN="${WIRE_PATTERN-^BenchmarkWireUpload$}"
+WIRE_PKG="${WIRE_PKG:-./internal/shard}"
 
 record() {
   local out="${1:-bench-new.txt}"
   echo "recording: go test -run '^\$' -bench '$PATTERN' -count $COUNT -benchmem $PKG" >&2
   go test -run '^$' -bench "$PATTERN" -count "$COUNT" -benchmem "$PKG" | tee "$out"
+  if [ -n "$WIRE_PATTERN" ]; then
+    echo "recording: go test -run '^\$' -bench '$WIRE_PATTERN' -count $COUNT -benchmem $WIRE_PKG" >&2
+    go test -run '^$' -bench "$WIRE_PATTERN" -count "$COUNT" -benchmem "$WIRE_PKG" | tee -a "$out"
+  fi
 }
 
 compare() {
@@ -42,7 +51,8 @@ compare() {
   fi
   go run ./scripts/benchgate -old "$old" -new "$new" \
     -norm 'BenchmarkVMExecute/loop/treewalk' -threshold 0.10 -alpha 0.05 \
-    -ratio 'BenchmarkVMExecute/loop/treewalk,BenchmarkVMExecute/loop/bytecode,3.0'
+    -ratio 'BenchmarkVMExecute/loop/treewalk,BenchmarkVMExecute/loop/bytecode,3.0' \
+    -ratio 'BenchmarkWireUpload/gob,BenchmarkWireUpload/binary,2.0'
 }
 
 # fleet — stand up the sharded fleet tier (2 durable shards behind the

@@ -13,7 +13,9 @@
 //
 // -ratio A,B,MIN additionally requires median(A)/median(B) >= MIN in
 // the new file — this is how CI enforces the bytecode engine's >=3x
-// speedup over the tree-walker independent of hardware.
+// speedup over the tree-walker and the binary wire format's >=2x
+// upload throughput over gob, independent of hardware. The flag
+// repeats: each occurrence adds one floor.
 package main
 
 import (
@@ -35,14 +37,15 @@ func main() {
 func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	var ratios ratioFlags
 	var (
 		oldPath   = fs.String("old", "", "baseline benchmark results file")
 		newPath   = fs.String("new", "", "candidate benchmark results file")
 		norm      = fs.String("norm", "", "benchmark name used to normalize each file (optional)")
 		threshold = fs.Float64("threshold", 0.10, "maximum tolerated median regression (0.10 = +10%)")
 		alpha     = fs.Float64("alpha", 0.05, "significance level for the Mann-Whitney test")
-		ratio     = fs.String("ratio", "", "A,B,MIN: require median(A)/median(B) >= MIN in -new")
 	)
+	fs.Var(&ratios, "ratio", "A,B,MIN: require median(A)/median(B) >= MIN in -new (repeatable)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -62,14 +65,20 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			}
 		}
 		if err == nil {
-			return gate(oldS, newS, *newPath, *threshold, *alpha, *ratio, stdout, stderr)
+			return gate(oldS, newS, *newPath, *threshold, *alpha, ratios, stdout, stderr)
 		}
 	}
 	fmt.Fprintln(stderr, "benchgate:", err)
 	return 2
 }
 
-func gate(oldS, newS map[string][]float64, newPath string, threshold, alpha float64, ratio string, stdout, stderr io.Writer) int {
+// ratioFlags collects every -ratio occurrence.
+type ratioFlags []string
+
+func (r *ratioFlags) String() string     { return strings.Join(*r, " ") }
+func (r *ratioFlags) Set(v string) error { *r = append(*r, v); return nil }
+
+func gate(oldS, newS map[string][]float64, newPath string, threshold, alpha float64, ratios []string, stdout, stderr io.Writer) int {
 	failed := false
 	names := commonNames(oldS, newS)
 	if len(names) == 0 {
@@ -89,7 +98,7 @@ func gate(oldS, newS map[string][]float64, newPath string, threshold, alpha floa
 			name, om, nm, 100*delta, p, len(o), len(n), verdict)
 	}
 
-	if ratio != "" {
+	for _, ratio := range ratios {
 		parts := strings.Split(ratio, ",")
 		if len(parts) != 3 {
 			fmt.Fprintln(stderr, "benchgate: -ratio wants A,B,MIN")
@@ -104,7 +113,7 @@ func gate(oldS, newS map[string][]float64, newPath string, threshold, alpha floa
 		b, okB := newS[parts[1]]
 		switch {
 		case !okA || !okB:
-			fmt.Fprintf(stderr, "benchgate: ratio benchmarks missing from %s\n", newPath)
+			fmt.Fprintf(stderr, "benchgate: ratio benchmarks %s missing from %s\n", ratio, newPath)
 			failed = true
 		default:
 			got := median(a) / median(b)

@@ -124,6 +124,52 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
+func TestRunRepeatedRatios(t *testing.T) {
+	samples := map[string][]float64{
+		"BenchmarkVMExecute/loop/treewalk": {4000, 4100, 3900, 4050, 3950, 4000},
+		"BenchmarkVMExecute/loop/bytecode": {1000, 1020, 980, 1010, 990, 1000},
+		"BenchmarkWireUpload/gob":          {400, 410, 390, 405, 395, 400},
+		"BenchmarkWireUpload/binary":       {180, 185, 175, 182, 178, 180},
+	}
+	old := benchFile(t, "old.txt", samples)
+	new := benchFile(t, "new.txt", samples)
+	args := []string{"-old", old, "-new", new,
+		"-norm", "BenchmarkVMExecute/loop/treewalk",
+		"-ratio", "BenchmarkVMExecute/loop/treewalk,BenchmarkVMExecute/loop/bytecode,3.0",
+		"-ratio", "BenchmarkWireUpload/gob,BenchmarkWireUpload/binary,2.0"}
+
+	var out, errOut strings.Builder
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Errorf("two passing floors: exit %d, want 0\n%s%s", code, out.String(), errOut.String())
+	}
+	for _, want := range []string{"= 4.00x (floor 3.00x) ok", "= 2.22x (floor 2.00x) ok"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Raising the second floor past the measured ratio must fail the
+	// gate even though the first floor still passes.
+	out.Reset()
+	errOut.Reset()
+	args[len(args)-1] = "BenchmarkWireUpload/gob,BenchmarkWireUpload/binary,5.0"
+	if code := run(args, &out, &errOut); code != 1 {
+		t.Errorf("failing second floor: exit %d, want 1\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "BELOW FLOOR") {
+		t.Errorf("output missing BELOW FLOOR:\n%s", out.String())
+	}
+
+	// A floor naming an absent benchmark fails rather than silently
+	// passing.
+	out.Reset()
+	errOut.Reset()
+	args[len(args)-1] = "BenchmarkNope/a,BenchmarkNope/b,1.0"
+	if code := run(args, &out, &errOut); code != 1 {
+		t.Errorf("missing ratio benchmarks: exit %d, want 1\n%s%s", code, out.String(), errOut.String())
+	}
+}
+
 func TestRunBadUsage(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run(nil, &out, &errOut); code != 2 {
